@@ -1,0 +1,520 @@
+package jtp_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (DESIGN.md §3), ablation benchmarks for the design choices
+// DESIGN.md §4 calls out, and micro-benchmarks for the hot data
+// structures. Each figure benchmark runs a scaled-down instance of the
+// experiment per iteration and reports the paper's metric(s) via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the qualitative content of the whole evaluation section.
+// Absolute values use the simulated JAVeLEN-class radio (see DESIGN.md);
+// the paper-vs-measured comparison lives in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/javelen/jtp/internal/cache"
+	"github.com/javelen/jtp/internal/core"
+	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/flipflop"
+	"github.com/javelen/jtp/internal/ijtp"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+)
+
+// ---- Figure/Table benchmarks -----------------------------------------
+
+// BenchmarkFig3Reliability regenerates Fig 3(a)/(b): total energy and
+// data delivered at loss tolerance 0%, 10%, 20%.
+func BenchmarkFig3Reliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig3Config{
+			Sizes:           []int{4, 6},
+			Tolerances:      []float64{0, 0.10, 0.20},
+			TransferPackets: 120,
+			Runs:            2,
+			Seconds:         3000,
+			Seed:            31 + int64(i),
+		}
+		points := experiments.Fig3(cfg)
+		for _, p := range points {
+			if p.LossTolerance == 0 && p.Nodes == 6 {
+				b.ReportMetric(p.EnergyJ.Mean(), "jtp0-J")
+			}
+			if p.LossTolerance == 0.20 && p.Nodes == 6 {
+				b.ReportMetric(p.EnergyJ.Mean(), "jtp20-J")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3cAttemptControl regenerates Fig 3(c): the per-packet
+// link-layer attempt budget at a mid-path node.
+func BenchmarkFig3cAttemptControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.Fig3c(120, 33+int64(i))
+		sum, n := 0, 0
+		for _, res := range results {
+			for _, s := range res.Samples {
+				sum += s.Attempts
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(float64(sum)/float64(n), "avg-attempts")
+		}
+	}
+}
+
+// BenchmarkFig4Caching regenerates Fig 4: energy per delivered bit for
+// JTP vs JNC (no in-network caching).
+func BenchmarkFig4Caching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig4Config{
+			Sizes:           []int{8},
+			TransferPackets: 120,
+			Runs:            2,
+			Seconds:         4000,
+			Seed:            41 + int64(i),
+			PerNodeSize:     7,
+		}
+		points := experiments.Fig4(cfg)
+		var jtpE, jncE float64
+		for _, p := range points {
+			if p.Proto == experiments.JTP {
+				jtpE = p.EnergyPerBit.Mean()
+			} else {
+				jncE = p.EnergyPerBit.Mean()
+			}
+		}
+		b.ReportMetric(jtpE*1e6, "jtp-uJ/bit")
+		b.ReportMetric(jncE*1e6, "jnc-uJ/bit")
+		if jtpE > 0 {
+			b.ReportMetric(jncE/jtpE, "jnc/jtp")
+		}
+	}
+}
+
+// BenchmarkFig5Backoff regenerates Fig 5: fairness of two competing
+// flows with and without the §4.2 source back-off.
+func BenchmarkFig5Backoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(experiments.Fig5Config{
+			Nodes: 6, Seconds: 1200, BinSeconds: 20, Seed: 51 + int64(i),
+		})
+		for _, r := range res {
+			ratio := 0.0
+			if r.MeanRate[0] > 0 {
+				ratio = r.MeanRate[1] / r.MeanRate[0]
+			}
+			if r.Backoff {
+				b.ReportMetric(ratio, "flow2/flow1-backoff")
+			} else {
+				b.ReportMetric(ratio, "flow2/flow1-nobackoff")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6CacheSize regenerates Fig 6: source retransmissions vs
+// cache size.
+func BenchmarkFig6CacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig6(experiments.Fig6Config{
+			Sizes:           []int{6},
+			CacheSizes:      []int{1, 64},
+			TransferPackets: 150,
+			Runs:            2,
+			Seconds:         4000,
+			Seed:            61 + int64(i),
+		})
+		for _, p := range points {
+			if p.FeedbackLabel != "variable" {
+				continue
+			}
+			switch p.CacheSize {
+			case 1:
+				b.ReportMetric(p.SourceRtx.Mean(), "srcRtx-cache1")
+			case 64:
+				b.ReportMetric(p.SourceRtx.Mean(), "srcRtx-cache64")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Feedback regenerates Fig 7: energy and queue drops vs
+// feedback rate, with the variable-feedback reference.
+func BenchmarkFig7Feedback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig7Defaults(0.2)
+		cfg.Rates = []float64{0.05, 0.5}
+		cfg.Seed = 71 + int64(i)
+		points := experiments.Fig7(cfg)
+		for _, p := range points {
+			switch p.FeedbackRate {
+			case 0:
+				b.ReportMetric(p.EnergyPerBit.Mean()*1e6, "variable-uJ/bit")
+			case 0.05:
+				b.ReportMetric(p.QueueDrops.Mean(), "drops@0.05/s")
+				b.ReportMetric(p.EnergyPerBit.Mean()*1e6, "uJ/bit@0.05/s")
+			case 0.5:
+				b.ReportMetric(p.EnergyPerBit.Mean()*1e6, "uJ/bit@0.5/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8RateAdapt regenerates Fig 8: flow 1's adaptation while a
+// short-lived flow 2 comes and goes.
+func BenchmarkFig8RateAdapt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig8Config{
+			Nodes: 6, Flow2Start: 400, Flow2End: 650,
+			Seconds: 900, BinSeconds: 10, Seed: 81 + int64(i),
+		}
+		res := experiments.Fig8(cfg)
+		before := res.Throughput[0].Between(200, cfg.Flow2Start).Mean()
+		during := res.Throughput[0].Between(cfg.Flow2Start+50, cfg.Flow2End).Mean()
+		b.ReportMetric(before, "flow1-before-pps")
+		b.ReportMetric(during, "flow1-during-pps")
+		b.ReportMetric(float64(len(res.Shifts)), "monitor-shifts")
+	}
+}
+
+// BenchmarkFig9Linear regenerates Fig 9: energy/bit and goodput for
+// jtp/atp/tcp over linear chains.
+func BenchmarkFig9Linear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig9(experiments.Fig9Config{
+			Sizes: []int{8}, Runs: 2, Seconds: 900, Warmup: 100,
+			Protocols: []experiments.Protocol{experiments.JTP, experiments.ATP, experiments.TCP},
+			Seed:      42 + int64(i),
+		})
+		for _, p := range points {
+			b.ReportMetric(p.EnergyPerBit.Mean()*1e6, string(p.Proto)+"-uJ/bit")
+		}
+	}
+}
+
+// BenchmarkFig10Random regenerates Fig 10: static random topologies.
+func BenchmarkFig10Random(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig10(experiments.Fig10Config{
+			Sizes: []int{15}, Flows: 5, Runs: 2, Seconds: 600, Warmup: 60,
+			Protocols: []experiments.Protocol{experiments.JTP, experiments.TCP},
+			Seed:      101 + int64(i),
+		})
+		for _, p := range points {
+			b.ReportMetric(p.GoodputBps.Mean()/1e3, string(p.Proto)+"-kbps")
+		}
+	}
+}
+
+// BenchmarkFig11Mobility regenerates Fig 11: the mobile 15-node network.
+func BenchmarkFig11Mobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig11(experiments.Fig11Config{
+			Nodes: 15, Speeds: []float64{1}, Flows: 4, Runs: 2,
+			Seconds: 600, Warmup: 60,
+			Protocols: []experiments.Protocol{experiments.JTP},
+			Seed:      111 + int64(i),
+		})
+		for _, p := range points {
+			b.ReportMetric(p.EnergyPerBit.Mean()*1e6, "jtp-uJ/bit")
+			b.ReportMetric(p.CacheHitsPerKB.Mean(), "cacheHits/kB")
+			b.ReportMetric(p.SourceRtxPerKB.Mean(), "srcRtx/kB")
+		}
+	}
+}
+
+// BenchmarkTable2Testbed regenerates Table 2: the stable-link testbed
+// scenario.
+func BenchmarkTable2Testbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Table2(experiments.Table2Config{
+			Nodes: 14, Seconds: 500, MeanInterarriv: 400, TransferKB: 40,
+			Runs: 2,
+			Protocols: []experiments.Protocol{
+				experiments.JTP, experiments.ATP, experiments.TCP,
+			},
+			Seed: 201 + int64(i),
+		})
+		for _, p := range points {
+			b.ReportMetric(p.EnergyPerBit.Mean()*1e6, string(p.Proto)+"-uJ/bit")
+		}
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md §4) -------------------------------
+
+func ablationScenario(seed int64) experiments.Scenario {
+	return experiments.Scenario{
+		Name:    "ablation",
+		Proto:   experiments.JTP,
+		Topo:    experiments.Linear,
+		Nodes:   8,
+		Seconds: 900,
+		Seed:    seed,
+		Flows: []FlowSpecAlias{
+			{Src: 0, Dst: 7, StartAt: 50},
+			{Src: 7, Dst: 0, StartAt: 80},
+		},
+	}
+}
+
+// FlowSpecAlias keeps the ablation helper readable.
+type FlowSpecAlias = experiments.FlowSpec
+
+// BenchmarkAblationCache compares energy/bit with caching on vs off on
+// the same workload (the §4.1 claim, isolated).
+func BenchmarkAblationCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationScenario(300 + int64(i))
+		rec := experiments.Run(on)
+		off := ablationScenario(300 + int64(i))
+		off.Proto = experiments.JNC
+		recOff := experiments.Run(off)
+		b.ReportMetric(rec.EnergyPerBit()*1e6, "cache-uJ/bit")
+		b.ReportMetric(recOff.EnergyPerBit()*1e6, "nocache-uJ/bit")
+	}
+}
+
+// BenchmarkAblationFlipflop compares the flip-flop monitor against a
+// single stable filter (no agile catch-up, no early feedback).
+func BenchmarkAblationFlipflop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ff := ablationScenario(400 + int64(i))
+		rec := experiments.Run(ff)
+		single := ablationScenario(400 + int64(i))
+		single.JTPTune = func(cfg *core.Config) {
+			// An enormous outlier run never triggers: the monitor stays
+			// on the stable filter and never sends early feedback.
+			cfg.RateMonitor = flipflop.Defaults()
+			cfg.RateMonitor.OutlierRun = 1 << 20
+			cfg.EnergyMonitor = cfg.RateMonitor
+		}
+		recSingle := experiments.Run(single)
+		b.ReportMetric(rec.MeanGoodputBps()/1e3, "flipflop-kbps")
+		b.ReportMetric(recSingle.MeanGoodputBps()/1e3, "stableonly-kbps")
+		b.ReportMetric(float64(rec.QueueDrops), "flipflop-qdrops")
+		b.ReportMetric(float64(recSingle.QueueDrops), "stableonly-qdrops")
+	}
+}
+
+// BenchmarkAblationLossTolerance compares Eq (3) tolerance re-encoding
+// against static per-hop targets for a jtp20 transfer.
+func BenchmarkAblationLossTolerance(b *testing.B) {
+	run := func(static bool, seed int64) (energy float64, delivered uint64) {
+		sc := experiments.Scenario{
+			Name: "ablation-lt", Proto: experiments.JTP, Topo: experiments.Linear,
+			Nodes: 6, Seconds: 3000, Seed: seed,
+			Flows: []experiments.FlowSpec{{
+				Src: 0, Dst: 5, StartAt: 50, TotalPackets: 150, LossTolerance: 0.2,
+			}},
+		}
+		if static {
+			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.StaticTolerance = true }
+		}
+		rec := experiments.Run(sc)
+		return rec.TotalEnergy, rec.Flows[0].UniqueDelivered
+	}
+	for i := 0; i < b.N; i++ {
+		e1, d1 := run(false, 500+int64(i))
+		e2, d2 := run(true, 500+int64(i))
+		b.ReportMetric(e1, "reencode-J")
+		b.ReportMetric(e2, "static-J")
+		b.ReportMetric(float64(d1), "reencode-pkts")
+		b.ReportMetric(float64(d2), "static-pkts")
+	}
+}
+
+// BenchmarkAblationCachePolicy compares cache replacement strategies
+// (the §4/§8 future-work study) under memory pressure: tiny caches on a
+// lossy chain, where the eviction choice decides whether SNACKed packets
+// are still around.
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	policies := []struct {
+		p     cache.Policy
+		label string
+	}{
+		{cache.LRU, "lru"},
+		{cache.FIFO, "fifo"},
+		{cache.Random, "random"},
+		{cache.EnergyAware, "energy"},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pol := range policies {
+			sc := experiments.Scenario{
+				Name: "ablation-policy", Proto: experiments.JTP, Topo: experiments.Linear,
+				Nodes: 8, Seconds: 2500, Seed: 700 + int64(i),
+				CacheCapacity: 8,
+				Flows: []experiments.FlowSpec{{
+					Src: 0, Dst: 7, StartAt: 50, TotalPackets: 200,
+				}},
+			}
+			p := pol.p
+			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.CachePolicy = p }
+			rec := experiments.Run(sc)
+			b.ReportMetric(float64(rec.Flows[0].SourceRetransmissions), pol.label+"-srcRtx")
+			b.ReportMetric(float64(rec.CacheHits), pol.label+"-hits")
+		}
+	}
+}
+
+// BenchmarkAblationTargetStrategy compares §3's uniform per-hop success
+// targets against the load-aware alternative the paper suggests.
+func BenchmarkAblationTargetStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, strat := range []struct {
+			s     ijtp.TargetStrategy
+			label string
+		}{
+			{ijtp.UniformTarget, "uniform"},
+			{ijtp.LoadAwareTarget, "loadaware"},
+		} {
+			sc := ablationScenario(800 + int64(i))
+			sc.Flows = append(sc.Flows, experiments.FlowSpec{
+				Src: 2, Dst: 5, StartAt: 120, LossTolerance: 0.1,
+			})
+			s := strat.s
+			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.Strategy = s }
+			rec := experiments.Run(sc)
+			b.ReportMetric(rec.EnergyPerBit()*1e6, strat.label+"-uJ/bit")
+			b.ReportMetric(rec.MeanGoodputBps()/1e3, strat.label+"-kbps")
+		}
+	}
+}
+
+// BenchmarkAblationGains sweeps the PI²/MD controller gains.
+func BenchmarkAblationGains(b *testing.B) {
+	gains := []struct {
+		ki, kd float64
+		label  string
+	}{
+		{0.1, 0.85, "ki0.1-kbps"},
+		{0.3, 0.85, "ki0.3-kbps"},
+		{0.8, 0.85, "ki0.8-kbps"},
+		{0.3, 0.5, "kd0.5-kbps"},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, g := range gains {
+			sc := ablationScenario(600 + int64(i))
+			ki, kd := g.ki, g.kd
+			sc.JTPTune = func(cfg *core.Config) {
+				cfg.KI, cfg.KD = ki, kd
+			}
+			rec := experiments.Run(sc)
+			b.ReportMetric(rec.MeanGoodputBps()/1e3, g.label)
+		}
+	}
+}
+
+// ---- Micro-benchmarks --------------------------------------------------
+
+// BenchmarkPacketEncode measures the wire codec on a feedback-carrying
+// packet (the largest header).
+func BenchmarkPacketEncode(b *testing.B) {
+	p := &packet.Packet{
+		Type: packet.Ack, Src: 1, Dst: 2, Flow: 3,
+		AvailRate: 2.5, LossTol: 0.1,
+		Ack: &packet.AckInfo{
+			CumAck: 100, Rate: 3.5, EnergyBudget: 0.02, SenderTimeout: 10,
+			Snack:     []packet.SeqRange{{First: 101, Last: 105}, {First: 110, Last: 112}},
+			Recovered: []packet.SeqRange{{First: 107, Last: 108}},
+		},
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = p.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketDecode measures parsing the same packet.
+func BenchmarkPacketDecode(b *testing.B) {
+	p := &packet.Packet{
+		Type: packet.Ack, Src: 1, Dst: 2, Flow: 3,
+		Ack: &packet.AckInfo{
+			CumAck: 100, Rate: 3.5,
+			Snack: []packet.SeqRange{{First: 101, Last: 105}},
+		},
+	}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := packet.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheInsertLookup measures the LRU cache under a mixed
+// insert/lookup load at Table 1 capacity.
+func BenchmarkCacheInsertLookup(b *testing.B) {
+	c := cache.New(1000)
+	p := &packet.Packet{Type: packet.Data, Src: 1, Dst: 2, Flow: 1, PayloadLen: 772}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seq = uint32(i)
+		c.Insert(p)
+		c.Lookup(cache.Key{Src: 1, Dst: 2, Flow: 1, Seq: uint32(i / 2)})
+	}
+}
+
+// BenchmarkFlipflopObserve measures the path-monitor filter per sample.
+func BenchmarkFlipflopObserve(b *testing.B) {
+	f := flipflop.New(flipflop.Defaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(10 + float64(i%7))
+	}
+}
+
+// BenchmarkEngineEvents measures raw discrete-event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(sim.Microsecond, fn)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(sim.Microsecond, fn)
+	eng.Drain()
+}
+
+// BenchmarkSimulatedSecond measures how fast the full stack simulates
+// one virtual second of a busy 8-node chain (events, MAC, iJTP, caches).
+func BenchmarkSimulatedSecond(b *testing.B) {
+	rec := experiments.Scenario{
+		Name: "bench-stack", Proto: experiments.JTP, Topo: experiments.Linear,
+		Nodes: 8, Seconds: float64(b.N), Seed: 1,
+		Flows: []experiments.FlowSpec{
+			{Src: 0, Dst: 7, StartAt: 1},
+			{Src: 7, Dst: 0, StartAt: 2},
+		},
+	}
+	b.ResetTimer()
+	out := experiments.Run(rec)
+	b.StopTimer()
+	if out.TotalEnergy <= 0 && b.N > 30 {
+		b.Fatal("stack benchmark did nothing")
+	}
+}

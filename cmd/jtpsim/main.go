@@ -1,0 +1,242 @@
+// Command jtpsim regenerates the paper's tables and figures on the
+// simulated JAVeLEN substrate and prints them as aligned text tables.
+//
+// Usage:
+//
+//	jtpsim -exp fig9            # one experiment at default scale
+//	jtpsim -exp all -scale 0.2  # everything, scaled down 5x
+//	jtpsim -list                # enumerate experiment ids
+//
+// Scale multiplies run counts, durations and transfer sizes relative to
+// the paper's full setup (scale 1 reproduces the paper's run counts:
+// 20 runs × 2500 s for Fig 9, etc.). The shapes are stable well below
+// full scale; the defaults here favor minutes over hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/metrics"
+)
+
+// asCSV switches table output to CSV (-csv flag).
+var asCSV bool
+
+// show prints one table in the selected format.
+func show(t *metrics.Table) {
+	if asCSV {
+		if t.Title != "" {
+			fmt.Printf("# %s\n", t.Title)
+		}
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t)
+}
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(scale float64, seed int64)
+}
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.Float64("scale", 0.25, "fraction of the paper's full run counts/durations (0..1]")
+		seed  = flag.Int64("seed", 0, "base seed override (0 = experiment default)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.BoolVar(&asCSV, "csv", false, "emit tables as CSV (for plotting)")
+	flag.Parse()
+
+	exps := registry()
+	if *list || *expID == "" {
+		fmt.Println("experiments (pass -exp <id>):")
+		for _, e := range exps {
+			fmt.Printf("  %-8s %s\n", e.id, e.desc)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *expID == "all" {
+		for _, e := range exps {
+			fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+			e.run(*scale, *seed)
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range exps {
+		if e.id == strings.ToLower(*expID) {
+			e.run(*scale, *seed)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "jtpsim: unknown experiment %q (try -list)\n", *expID)
+	os.Exit(2)
+}
+
+func registry() []experiment {
+	exps := []experiment{
+		{"table1", "default parameter values", func(_ float64, _ int64) {
+			show(experiments.Defaults())
+		}},
+		{"fig3", "adjustable reliability: energy & data delivered (jtp0/10/20)", func(s float64, seed int64) {
+			cfg := experiments.Fig3Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			points := experiments.Fig3(cfg)
+			a, b := experiments.Fig3Tables(points, cfg.TransferPackets)
+			show(a)
+			fmt.Println()
+			show(b)
+		}},
+		{"fig3c", "per-packet link-layer attempt budget at a mid-path node", func(s float64, seed int64) {
+			if seed == 0 {
+				seed = 33
+			}
+			pkts := int(300 * s)
+			if pkts < 100 {
+				pkts = 100
+			}
+			for _, res := range experiments.Fig3c(pkts, seed) {
+				fmt.Printf("Fig 3(c): max link-layer transmissions per packet, node %d, jtp%d\n",
+					res.NodeIndex+1, int(res.LossTolerance*100))
+				fmt.Print(sparkline(res))
+				fmt.Println()
+			}
+		}},
+		{"fig4", "in-network caching gain: JTP vs JNC", func(s float64, seed int64) {
+			cfg := experiments.Fig4Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			points := experiments.Fig4(cfg)
+			perNode := experiments.Fig4b(cfg)
+			a, b := experiments.Fig4Tables(points, perNode)
+			show(a)
+			fmt.Println()
+			show(b)
+		}},
+		{"fig5", "source back-off fairness for locally recovered packets", func(s float64, seed int64) {
+			cfg := experiments.Fig5Defaults()
+			if s < 1 {
+				cfg.Seconds *= s * 2
+				if cfg.Seconds < 600 {
+					cfg.Seconds = 600
+				}
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			show(experiments.Fig5Table(experiments.Fig5(cfg)))
+		}},
+		{"fig6", "source retransmissions vs cache size", func(s float64, seed int64) {
+			cfg := experiments.Fig6Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			show(experiments.Fig6Table(experiments.Fig6(cfg)))
+		}},
+		{"fig7", "constant vs variable feedback: energy & queue drops", func(s float64, seed int64) {
+			cfg := experiments.Fig7Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			a, b := experiments.Fig7Tables(experiments.Fig7(cfg))
+			show(a)
+			fmt.Println()
+			show(b)
+		}},
+		{"fig8", "PI2/MD rate adaptation of two competing flows", func(s float64, seed int64) {
+			cfg := experiments.Fig8Defaults()
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res := experiments.Fig8(cfg)
+			show(experiments.Fig8Table(res, cfg))
+			fmt.Printf("\nmonitor shifts at: %.0fs (flow2 lifetime %.0f-%.0fs)\n",
+				res.Shifts, cfg.Flow2Start, cfg.Flow2End)
+		}},
+		{"fig9", "linear topologies: energy/bit & goodput (jtp/atp/tcp)", func(s float64, seed int64) {
+			cfg := experiments.Fig9Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			a, b := experiments.Fig9Table(experiments.Fig9(cfg))
+			show(a)
+			fmt.Println()
+			show(b)
+		}},
+		{"fig10", "static random topologies: energy/bit & goodput", func(s float64, seed int64) {
+			cfg := experiments.Fig10Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			a, b := experiments.Fig10Tables(experiments.Fig10(cfg))
+			show(a)
+			fmt.Println()
+			show(b)
+		}},
+		{"fig11", "mobility: energy/bit, goodput, local vs e2e recovery", func(s float64, seed int64) {
+			cfg := experiments.Fig11Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			a, b, c := experiments.Fig11Tables(experiments.Fig11(cfg))
+			show(a)
+			fmt.Println()
+			show(b)
+			fmt.Println()
+			show(c)
+		}},
+		{"table2", "JAVeLEN testbed scenario (stable links, Poisson flows)", func(s float64, seed int64) {
+			cfg := experiments.Table2Defaults(s)
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			show(experiments.Table2Table(experiments.Table2(cfg)))
+		}},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].id < exps[j].id })
+	return exps
+}
+
+// sparkline renders the Fig 3(c) attempt trace as rows of packet-index
+// ranges per attempt level.
+func sparkline(res *experiments.Fig3cResult) string {
+	var b strings.Builder
+	counts := map[int]int{}
+	for _, s := range res.Samples {
+		counts[s.Attempts]++
+	}
+	for lvl := 1; lvl <= 5; lvl++ {
+		if counts[lvl] == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", scaleBar(counts[lvl], len(res.Samples)))
+		fmt.Fprintf(&b, "  %d attempts | %-50s (%d pkts)\n", lvl, bar, counts[lvl])
+	}
+	return b.String()
+}
+
+func scaleBar(n, total int) int {
+	if total == 0 {
+		return 0
+	}
+	w := n * 50 / total
+	if w == 0 && n > 0 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,24 @@
+// Package jtp is an implementation and faithful reproduction of JTP, the
+// energy-conscious transport protocol for multi-hop wireless networks of
+// Riga, Matta, Medina, Partridge and Redi (CoNEXT 2007 / BUCS-2007-014),
+// together with the JAVeLEN-style substrate it runs on: a TDMA MAC with
+// transport-controlled link-layer retransmissions, link-state routing,
+// a Gilbert-Elliott wireless channel, in-network packet caches, and the
+// TCP-SACK and ATP baselines the paper compares against.
+//
+// The top-level package is the public API: build a simulated network,
+// open JTP connections with per-flow reliability (loss tolerance), run
+// virtual time forward, and read energy/goodput metrics.
+//
+//	sim, err := jtp.NewSim(jtp.SimConfig{Nodes: 5, Topology: jtp.LinearTopology})
+//	if err != nil { ... }
+//	flow, err := sim.OpenFlow(jtp.FlowConfig{Src: 0, Dst: 4, TotalPackets: 200})
+//	if err != nil { ... }
+//	sim.Run(600) // virtual seconds
+//	fmt.Println(flow.Delivered(), sim.EnergyPerBit())
+//
+// The paper's full evaluation (every table and figure) lives in
+// internal/experiments and is runnable through cmd/jtpsim and the
+// repository benchmarks. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package jtp

@@ -1,0 +1,64 @@
+package jtp_test
+
+import (
+	"fmt"
+
+	jtp "github.com/javelen/jtp"
+)
+
+// Example runs the smallest possible JTP session: a fully reliable
+// 100-packet transfer across a lossy 5-node chain. Deterministic given
+// the seed.
+func Example() {
+	sim, err := jtp.NewSim(jtp.SimConfig{Nodes: 5, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	flow, err := sim.OpenFlow(jtp.FlowConfig{Src: 0, Dst: 4, TotalPackets: 100})
+	if err != nil {
+		panic(err)
+	}
+	sim.RunUntilDone(3600)
+	fmt.Printf("delivered %d/100, completed: %v\n", flow.Delivered(), flow.Completed())
+	// Output: delivered 100/100, completed: true
+}
+
+// ExampleFlowConfig_lossTolerance shows §3's adjustable reliability: the
+// application tolerates 20% loss, so the network spends fewer link-layer
+// transmissions and finishes once 80% is delivered.
+func ExampleFlowConfig_lossTolerance() {
+	sim, err := jtp.NewSim(jtp.SimConfig{Nodes: 6, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	flow, err := sim.OpenFlow(jtp.FlowConfig{
+		Src: 0, Dst: 5,
+		TotalPackets:  100,
+		LossTolerance: 0.20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.RunUntilDone(7200)
+	fmt.Printf("completed: %v, delivered at least 80: %v\n",
+		flow.Completed(), flow.Delivered() >= 80)
+	// Output: completed: true, delivered at least 80: true
+}
+
+// ExampleSim_FailNode scripts an intermediate node failure and shows the
+// transfer recovering once the node revives (§2's failure case).
+func ExampleSim_FailNode() {
+	sim, err := jtp.NewSim(jtp.SimConfig{Nodes: 4, Channel: jtp.StableChannel, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	flow, err := sim.OpenFlow(jtp.FlowConfig{Src: 0, Dst: 3, TotalPackets: 200})
+	if err != nil {
+		panic(err)
+	}
+	sim.At(15, func() { _ = sim.FailNode(1) })    // partition the chain
+	sim.At(120, func() { _ = sim.ReviveNode(1) }) // heal it
+	sim.RunUntilDone(7200)
+	fmt.Printf("survived failure: %v\n", flow.Completed())
+	// Output: survived failure: true
+}

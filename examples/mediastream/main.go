@@ -1,0 +1,72 @@
+// Command mediastream models the application class that motivates JTP's
+// per-packet QoS (paper §1, §3): a media stream whose frames tolerate
+// partial loss, sharing a lossy chain with a fully reliable control
+// transfer. The stream runs at 15% loss tolerance and never requests
+// retransmissions (stale frames are worthless); the control transfer is
+// lt=0 and leans on in-network recovery. JTP serves both from one
+// network, spending per-packet effort proportional to importance.
+//
+//	go run ./examples/mediastream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jtp "github.com/javelen/jtp"
+)
+
+const nodes = 7
+
+func main() {
+	sim, err := jtp.NewSim(jtp.SimConfig{
+		Nodes:    nodes,
+		Topology: jtp.LinearTopology,
+		Seed:     23,
+	})
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+
+	// The media stream: loss-tolerant, no retransmission requests —
+	// each hop spends only the link-layer attempts its tolerance buys.
+	stream, err := sim.OpenFlow(jtp.FlowConfig{
+		Src:                    0,
+		Dst:                    nodes - 1,
+		LossTolerance:          0.15,
+		DisableRetransmissions: true,
+	})
+	if err != nil {
+		log.Fatalf("opening stream: %v", err)
+	}
+
+	// The control transfer: every byte matters.
+	control, err := sim.OpenFlow(jtp.FlowConfig{
+		Src:          nodes - 1,
+		Dst:          0,
+		TotalPackets: 150,
+		StartAt:      60,
+	})
+	if err != nil {
+		log.Fatalf("opening control transfer: %v", err)
+	}
+
+	sim.Run(1500)
+
+	fmt.Println("loss-tolerant media stream + reliable control transfer, 7-node chain")
+	fmt.Println()
+	fmt.Printf("media stream (lt=15%%, no rtx requests):\n")
+	fmt.Printf("  delivered: %d packets, %.2f kbit/s, %d source rtx (by design: 0)\n",
+		stream.Delivered(), stream.GoodputBps()/1e3, stream.SourceRetransmissions())
+	fmt.Printf("control transfer (lt=0%%):\n")
+	fmt.Printf("  completed: %v (at t=%.0fs), %d/150 packets, %d cache-recovered\n",
+		control.Completed(), control.CompletedAt(), control.Delivered(), control.CacheRecovered())
+	fmt.Printf("\nsystem: %.1f mJ total, %.3f uJ per delivered bit\n",
+		sim.TotalEnergy()*1e3, sim.EnergyPerBit()*1e6)
+
+	if control.Completed() && control.Delivered() < 150 {
+		log.Fatal("control transfer completed without full delivery")
+	}
+	fmt.Println("\nthe stream's tolerated losses cost the network nothing extra;")
+	fmt.Println("the control transfer's losses were mostly repaired mid-path (§3, §4).")
+}

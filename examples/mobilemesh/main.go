@@ -1,0 +1,57 @@
+// Command mobilemesh runs JTP over a 15-node mobile mesh (random
+// waypoint, 1 m/s — the paper's "moderate" speed) with three concurrent
+// streams, showing that in-network caching keeps recovering losses
+// locally even while routes change (paper §6.1.2, Fig 11).
+//
+//	go run ./examples/mobilemesh
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jtp "github.com/javelen/jtp"
+)
+
+func main() {
+	sim, err := jtp.NewSim(jtp.SimConfig{
+		Nodes:         15,
+		Topology:      jtp.RandomTopology,
+		MobilitySpeed: 1.0, // m/s, random waypoint: ~47 m legs, ~100 s pauses
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+
+	// Three unbounded streams between distinct corners of the mesh.
+	pairs := [][2]int{{0, 14}, {3, 11}, {7, 2}}
+	var flows []*jtp.Flow
+	for i, p := range pairs {
+		f, err := sim.OpenFlow(jtp.FlowConfig{
+			Src:     p[0],
+			Dst:     p[1],
+			StartAt: float64(i * 20),
+		})
+		if err != nil {
+			log.Fatalf("opening flow %d: %v", i, err)
+		}
+		flows = append(flows, f)
+	}
+
+	const horizon = 1200 // virtual seconds
+	sim.Run(horizon)
+
+	fmt.Printf("15-node mobile mesh after %.0f virtual seconds\n\n", sim.Now())
+	fmt.Printf("%-10s %-12s %-12s %-10s %-10s\n",
+		"flow", "delivered", "kbit/s", "srcRtx", "cacheRec")
+	for i, f := range flows {
+		fmt.Printf("%d->%-7d %-12d %-12.2f %-10d %-10d\n",
+			pairs[i][0], pairs[i][1], f.Delivered(), f.GoodputBps()/1e3,
+			f.SourceRetransmissions(), f.CacheRecovered())
+	}
+	fmt.Printf("\nsystem energy: %.1f mJ   energy/bit: %.3f uJ   cache hits: %d   queue drops: %d\n",
+		sim.TotalEnergy()*1e3, sim.EnergyPerBit()*1e6, sim.CacheHits(), sim.QueueDrops())
+	fmt.Println("\neven under mobility, most losses are repaired by mid-path caches")
+	fmt.Println("instead of end-to-end retransmissions (Fig 11(c)).")
+}

@@ -1,0 +1,121 @@
+package jtp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFailNodeValidation(t *testing.T) {
+	s, err := NewSim(SimConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(99); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad node id accepted: %v", err)
+	}
+	if err := s.ReviveNode(-1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad node id accepted: %v", err)
+	}
+}
+
+func TestFailureAndRecoveryThroughFacade(t *testing.T) {
+	s, err := NewSim(SimConfig{Nodes: 4, Channel: StableChannel, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.OpenFlow(FlowConfig{Src: 0, Dst: 3, TotalPackets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain: failing node 1 partitions 0 from 3; revive later.
+	s.At(20, func() { _ = s.FailNode(1) })
+	s.At(200, func() { _ = s.ReviveNode(1) })
+	if !s.RunUntilDone(7200) {
+		t.Fatalf("transfer did not recover from partition: %d/300", f.Delivered())
+	}
+	if f.CompletedAt() < 200 {
+		t.Fatalf("completed at %.0fs, before the partition healed", f.CompletedAt())
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	s, err := NewSim(SimConfig{Nodes: 4, Channel: StableChannel, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DumpTrace(&strings.Builder{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("dump before enable should fail")
+	}
+	s.EnableTrace(512)
+	f, err := s.OpenFlow(FlowConfig{Src: 0, Dst: 3, TotalPackets: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilDone(600)
+	if !f.Completed() {
+		t.Fatal("transfer incomplete")
+	}
+	var b strings.Builder
+	n, err := s.DumpTrace(&b)
+	if err != nil || n == 0 {
+		t.Fatalf("dump: n=%d err=%v", n, err)
+	}
+	out := b.String()
+	for _, want := range []string{"enqueue", "forward", "deliver"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out[:min(len(out), 500)])
+		}
+	}
+	if !strings.Contains(s.TraceSummary(), "deliver") {
+		t.Fatalf("summary:\n%s", s.TraceSummary())
+	}
+}
+
+func TestDeadlineFlowThroughFacade(t *testing.T) {
+	s, err := NewSim(SimConfig{Nodes: 6, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.OpenFlow(FlowConfig{
+		Src: 0, Dst: 5,
+		LossTolerance:          0.2,
+		DisableRetransmissions: true,
+		DeadlineSeconds:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(600)
+	if f.Delivered() == 0 {
+		t.Fatal("deadline flow delivered nothing")
+	}
+	// Packets that do arrive must have met their deadline budget: with a
+	// 5 s budget on a 5-hop path at these rates, delivery still works.
+	if f.GoodputBps() <= 0 {
+		t.Fatal("zero goodput")
+	}
+}
+
+func TestCachePolicyThroughFacade(t *testing.T) {
+	for _, pol := range []CachePolicy{CacheLRU, CacheFIFO, CacheRandom, CacheEnergyAware} {
+		s, err := NewSim(SimConfig{Nodes: 5, Seed: 17, CacheCapacity: 16, CachePolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := s.OpenFlow(FlowConfig{Src: 0, Dst: 4, TotalPackets: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.RunUntilDone(7200) {
+			t.Fatalf("policy %d: transfer incomplete (%d/80)", pol, f.Delivered())
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+// Package cache implements the in-network packet cache of paper §4:
+// every intermediate node temporarily stores traversing DATA packets so a
+// lost packet can be recovered "as close to the receiver as possible"
+// instead of from the source. The paper's eviction policy is Least
+// Recently Used — "the packet evicted from the cache is the least
+// recently manipulated" — where both insertion and a SNACK-triggered
+// lookup count as manipulation.
+//
+// The paper leaves "a detailed study of different cache replacement
+// strategies" to future work (§4) and names "energy-awareness in
+// cache/memory management" as ongoing work (§8); this package implements
+// those extensions as alternative policies: FIFO, Random, and
+// EnergyAware (keep the packets the network has invested the most energy
+// in). The ablation benchmarks compare them.
+package cache
+
+import (
+	"container/list"
+	"math/rand"
+
+	"github.com/javelen/jtp/internal/packet"
+)
+
+// Policy selects the replacement strategy.
+type Policy int
+
+const (
+	// LRU evicts the least recently manipulated entry (the paper's
+	// policy, §4).
+	LRU Policy = iota
+	// FIFO evicts the oldest inserted entry regardless of use.
+	FIFO
+	// Random evicts a uniformly random entry.
+	Random
+	// EnergyAware evicts the entry whose packet has the least
+	// accumulated energy-used: the cheapest for the network to deliver
+	// again from the source (§8 future work).
+	EnergyAware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	case EnergyAware:
+		return "energy-aware"
+	}
+	return "lru"
+}
+
+// Key identifies a cached packet: the flow's endpoints and id plus the
+// sequence number. Endpoints are included so flow-id collisions between
+// node pairs cannot alias.
+type Key struct {
+	Src  packet.NodeID
+	Dst  packet.NodeID
+	Flow packet.FlowID
+	Seq  uint32
+}
+
+// KeyOf builds the cache key for a DATA packet.
+func KeyOf(p *packet.Packet) Key {
+	return Key{Src: p.Src, Dst: p.Dst, Flow: p.Flow, Seq: p.Seq}
+}
+
+// Stats counts cache activity for the experiment harness (Fig 6, Fig 11c).
+type Stats struct {
+	Inserts   uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Updates   uint64 // re-insert of an already-cached key
+}
+
+// Cache is a fixed-capacity packet store. The zero value is unusable;
+// construct with New or NewWithPolicy. Capacity 0 disables the cache
+// entirely (the JNC configuration of §4.1).
+type Cache struct {
+	capacity int
+	policy   Policy
+	ll       *list.List // front = most recently manipulated/inserted
+	items    map[Key]*list.Element
+	stats    Stats
+	rng      *rand.Rand // Random policy only
+}
+
+type entry struct {
+	key Key
+	pkt *packet.Packet
+}
+
+// New returns an LRU cache holding at most capacity packets.
+func New(capacity int) *Cache { return NewWithPolicy(capacity, LRU, 1) }
+
+// NewWithPolicy returns a cache with the given replacement policy. The
+// seed drives the Random policy deterministically (pass the node id).
+func NewWithPolicy(capacity int, policy Policy, seed int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Policy returns the replacement policy in use.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached packets.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Insert stores a copy of the packet, evicting the least recently
+// manipulated entry if full. Re-inserting an existing key refreshes its
+// recency and contents. Inserting into a zero-capacity cache is a no-op.
+func (c *Cache) Insert(p *packet.Packet) {
+	if c.capacity <= 0 {
+		return
+	}
+	k := KeyOf(p)
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).pkt = p.Clone()
+		if c.policy == LRU {
+			c.ll.MoveToFront(el)
+		}
+		c.stats.Updates++
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		c.evict()
+	}
+	el := c.ll.PushFront(&entry{key: k, pkt: p.Clone()})
+	c.items[k] = el
+	c.stats.Inserts++
+}
+
+// Lookup returns a copy of the cached packet for the key. Under LRU it
+// refreshes the entry's recency ("least recently manipulated") — a
+// packet just served for one SNACK is likely to be requested again if
+// the retransmission is lost.
+func (c *Cache) Lookup(k Key) (*packet.Packet, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if c.policy == LRU {
+		c.ll.MoveToFront(el)
+	}
+	c.stats.Hits++
+	return el.Value.(*entry).pkt.Clone(), true
+}
+
+// Contains reports whether the key is cached without touching recency or
+// stats.
+func (c *Cache) Contains(k Key) bool {
+	_, ok := c.items[k]
+	return ok
+}
+
+// Remove deletes an entry if present (e.g. on flow teardown).
+func (c *Cache) Remove(k Key) bool {
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, k)
+	return true
+}
+
+// RemoveFlow deletes every entry belonging to the given flow and returns
+// how many were removed. Caches are soft state; this models expiry on
+// connection close.
+func (c *Cache) RemoveFlow(src, dst packet.NodeID, flow packet.FlowID) int {
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.Src == src && e.key.Dst == dst && e.key.Flow == flow {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+}
+
+// evict removes one entry according to the policy.
+func (c *Cache) evict() {
+	var el *list.Element
+	switch c.policy {
+	case Random:
+		idx := c.rng.Intn(c.ll.Len())
+		el = c.ll.Front()
+		for i := 0; i < idx; i++ {
+			el = el.Next()
+		}
+	case EnergyAware:
+		// Evict the cheapest-to-replace packet (least energy invested).
+		min := 0.0
+		for e := c.ll.Front(); e != nil; e = e.Next() {
+			used := e.Value.(*entry).pkt.EnergyUsed
+			if el == nil || used < min {
+				el, min = e, used
+			}
+		}
+	default: // LRU and FIFO both evict the back of the list
+		el = c.ll.Back()
+	}
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.stats.Evictions++
+}
+
+// OldestKey returns the key that would be evicted next, for tests.
+func (c *Cache) OldestKey() (Key, bool) {
+	el := c.ll.Back()
+	if el == nil {
+		return Key{}, false
+	}
+	return el.Value.(*entry).key, true
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCalibrationFig9Mini runs a scaled-down Fig 9 and logs the shape so
+// the comparative ordering (JTP < ATP < TCP on energy/bit, JTP highest
+// goodput) can be inspected during development and regression-checked.
+func TestCalibrationFig9Mini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cfg := Fig9Config{
+		Sizes:     []int{4, 8},
+		Runs:      3,
+		Seconds:   900,
+		Warmup:    100,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      7,
+	}
+	points := Fig9(cfg)
+	et, gt := Fig9Table(points)
+	t.Logf("\n%s\n%s", et, gt)
+
+	byKey := map[string]*Fig9Point{}
+	for _, p := range points {
+		byKey[string(p.Proto)+"-"+strconv.Itoa(p.Nodes)] = p
+	}
+	for _, n := range cfg.Sizes {
+		jtp := byKey["jtp-"+strconv.Itoa(n)]
+		atp := byKey["atp-"+strconv.Itoa(n)]
+		tcp := byKey["tcp-"+strconv.Itoa(n)]
+		if jtp.EnergyPerBit.Mean() >= tcp.EnergyPerBit.Mean() {
+			t.Errorf("n=%d: jtp energy/bit %.3g >= tcp %.3g (expected jtp cheaper)",
+				n, jtp.EnergyPerBit.Mean(), tcp.EnergyPerBit.Mean())
+		}
+		if jtp.EnergyPerBit.Mean() >= atp.EnergyPerBit.Mean() {
+			t.Errorf("n=%d: jtp energy/bit %.3g >= atp %.3g (expected jtp cheaper)",
+				n, jtp.EnergyPerBit.Mean(), atp.EnergyPerBit.Mean())
+		}
+		if jtp.GoodputBps.Mean() <= tcp.GoodputBps.Mean() {
+			t.Errorf("n=%d: jtp goodput %.3g <= tcp %.3g (expected jtp higher)",
+				n, jtp.GoodputBps.Mean(), tcp.GoodputBps.Mean())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestDiagTCPLongRun dissects the TCP-SACK baseline on a 10-node chain.
+func TestDiagTCPLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	rec := Run(Scenario{
+		Name:    "diag-tcp",
+		Proto:   TCP,
+		Topo:    Linear,
+		Nodes:   10,
+		Seconds: 900,
+		Seed:    7,
+		Flows: []FlowSpec{
+			{Src: 0, Dst: 9, StartAt: 100},
+			{Src: 9, Dst: 0, StartAt: 130},
+		},
+	})
+	for i, f := range rec.Flows {
+		t.Logf("flow%d: sent=%d rtx=%d acks=%d uniq=%d dup=%d goodput=%.3fkbps",
+			i+1, f.DataSent, f.SourceRetransmissions, f.AcksSent, f.UniqueDelivered,
+			f.Duplicates, f.GoodputBps(rec.Seconds)/1e3)
+	}
+	t.Logf("tcp: e/bit=%.3guJ energy=%.2fJ qdrops=%d retryDrops=%d",
+		rec.EnergyPerBit()*1e6, rec.TotalEnergy, rec.QueueDrops, rec.RetryDrops)
+
+	recJ := Run(Scenario{
+		Name: "diag-jtp10", Proto: JTP, Topo: Linear, Nodes: 10, Seconds: 900, Seed: 7,
+		Flows: []FlowSpec{{Src: 0, Dst: 9, StartAt: 100}, {Src: 9, Dst: 0, StartAt: 130}},
+	})
+	t.Logf("jtp: e/bit=%.3guJ goodput=%.3fkbps", recJ.EnergyPerBit()*1e6, recJ.MeanGoodputBps()/1e3)
+	t.Logf("ratio tcp/jtp e/bit = %.2f", rec.EnergyPerBit()/recJ.EnergyPerBit())
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/javelen/jtp/internal/core"
+	"github.com/javelen/jtp/internal/ijtp"
+	"github.com/javelen/jtp/internal/packet"
+)
+
+// TestDiagJTPLongRun dissects one long JTP run on an 8-node chain:
+// rate trajectory, feedback volume, cache activity, drop reasons.
+// Purely diagnostic; it only fails on gross dysfunction.
+func TestDiagJTPLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	var conns []*core.Connection
+	var plugins []*ijtp.Plugin
+	rec := RunWithHooks(Scenario{
+		Name:    "diag",
+		Proto:   JTP,
+		Topo:    Linear,
+		Nodes:   8,
+		Seconds: 900,
+		Seed:    7,
+		Flows: []FlowSpec{
+			{Src: 0, Dst: 7, StartAt: 100},
+			{Src: 7, Dst: 0, StartAt: 130},
+		},
+	}, Hooks{
+		JTPConn: func(i int, c *core.Connection) { conns = append(conns, c) },
+		Plugin:  func(id packet.NodeID, pl *ijtp.Plugin) { plugins = append(plugins, pl) },
+	})
+
+	for i, c := range conns {
+		ss := c.Sender.Stats()
+		rs := c.Receiver.Stats()
+		t.Logf("flow%d: sent=%d srcRtx=%d recovRep=%d backoff=%.1fs toBackoffs=%d acksRx=%d | uniq=%d dup=%d acksTx=%d early=%d snack=%d cacheSeen=%d rate=%.2f",
+			i+1, ss.DataSent, ss.SourceRetransmissions, ss.RecoveredReported, ss.BackoffTime,
+			ss.TimeoutBackoffs, ss.AcksReceived,
+			rs.UniqueReceived, rs.Duplicates, rs.AcksSent, rs.EarlyFeedbacks, rs.SnackRequested,
+			rs.CacheRecoveredSeen, c.Receiver.Rate())
+	}
+	var served, eDrops uint64
+	for _, pl := range plugins {
+		served += pl.Counters().CacheServed
+		eDrops += pl.Counters().EnergyDrops
+	}
+	t.Logf("run: energy=%.3fJ e/bit=%.3guJ goodput=%.3fkbps qdrops=%d retryDrops=%d cacheServed=%d energyDrops=%d",
+		rec.TotalEnergy, rec.EnergyPerBit()*1e6, rec.MeanGoodputBps()/1e3,
+		rec.QueueDrops, rec.RetryDrops, served, eDrops)
+	if rec.MeanGoodputBps() <= 0 {
+		t.Fatal("no goodput")
+	}
+}

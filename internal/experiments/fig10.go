@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Fig10Point is one (protocol, netSize) cell of Fig 10: static random
+// topologies with 5 simultaneous flows.
+type Fig10Point struct {
+	Proto        Protocol
+	Nodes        int
+	EnergyPerBit stats.Running
+	GoodputBps   stats.Running
+}
+
+// Fig10Config parameterizes the static random-topology comparison
+// (§6.1.2): nodes uniformly placed in a field sized for connectivity,
+// 5 flows with random endpoints, 10 runs of 4000 s. All protocols see
+// the same placements and flow endpoints in the same run (same seed).
+type Fig10Config struct {
+	Sizes     []int
+	Flows     int
+	Runs      int
+	Seconds   float64
+	Warmup    float64
+	Protocols []Protocol
+	Seed      int64
+}
+
+// Fig10Defaults returns the paper's parameters at the given scale.
+func Fig10Defaults(scale float64) Fig10Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(10 * scale)
+	if runs < 2 {
+		runs = 2
+	}
+	secs := 4000 * scale
+	if secs < 500 {
+		secs = 500
+	}
+	return Fig10Config{
+		Sizes:     []int{10, 15, 20, 25},
+		Flows:     5,
+		Runs:      runs,
+		Seconds:   secs,
+		Warmup:    100,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      101,
+	}
+}
+
+// Fig10 reproduces Figs 10(a) and (b): energy per delivered bit and mean
+// goodput over static random topologies.
+func Fig10(cfg Fig10Config) []*Fig10Point {
+	var out []*Fig10Point
+	for _, proto := range cfg.Protocols {
+		for _, n := range cfg.Sizes {
+			pt := &Fig10Point{Proto: proto, Nodes: n}
+			for run := 0; run < cfg.Runs; run++ {
+				// Same seed across protocols: same node placement and
+				// flow endpoints, "all the protocols run under the same
+				// conditions in the same run" (§6.1.2).
+				seed := cfg.Seed + int64(run)*8123 + int64(n)
+				rec := runFig10Once(proto, n, seed, cfg)
+				pt.EnergyPerBit.Add(rec.EnergyPerBit())
+				pt.GoodputBps.Add(rec.MeanGoodputBps())
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+func runFig10Once(proto Protocol, n int, seed int64, cfg Fig10Config) *metrics.RunRecord {
+	flows := make([]FlowSpec, cfg.Flows)
+	for i := range flows {
+		flows[i] = FlowSpec{
+			Src: -1, Dst: -1, // random endpoints drawn from the run's RNG
+			StartAt: cfg.Warmup + float64(i)*10,
+		}
+	}
+	return Run(Scenario{
+		Name:    "fig10",
+		Proto:   proto,
+		Topo:    Random,
+		Nodes:   n,
+		Seconds: cfg.Seconds,
+		Seed:    seed,
+		Flows:   flows,
+	})
+}
+
+// Fig10Tables renders both panels.
+func Fig10Tables(points []*Fig10Point) (energyTbl, goodputTbl *metrics.Table) {
+	energyTbl = metrics.NewTable(
+		"Fig 10(a): energy per delivered bit, static random topologies (uJ/bit, 95% CI)",
+		"netSize", "proto", "uJ/bit", "±CI")
+	goodputTbl = metrics.NewTable(
+		"Fig 10(b): average flow goodput, static random topologies (kbps, 95% CI)",
+		"netSize", "proto", "kbps", "±CI")
+	for _, p := range points {
+		energyTbl.AddRow(p.Nodes, string(p.Proto),
+			p.EnergyPerBit.Mean()*1e6, p.EnergyPerBit.CI95()*1e6)
+		goodputTbl.AddRow(p.Nodes, string(p.Proto),
+			p.GoodputBps.Mean()/1e3, p.GoodputBps.CI95()/1e3)
+	}
+	return energyTbl, goodputTbl
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Fig4Point is one (protocol, netSize) cell of Fig 4(a): energy per
+// delivered bit for JTP vs JNC (no caching).
+type Fig4Point struct {
+	Proto        Protocol
+	Nodes        int
+	EnergyPerBit stats.Running
+}
+
+// Fig4Config parameterizes the caching-gain comparison (§4.1).
+type Fig4Config struct {
+	// Sizes are chain lengths (paper: 3–9).
+	Sizes []int
+	// TransferPackets is the fixed transfer size per run.
+	TransferPackets int
+	// Runs per cell.
+	Runs int
+	// Seconds bounds each run.
+	Seconds float64
+	// Seed is the base seed.
+	Seed int64
+	// PerNodeSize is the chain length for the per-node energy breakdown
+	// of Fig 4(b) (paper: 7).
+	PerNodeSize int
+}
+
+// Fig4Defaults returns the experiment at the given scale.
+func Fig4Defaults(scale float64) Fig4Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(10 * scale)
+	if runs < 2 {
+		runs = 2
+	}
+	pkts := int(400 * scale)
+	if pkts < 80 {
+		pkts = 80
+	}
+	return Fig4Config{
+		Sizes:           []int{3, 4, 5, 6, 7, 8, 9},
+		TransferPackets: pkts,
+		Runs:            runs,
+		Seconds:         4000,
+		Seed:            41,
+		PerNodeSize:     7,
+	}
+}
+
+// Fig4 reproduces Fig 4(a): energy per delivered bit for JTP with and
+// without in-network caching over linear chains.
+func Fig4(cfg Fig4Config) []*Fig4Point {
+	var out []*Fig4Point
+	for _, proto := range []Protocol{JTP, JNC} {
+		for _, n := range cfg.Sizes {
+			pt := &Fig4Point{Proto: proto, Nodes: n}
+			for run := 0; run < cfg.Runs; run++ {
+				rec := runFig4Once(proto, n, cfg, cfg.Seed+int64(run)*6143)
+				pt.EnergyPerBit.Add(rec.EnergyPerBit())
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+func runFig4Once(proto Protocol, n int, cfg Fig4Config, seed int64) *metrics.RunRecord {
+	return Run(Scenario{
+		Name:    "fig4",
+		Proto:   proto,
+		Topo:    Linear,
+		Nodes:   n,
+		Seconds: cfg.Seconds,
+		Seed:    seed,
+		Flows: []FlowSpec{{
+			Src: 0, Dst: n - 1, StartAt: 50,
+			TotalPackets: cfg.TransferPackets,
+		}},
+	})
+}
+
+// Fig4b reproduces Fig 4(b): per-node energy in a linear chain
+// (paper: 7 nodes), averaged over runs, for JTP and JNC. The caching
+// variant should spread retransmission effort more evenly over mid-path
+// nodes ("23% ... more fair allocation to midpath nodes").
+func Fig4b(cfg Fig4Config) map[Protocol][]stats.Running {
+	out := make(map[Protocol][]stats.Running)
+	n := cfg.PerNodeSize
+	if n <= 0 {
+		n = 7
+	}
+	for _, proto := range []Protocol{JTP, JNC} {
+		per := make([]stats.Running, n)
+		for run := 0; run < cfg.Runs; run++ {
+			rec := runFig4Once(proto, n, cfg, cfg.Seed+int64(run)*6143)
+			for i, e := range rec.PerNodeEnergy {
+				per[i].Add(e)
+			}
+		}
+		out[proto] = per
+	}
+	return out
+}
+
+// Fig4Tables renders both panels.
+func Fig4Tables(points []*Fig4Point, perNode map[Protocol][]stats.Running) (a, b *metrics.Table) {
+	a = metrics.NewTable(
+		"Fig 4(a): energy per delivered bit, JTP vs JNC (uJ/bit)",
+		"netSize", "proto", "uJ/bit", "±CI", "jnc/jtp")
+	byNodes := map[int]map[Protocol]*Fig4Point{}
+	for _, p := range points {
+		if byNodes[p.Nodes] == nil {
+			byNodes[p.Nodes] = map[Protocol]*Fig4Point{}
+		}
+		byNodes[p.Nodes][p.Proto] = p
+	}
+	for _, p := range points {
+		ratio := ""
+		if p.Proto == JNC {
+			if jtpPt := byNodes[p.Nodes][JTP]; jtpPt != nil && jtpPt.EnergyPerBit.Mean() > 0 {
+				ratio = fmtRatio(p.EnergyPerBit.Mean() / jtpPt.EnergyPerBit.Mean())
+			}
+		}
+		a.AddRow(p.Nodes, string(p.Proto), p.EnergyPerBit.Mean()*1e6, p.EnergyPerBit.CI95()*1e6, ratio)
+	}
+	b = metrics.NewTable(
+		"Fig 4(b): per-node energy, linear chain (mJ)",
+		"node", "jtp(mJ)", "jnc(mJ)")
+	if perNode != nil {
+		jtpPer := perNode[JTP]
+		jncPer := perNode[JNC]
+		for i := range jtpPer {
+			b.AddRow(i+1, jtpPer[i].Mean()*1e3, jncPer[i].Mean()*1e3)
+		}
+	}
+	return a, b
+}
+
+func fmtRatio(r float64) string { return fmt.Sprintf("%.2fx", r) }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Fig6Point is one (netSize, feedback, cacheSize) cell: the number of
+// source (end-to-end) retransmissions for a fixed transfer.
+type Fig6Point struct {
+	Nodes int
+	// FeedbackLabel names the feedback regime ("variable" or a constant
+	// rate like "0.1/s").
+	FeedbackLabel string
+	CacheSize     int
+	SourceRtx     stats.Running
+	CacheHits     stats.Running
+}
+
+// Fig6Config parameterizes the cache-size sweep (§5.1, Fig 6): source
+// retransmissions drop sharply once caches are large enough to hold
+// missing packets until the next retransmission request.
+type Fig6Config struct {
+	Sizes           []int
+	CacheSizes      []int
+	ConstantRates   []float64 // additional constant-feedback curves
+	TransferPackets int
+	Runs            int
+	Seconds         float64
+	Seed            int64
+}
+
+// Fig6Defaults returns the experiment at the given scale.
+func Fig6Defaults(scale float64) Fig6Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(8 * scale)
+	if runs < 2 {
+		runs = 2
+	}
+	pkts := int(400 * scale)
+	if pkts < 100 {
+		pkts = 100
+	}
+	return Fig6Config{
+		Sizes:           []int{4, 8},
+		CacheSizes:      []int{1, 2, 4, 8, 16, 32, 64, 128},
+		ConstantRates:   []float64{0.1},
+		TransferPackets: pkts,
+		Runs:            runs,
+		Seconds:         4000,
+		Seed:            61,
+	}
+}
+
+// Fig6 reproduces Fig 6: source retransmissions vs cache size for
+// several network sizes and feedback regimes.
+func Fig6(cfg Fig6Config) []*Fig6Point {
+	type regime struct {
+		label string
+		rate  float64 // 0 = variable
+	}
+	regimes := []regime{{label: "variable"}}
+	for _, r := range cfg.ConstantRates {
+		regimes = append(regimes, regime{label: fmtRate(r), rate: r})
+	}
+	var out []*Fig6Point
+	for _, n := range cfg.Sizes {
+		for _, reg := range regimes {
+			for _, cs := range cfg.CacheSizes {
+				pt := &Fig6Point{Nodes: n, FeedbackLabel: reg.label, CacheSize: cs}
+				for run := 0; run < cfg.Runs; run++ {
+					rec := Run(Scenario{
+						Name:          "fig6",
+						Proto:         JTP,
+						Topo:          Linear,
+						Nodes:         n,
+						Seconds:       cfg.Seconds,
+						Seed:          cfg.Seed + int64(run)*3571,
+						CacheCapacity: cs,
+						Flows: []FlowSpec{{
+							Src: 0, Dst: n - 1, StartAt: 50,
+							TotalPackets:         cfg.TransferPackets,
+							ConstantFeedbackRate: reg.rate,
+						}},
+					})
+					pt.SourceRtx.Add(float64(rec.Flows[0].SourceRetransmissions))
+					pt.CacheHits.Add(float64(rec.CacheHits))
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}
+
+func fmtRate(r float64) string {
+	return strconv.FormatFloat(r, 'g', -1, 64) + "/s"
+}
+
+// Fig6Table renders the sweep.
+func Fig6Table(points []*Fig6Point) *metrics.Table {
+	t := metrics.NewTable(
+		"Fig 6: source retransmissions vs cache size (packets)",
+		"netSize", "feedback", "cacheSize", "sourceRtx", "±CI", "cacheHits")
+	for _, p := range points {
+		t.AddRow(p.Nodes, p.FeedbackLabel, p.CacheSize,
+			p.SourceRtx.Mean(), p.SourceRtx.CI95(), p.CacheHits.Mean())
+	}
+	return t
+}

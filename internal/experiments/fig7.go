@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"github.com/javelen/jtp/internal/core"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Fig7Point is one feedback-rate cell: total energy and queue drops with
+// a long-lived flow competing against short-lived flows on an 8-node
+// chain.
+type Fig7Point struct {
+	// FeedbackRate is the constant feedback rate in packets/s; 0 marks
+	// the variable-feedback reference.
+	FeedbackRate float64
+	EnergyJ      stats.Running
+	// EnergyPerBit normalizes by delivered data: feedback packets are
+	// pure overhead, so waste shows regardless of how much capacity the
+	// feedback stream itself stole from data.
+	EnergyPerBit stats.Running
+	QueueDrops   stats.Running
+}
+
+// Fig7Config parameterizes the feedback-rate experiment (§5.1, Fig 7):
+// high constant feedback wastes ACK energy; low constant feedback reacts
+// too slowly to congestion and drops packets in queues; variable-rate
+// feedback gets both right.
+//
+// The experiment runs in the paper's operating regime — per-flow rates
+// around one packet per second (the paper's goodputs are 0.1–1.4 kbps) —
+// by using a slower TDMA slot, so feedback traffic is a visible share of
+// total energy and queues are tight relative to reaction times.
+type Fig7Config struct {
+	Nodes int
+	// Rates are the constant feedback rates swept (paper: ~0.05–0.5/s).
+	Rates []float64
+	// ShortFlows is the number of short-lived transfers injected, in
+	// overlapping pairs so each onset is a sharp congestion event.
+	ShortFlows int
+	// ShortPackets is each short transfer's size.
+	ShortPackets int
+	// LongPackets is the long-lived transfer's size.
+	LongPackets int
+	// SlotMs is the TDMA slot in milliseconds (paper-regime default 100).
+	SlotMs float64
+	// QueueCap is the per-node MAC queue in frames.
+	QueueCap int
+	Runs     int
+	Seconds  float64
+	Seed     int64
+}
+
+// Fig7Defaults returns the experiment at the given scale.
+func Fig7Defaults(scale float64) Fig7Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(10 * scale)
+	if runs < 3 {
+		runs = 3
+	}
+	return Fig7Config{
+		Nodes:        8,
+		Rates:        []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5},
+		ShortFlows:   4,
+		ShortPackets: 80,
+		LongPackets:  1500,
+		SlotMs:       50,
+		QueueCap:     20,
+		Runs:         runs,
+		Seconds:      1500,
+		Seed:         71,
+	}
+}
+
+// Fig7 reproduces Fig 7: total energy (a) and queue drops (b) as a
+// function of the feedback rate, plus the variable-feedback reference
+// point (FeedbackRate == 0 in the returned slice).
+func Fig7(cfg Fig7Config) []*Fig7Point {
+	rates := append([]float64{0}, cfg.Rates...) // 0 = variable reference
+	var out []*Fig7Point
+	for _, rate := range rates {
+		pt := &Fig7Point{FeedbackRate: rate}
+		for run := 0; run < cfg.Runs; run++ {
+			rec := runFig7Once(cfg, rate, cfg.Seed+int64(run)*2711)
+			pt.EnergyJ.Add(rec.TotalEnergy)
+			pt.EnergyPerBit.Add(rec.EnergyPerBit())
+			pt.QueueDrops.Add(float64(rec.QueueDrops))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func runFig7Once(cfg Fig7Config, fbRate float64, seed int64) *metrics.RunRecord {
+	n := cfg.Nodes
+	// Only the long-lived flow's feedback regime is varied (the paper
+	// varies "the rate of constant-rate feedback" of the flow whose
+	// back-off behaviour is under study); the short-lived flows always
+	// run default JTP.
+	// The long-lived flow is a large fixed transfer spanning most of the
+	// run, so the data volume is the same in every cell and the energy
+	// difference across cells is the feedback traffic itself.
+	flows := []FlowSpec{{
+		Src: 0, Dst: n - 1, StartAt: 50,
+		TotalPackets:         cfg.LongPackets,
+		ConstantFeedbackRate: fbRate,
+	}}
+	// Short-lived flows arrive in overlapping pairs spread over the run:
+	// each pair's onset is a sharp congestion event the long-lived
+	// sender must be told to back off from.
+	pairs := (cfg.ShortFlows + 1) / 2
+	span := (cfg.Seconds - 400) / float64(pairs)
+	for i := 0; i < cfg.ShortFlows; i++ {
+		pair := i / 2
+		src := 1 + (i % (n - 2))
+		dst := n - 1 - (i % 2)
+		if dst <= src {
+			dst = n - 1
+		}
+		flows = append(flows, FlowSpec{
+			Src: src, Dst: dst,
+			StartAt:      200 + float64(pair)*span + float64(i%2)*5,
+			TotalPackets: cfg.ShortPackets,
+			InitialRate:  1.2,
+		})
+	}
+	macCfg := mac.Defaults()
+	if cfg.SlotMs > 0 {
+		macCfg.SlotDuration = sim.DurationOf(cfg.SlotMs / 1e3)
+	}
+	if cfg.QueueCap > 0 {
+		macCfg.QueueCap = cfg.QueueCap
+	}
+	return Run(Scenario{
+		Name:    "fig7",
+		Proto:   JTP,
+		Topo:    Linear,
+		Nodes:   n,
+		Seconds: cfg.Seconds,
+		Seed:    seed,
+		MAC:     &macCfg,
+		Flows:   flows,
+		// Cap rates near the slow MAC's per-node share so the data
+		// volume is comparable across feedback regimes and the ACK
+		// energy difference is what the experiment measures.
+		JTPTune: func(c *core.Config) {
+			c.MaxRate = 1.6
+			c.InitialRate = 1.6
+		},
+	})
+}
+
+// Fig7Tables renders both panels; the variable-feedback row is the
+// horizontal reference line of the paper's plots.
+func Fig7Tables(points []*Fig7Point) (energyTbl, dropsTbl *metrics.Table) {
+	energyTbl = metrics.NewTable(
+		"Fig 7(a): energy vs feedback rate",
+		"feedback", "energy(mJ)", "±CI", "uJ/bit", "±CI")
+	dropsTbl = metrics.NewTable(
+		"Fig 7(b): queue drops vs feedback rate",
+		"feedback", "drops", "±CI")
+	for _, p := range points {
+		label := "variable"
+		if p.FeedbackRate > 0 {
+			label = fmtRate(p.FeedbackRate)
+		}
+		energyTbl.AddRow(label, p.EnergyJ.Mean()*1e3, p.EnergyJ.CI95()*1e3,
+			p.EnergyPerBit.Mean()*1e6, p.EnergyPerBit.CI95()*1e6)
+		dropsTbl.AddRow(label, p.QueueDrops.Mean(), p.QueueDrops.CI95())
+	}
+	return energyTbl, dropsTbl
+}

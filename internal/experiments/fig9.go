@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Fig9Point is one (protocol, netSize) cell of Fig 9: energy per
+// delivered bit and mean goodput with 95% confidence intervals over
+// independent runs.
+type Fig9Point struct {
+	Proto        Protocol
+	Nodes        int
+	EnergyPerBit stats.Running // joules/bit across runs
+	GoodputBps   stats.Running // bits/s across runs
+}
+
+// Fig9Config parameterizes the linear-topology comparison (§6.1.1):
+// two competing flows with endpoints at the two ends of the chain,
+// Gilbert-Elliott links (10% bad time, 3 s bad periods), 20 runs of
+// 2500 s with flows starting randomly after a 900 s warm-up.
+type Fig9Config struct {
+	// Sizes are the chain lengths (paper: 2–10).
+	Sizes []int
+	// Runs is the number of independent seeds per cell (paper: 20).
+	Runs int
+	// Seconds is the run length (paper: 2500).
+	Seconds float64
+	// Warmup is when flows may start (paper: 900).
+	Warmup float64
+	// Protocols compared (paper: jtp, atp, tcp).
+	Protocols []Protocol
+	// Seed is the base seed; run i uses Seed+i.
+	Seed int64
+}
+
+// Fig9Defaults returns the paper's parameters, scaled by the given
+// factor in (0,1] for quicker runs (1 = full paper scale).
+func Fig9Defaults(scale float64) Fig9Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(20 * scale)
+	if runs < 2 {
+		runs = 2
+	}
+	secs := 2500 * scale
+	if secs < 400 {
+		secs = 400
+	}
+	warm := 900 * scale
+	if warm < 60 {
+		warm = 60
+	}
+	return Fig9Config{
+		Sizes:     []int{2, 4, 6, 8, 10},
+		Runs:      runs,
+		Seconds:   secs,
+		Warmup:    warm,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      42,
+	}
+}
+
+// Fig9 reproduces Fig 9(a) energy/bit and Fig 9(b) goodput for linear
+// topologies.
+func Fig9(cfg Fig9Config) []*Fig9Point {
+	var out []*Fig9Point
+	for _, proto := range cfg.Protocols {
+		for _, n := range cfg.Sizes {
+			pt := &Fig9Point{Proto: proto, Nodes: n}
+			for run := 0; run < cfg.Runs; run++ {
+				seed := cfg.Seed + int64(run)*1009
+				rec := runFig9Once(proto, n, seed, cfg)
+				pt.EnergyPerBit.Add(rec.EnergyPerBit())
+				pt.GoodputBps.Add(rec.MeanGoodputBps())
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// runFig9Once runs one (protocol, size, seed) cell: two competing
+// long-lived flows spanning the chain in both directions, started
+// randomly within 100 s after warm-up.
+func runFig9Once(proto Protocol, n int, seed int64, cfg Fig9Config) *metrics.RunRecord {
+	jitter1 := float64(seed%97) / 97.0 * 100
+	jitter2 := float64(seed%89) / 89.0 * 100
+	return Run(Scenario{
+		Name:    "fig9",
+		Proto:   proto,
+		Topo:    Linear,
+		Nodes:   n,
+		Seconds: cfg.Seconds,
+		Seed:    seed,
+		Flows: []FlowSpec{
+			{Src: 0, Dst: n - 1, StartAt: cfg.Warmup + jitter1},
+			{Src: n - 1, Dst: 0, StartAt: cfg.Warmup + jitter2},
+		},
+	})
+}
+
+// Fig9Table renders the points as two paper-style tables.
+func Fig9Table(points []*Fig9Point) (energyTbl, goodputTbl *metrics.Table) {
+	energyTbl = metrics.NewTable(
+		"Fig 9(a): energy per delivered bit, linear topologies (uJ/bit, 95% CI)",
+		"netSize", "proto", "uJ/bit", "±CI")
+	goodputTbl = metrics.NewTable(
+		"Fig 9(b): average flow goodput, linear topologies (kbps, 95% CI)",
+		"netSize", "proto", "kbps", "±CI")
+	for _, p := range points {
+		energyTbl.AddRow(p.Nodes, string(p.Proto),
+			p.EnergyPerBit.Mean()*1e6, p.EnergyPerBit.CI95()*1e6)
+		goodputTbl.AddRow(p.Nodes, string(p.Proto),
+			p.GoodputBps.Mean()/1e3, p.GoodputBps.CI95()/1e3)
+	}
+	return energyTbl, goodputTbl
+}

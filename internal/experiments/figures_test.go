@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The tests in this file run scaled-down versions of every experiment and
+// assert the paper's qualitative shapes — the reproduction criteria of
+// DESIGN.md §3 — rather than absolute numbers.
+
+func TestFig3ReliabilityShape(t *testing.T) {
+	cfg := Fig3Config{
+		Sizes:           []int{4, 6},
+		Tolerances:      []float64{0, 0.20},
+		TransferPackets: 120,
+		Runs:            3,
+		Seconds:         3000,
+		Seed:            31,
+	}
+	points := Fig3(cfg)
+	et, dt := Fig3Tables(points, cfg.TransferPackets)
+	t.Logf("\n%s\n%s", et, dt)
+
+	get := func(lt float64, n int) *Fig3Point {
+		for _, p := range points {
+			if p.LossTolerance == lt && p.Nodes == n {
+				return p
+			}
+		}
+		t.Fatalf("missing point lt=%v n=%d", lt, n)
+		return nil
+	}
+	for _, n := range cfg.Sizes {
+		full := get(0, n)
+		loose := get(0.20, n)
+		if full.EnergyJ.Mean() <= loose.EnergyJ.Mean() {
+			t.Errorf("n=%d: jtp0 energy %.4f <= jtp20 %.4f (higher reliability must cost more)",
+				n, full.EnergyJ.Mean(), loose.EnergyJ.Mean())
+		}
+		// Application requirement: delivered >= (1-lt)*total payload.
+		reqKB := float64(cfg.TransferPackets) * 0.8 * 772 / 1e3
+		if loose.DeliveredKB.Mean() < reqKB {
+			t.Errorf("n=%d: jtp20 delivered %.1fkB < required %.1fkB",
+				n, loose.DeliveredKB.Mean(), reqKB)
+		}
+		if full.Completed != full.Runs {
+			t.Errorf("n=%d: jtp0 completed %d/%d transfers", n, full.Completed, full.Runs)
+		}
+	}
+}
+
+func TestFig3cAttemptControl(t *testing.T) {
+	results := Fig3c(150, 33)
+	if len(results) != 2 {
+		t.Fatalf("want 2 traces, got %d", len(results))
+	}
+	for _, res := range results {
+		if len(res.Samples) == 0 {
+			t.Fatalf("lt=%.2f: no attempt samples at node %d", res.LossTolerance, res.NodeIndex)
+		}
+		min, max := 99, 0
+		for _, s := range res.Samples {
+			if s.Attempts < min {
+				min = s.Attempts
+			}
+			if s.Attempts > max {
+				max = s.Attempts
+			}
+		}
+		t.Logf("lt=%.2f: %d samples, attempts range [%d,%d]", res.LossTolerance, len(res.Samples), min, max)
+		if min < 1 || max > 5 {
+			t.Errorf("lt=%.2f: attempts out of [1,MAX_ATTEMPTS]: [%d,%d]", res.LossTolerance, min, max)
+		}
+		if max == min {
+			t.Errorf("lt=%.2f: attempts never varied (link-quality adaptation not visible)", res.LossTolerance)
+		}
+	}
+	// Higher tolerance must not request more effort on average.
+	avg := func(r *Fig3cResult) float64 {
+		sum := 0.0
+		for _, s := range r.Samples {
+			sum += float64(s.Attempts)
+		}
+		return sum / float64(len(r.Samples))
+	}
+	if a10, a20 := avg(results[0]), avg(results[1]); a10 < a20 {
+		t.Errorf("jtp10 avg attempts %.2f < jtp20 %.2f (lower tolerance should work at least as hard)", a10, a20)
+	}
+}
+
+func TestFig4CachingShape(t *testing.T) {
+	cfg := Fig4Config{
+		Sizes:           []int{3, 8},
+		TransferPackets: 120,
+		Runs:            3,
+		Seconds:         4000,
+		Seed:            41,
+		PerNodeSize:     7,
+	}
+	points := Fig4(cfg)
+	perNode := Fig4b(cfg)
+	a, b := Fig4Tables(points, perNode)
+	t.Logf("\n%s\n%s", a, b)
+
+	get := func(proto Protocol, n int) *Fig4Point {
+		for _, p := range points {
+			if p.Proto == proto && p.Nodes == n {
+				return p
+			}
+		}
+		t.Fatalf("missing %s n=%d", proto, n)
+		return nil
+	}
+	// Caching must not hurt, and must help on long paths.
+	jtp8, jnc8 := get(JTP, 8), get(JNC, 8)
+	if jnc8.EnergyPerBit.Mean() <= jtp8.EnergyPerBit.Mean() {
+		t.Errorf("n=8: jnc e/bit %.3g <= jtp %.3g (caching should save energy)",
+			jnc8.EnergyPerBit.Mean(), jtp8.EnergyPerBit.Mean())
+	}
+	// The caching gain should grow with path length (§4.1).
+	jtp3, jnc3 := get(JTP, 3), get(JNC, 3)
+	r3 := jnc3.EnergyPerBit.Mean() / jtp3.EnergyPerBit.Mean()
+	r8 := jnc8.EnergyPerBit.Mean() / jtp8.EnergyPerBit.Mean()
+	if r8 < r3 {
+		t.Errorf("jnc/jtp ratio shrank with path length: %.3f@3 -> %.3f@8", r3, r8)
+	}
+}
+
+func TestFig5BackoffShape(t *testing.T) {
+	cfg := Fig5Config{Nodes: 6, Seconds: 1200, BinSeconds: 20, Seed: 51}
+	results := Fig5(cfg)
+	t.Logf("\n%s", Fig5Table(results))
+	var with, without *Fig5Result
+	for _, r := range results {
+		if r.Backoff {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	if with == nil || without == nil {
+		t.Fatal("missing backoff variants")
+	}
+	// Without back-off the reliable flow (flow 2) grabs a larger share
+	// relative to the UDP-like flow than with back-off.
+	ratioWith := with.MeanRate[1] / with.MeanRate[0]
+	ratioWithout := without.MeanRate[1] / without.MeanRate[0]
+	t.Logf("flow2/flow1 with backoff %.3f, without %.3f", ratioWith, ratioWithout)
+	if ratioWithout <= ratioWith {
+		t.Errorf("backoff had no fairness effect: with=%.3f without=%.3f", ratioWith, ratioWithout)
+	}
+}
+
+func TestFig6CacheSizeShape(t *testing.T) {
+	cfg := Fig6Config{
+		Sizes:           []int{6},
+		CacheSizes:      []int{1, 8, 64},
+		TransferPackets: 150,
+		Runs:            3,
+		Seconds:         4000,
+		Seed:            61,
+	}
+	points := Fig6(cfg)
+	t.Logf("\n%s", Fig6Table(points))
+	get := func(cs int) *Fig6Point {
+		for _, p := range points {
+			if p.CacheSize == cs && p.FeedbackLabel == "variable" {
+				return p
+			}
+		}
+		t.Fatalf("missing cache size %d", cs)
+		return nil
+	}
+	small, large := get(1), get(64)
+	if small.SourceRtx.Mean() <= large.SourceRtx.Mean() {
+		t.Errorf("source rtx did not drop with cache size: cache1=%.1f cache64=%.1f",
+			small.SourceRtx.Mean(), large.SourceRtx.Mean())
+	}
+}
+
+func TestFig7FeedbackShape(t *testing.T) {
+	cfg := Fig7Defaults(0.3)
+	cfg.Rates = []float64{0.05, 0.5}
+	points := Fig7(cfg)
+	et, dt := Fig7Tables(points)
+	t.Logf("\n%s\n%s", et, dt)
+	var variable, low, high *Fig7Point
+	for _, p := range points {
+		switch p.FeedbackRate {
+		case 0:
+			variable = p
+		case 0.05:
+			low = p
+		case 0.5:
+			high = p
+		}
+	}
+	// Frequent constant feedback wastes energy per delivered bit.
+	if high.EnergyPerBit.Mean() <= low.EnergyPerBit.Mean() {
+		t.Errorf("energy/bit did not grow with feedback rate: 0.5/s=%.3g <= 0.05/s=%.3g",
+			high.EnergyPerBit.Mean(), low.EnergyPerBit.Mean())
+	}
+	// Variable feedback must stay near the cheap end on energy...
+	if variable.EnergyPerBit.Mean() >= high.EnergyPerBit.Mean() {
+		t.Errorf("variable e/bit %.3g >= 0.5/s %.3g",
+			variable.EnergyPerBit.Mean(), high.EnergyPerBit.Mean())
+	}
+	// ...without the slow-reaction drop penalty of the lowest constant
+	// rate (allowing noise headroom).
+	if variable.QueueDrops.Mean() > low.QueueDrops.Mean()*1.5 {
+		t.Errorf("variable drops %.1f much worse than 0.05/s %.1f",
+			variable.QueueDrops.Mean(), low.QueueDrops.Mean())
+	}
+}
+
+func TestFig8RateAdaptationShape(t *testing.T) {
+	cfg := Fig8Config{
+		Nodes:      6,
+		Flow2Start: 400,
+		Flow2End:   650,
+		Seconds:    900,
+		BinSeconds: 10,
+		Seed:       81,
+	}
+	res := Fig8(cfg)
+	t.Logf("\n%s", Fig8Table(res, cfg))
+	before := res.Throughput[0].Between(200, cfg.Flow2Start).Mean()
+	during := res.Throughput[0].Between(cfg.Flow2Start+50, cfg.Flow2End).Mean()
+	after := res.Throughput[0].Between(cfg.Flow2End+100, cfg.Seconds).Mean()
+	if during >= before {
+		t.Errorf("flow1 did not back off while flow2 active: before=%.2f during=%.2f", before, during)
+	}
+	if after <= during {
+		t.Errorf("flow1 did not recover after flow2 ended: during=%.2f after=%.2f", during, after)
+	}
+	if res.Reported.Len() == 0 || res.Mean.Len() == 0 {
+		t.Error("monitor series empty")
+	}
+}
+
+func TestFig10RandomSmoke(t *testing.T) {
+	cfg := Fig10Config{
+		Sizes:     []int{10},
+		Flows:     3,
+		Runs:      2,
+		Seconds:   500,
+		Warmup:    60,
+		Protocols: []Protocol{JTP, TCP},
+		Seed:      101,
+	}
+	points := Fig10(cfg)
+	et, gt := Fig10Tables(points)
+	t.Logf("\n%s\n%s", et, gt)
+	for _, p := range points {
+		if p.GoodputBps.Mean() <= 0 {
+			t.Errorf("%s n=%d: zero goodput", p.Proto, p.Nodes)
+		}
+	}
+}
+
+func TestFig11MobilitySmoke(t *testing.T) {
+	cfg := Fig11Config{
+		Nodes:     15,
+		Speeds:    []float64{1},
+		Flows:     3,
+		Runs:      2,
+		Seconds:   500,
+		Warmup:    60,
+		Protocols: []Protocol{JTP},
+		Seed:      111,
+	}
+	points := Fig11(cfg)
+	et, gt, rt := Fig11Tables(points)
+	t.Logf("\n%s\n%s\n%s", et, gt, rt)
+	for _, p := range points {
+		if p.GoodputBps.Mean() <= 0 {
+			t.Errorf("%s speed=%.1f: zero goodput under mobility", p.Proto, p.Speed)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	cfg := Table2Config{
+		Nodes:          14,
+		Seconds:        400,
+		MeanInterarriv: 400,
+		TransferKB:     40,
+		Runs:           2,
+		Protocols:      []Protocol{JTP, ATP, TCP},
+		Seed:           201,
+	}
+	points := Table2(cfg)
+	t.Logf("\n%s", Table2Table(points))
+	var jtpE, tcpE float64
+	for _, p := range points {
+		if p.GoodputBps.Mean() <= 0 {
+			t.Errorf("%s: zero goodput on testbed scenario", p.Proto)
+		}
+		switch p.Proto {
+		case JTP:
+			jtpE = p.EnergyPerBit.Mean()
+		case TCP:
+			tcpE = p.EnergyPerBit.Mean()
+		}
+	}
+	if jtpE >= tcpE {
+		t.Errorf("testbed: jtp e/bit %.3g >= tcp %.3g", jtpE, tcpE)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/stats"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+func TestPickEndpointsExplicit(t *testing.T) {
+	topo := topology.Linear(5, 80)
+	eng := sim.NewEngine(1)
+	src, dst := pickEndpoints(FlowSpec{Src: 1, Dst: 3}, Scenario{Nodes: 5}, eng, topo, 100)
+	if src != 1 || dst != 3 {
+		t.Fatalf("explicit endpoints changed: %d->%d", src, dst)
+	}
+}
+
+func TestPickEndpointsRandomDistinctReachable(t *testing.T) {
+	eng := sim.NewEngine(2)
+	topo, ok := topology.Random(12, 100, eng.Rand(), 100)
+	if !ok {
+		t.Fatal("no connected topology")
+	}
+	for i := 0; i < 50; i++ {
+		src, dst := pickEndpoints(FlowSpec{Src: -1, Dst: -1}, Scenario{Nodes: 12}, eng, topo, 100)
+		if src == dst {
+			t.Fatal("random endpoints identical")
+		}
+		if topology.HopDistance(topo, 100, packet.NodeID(src), packet.NodeID(dst)) < 1 {
+			t.Fatalf("unreachable pair %d->%d", src, dst)
+		}
+	}
+}
+
+func TestRateBin(t *testing.T) {
+	s := &stats.Series{}
+	// 10 deliveries in [0,10): 1 per second.
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), 1)
+	}
+	binned := rateBin(s, 5)
+	if binned.Len() < 2 {
+		t.Fatalf("bins: %d", binned.Len())
+	}
+	if math.Abs(binned.Samples[0].V-1.0) > 0.21 {
+		t.Fatalf("first bin rate = %v, want ≈1 pps", binned.Samples[0].V)
+	}
+	if rateBin(&stats.Series{}, 5).Len() != 0 {
+		t.Fatal("empty series should stay empty")
+	}
+}
+
+func TestCumulativeRate(t *testing.T) {
+	s := &stats.Series{}
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i), 1)
+	}
+	c := cumulativeRate(s)
+	last := c.Samples[len(c.Samples)-1]
+	// 11 deliveries over 10 s ≈ 1.1 pps.
+	if math.Abs(last.V-1.1) > 0.01 {
+		t.Fatalf("long-term rate = %v", last.V)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		rec := Run(Scenario{
+			Name: "det", Proto: JTP, Topo: Linear, Nodes: 5, Seconds: 300, Seed: 11,
+			Flows: []FlowSpec{{Src: 0, Dst: 4, StartAt: 10, TotalPackets: 40}},
+		})
+		return rec.TotalEnergy, rec.Flows[0].UniqueDelivered
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if e1 != e2 || d1 != d2 {
+		t.Fatalf("same scenario diverged: (%v,%d) vs (%v,%d)", e1, d1, e2, d2)
+	}
+}
+
+func TestScenarioFlowOverrides(t *testing.T) {
+	// InitialRate/MaxRate overrides must reach the JTP config.
+	rec := Run(Scenario{
+		Name: "override", Proto: JTP, Topo: Linear, Nodes: 3, Seconds: 120, Seed: 5,
+		Flows: []FlowSpec{{
+			Src: 0, Dst: 2, StartAt: 1,
+			InitialRate: 4, MaxRate: 4,
+		}},
+	})
+	f := rec.Flows[0]
+	// At 4 pps for ~119 s on a clean-ish path, far more than the default
+	// 1 pps start would deliver before the first feedback.
+	if f.UniqueDelivered < 250 {
+		t.Fatalf("initial-rate override ineffective: %d delivered", f.UniqueDelivered)
+	}
+}
+
+func TestScenarioStopAt(t *testing.T) {
+	rec := Run(Scenario{
+		Name: "stopat", Proto: JTP, Topo: Linear, Nodes: 4, Seconds: 600, Seed: 6,
+		Flows: []FlowSpec{{Src: 0, Dst: 3, StartAt: 10, StopAt: 100}},
+	})
+	f := rec.Flows[0]
+	if f.Reception.Len() == 0 {
+		t.Fatal("flow never delivered")
+	}
+	lastT := f.Reception.Samples[f.Reception.Len()-1].T
+	if lastT > 110 {
+		t.Fatalf("flow delivered at %.0fs after StopAt=100", lastT)
+	}
+}
+
+func TestTable2FlowCountScaling(t *testing.T) {
+	// 14 nodes × 400 s run / 400 s interarrival ⇒ ~14 transfers.
+	rec := runTable2Once(JTP, Table2Config{
+		Nodes: 14, Seconds: 400, MeanInterarriv: 400, TransferKB: 20,
+	}, 9)
+	if len(rec.Flows) != 14 {
+		t.Fatalf("flow count = %d, want 14", len(rec.Flows))
+	}
+}

@@ -1,0 +1,427 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3–§6). Each FigN/TableN function builds the scenario the
+// paper describes, runs it on the simulated JAVeLEN substrate, and
+// returns paper-style rows/series. The cmd/jtpsim CLI and the repository
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/atp"
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/core"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/ijtp"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/mobility"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/tcpsack"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+// Protocol selects the transport under test.
+type Protocol string
+
+// Protocols compared in §6.
+const (
+	// JTP is the paper's protocol with all mechanisms on.
+	JTP Protocol = "jtp"
+	// JNC is JTP with in-network caching disabled (§4.1 ablation).
+	JNC Protocol = "jnc"
+	// TCP is the rate-paced TCP-SACK baseline.
+	TCP Protocol = "tcp"
+	// ATP is the explicit-rate, constant-feedback baseline.
+	ATP Protocol = "atp"
+)
+
+// TopoKind selects the layout.
+type TopoKind int
+
+// Topology kinds of §6.1.
+const (
+	// Linear chains with endpoints at the two ends (§6.1.1).
+	Linear TopoKind = iota
+	// Random 2-D fields sized for connectivity (§6.1.2).
+	Random
+)
+
+// FlowSpec describes one flow of a scenario.
+type FlowSpec struct {
+	// Src and Dst are node indices; -1 picks random distinct nodes.
+	Src, Dst int
+	// StartAt is the flow start in virtual seconds.
+	StartAt float64
+	// StopAt, when positive, hard-stops the flow (short-lived flows).
+	StopAt float64
+	// TotalPackets is the transfer size; 0 = unbounded stream.
+	TotalPackets int
+	// LossTolerance is the JTP application tolerance (ignored by
+	// baselines, which are always fully reliable).
+	LossTolerance float64
+	// DisableBackoff turns §4.2 source back-off off (Fig 5 ablation).
+	DisableBackoff bool
+	// DisableRetransmissions makes the JTP receiver never SNACK (the
+	// UDP-like flow 1 of Fig 5).
+	DisableRetransmissions bool
+	// ConstantFeedbackRate forces fixed-rate feedback in packets/s
+	// (Fig 7); zero keeps the paper's variable feedback.
+	ConstantFeedbackRate float64
+	// InitialRate overrides the flow's starting rate in packets/s.
+	InitialRate float64
+	// MaxRate overrides the flow's rate ceiling in packets/s.
+	MaxRate float64
+}
+
+// Scenario is one simulation run's full specification.
+type Scenario struct {
+	// Name labels the run.
+	Name string
+	// Proto is the transport under test.
+	Proto Protocol
+	// Topo selects the layout for Nodes nodes.
+	Topo TopoKind
+	// Nodes is the network size.
+	Nodes int
+	// LinearSpacing is the chain spacing in meters (default 80, inside
+	// the 100 m radio range).
+	LinearSpacing float64
+	// MobilitySpeed enables random-waypoint motion at this speed in m/s.
+	MobilitySpeed float64
+	// Seconds is the run duration in virtual seconds.
+	Seconds float64
+	// Seed drives all randomness; same seed, same run.
+	Seed int64
+	// Flows to create.
+	Flows []FlowSpec
+
+	// Channel overrides the default Gilbert-Elliott channel when non-nil.
+	Channel *channel.Config
+	// MAC overrides the default MAC parameters when non-nil.
+	MAC *mac.Config
+	// CacheCapacity overrides Table 1's 1000-packet caches when > 0;
+	// -1 means zero capacity (equivalent to JNC).
+	CacheCapacity int
+	// MaxAttempts overrides Table 1's MAX_ATTEMPTS when > 0.
+	MaxAttempts int
+	// TLowerBound overrides Table 1's 10 s feedback lower bound when > 0.
+	TLowerBound float64
+	// JTPTune applies scenario-specific controller settings to every JTP
+	// connection config just before dialing.
+	JTPTune func(cfg *core.Config)
+	// IJTPTune applies scenario-specific settings to the per-node iJTP
+	// plugin configuration (ablation knobs).
+	IJTPTune func(cfg *ijtp.Config)
+}
+
+// Hooks lets figure code attach probes before the run starts.
+type Hooks struct {
+	// Network runs after the network is built and started.
+	Network func(nw *node.Network)
+	// JTPConn runs for each JTP connection after construction, keyed by
+	// flow index.
+	JTPConn func(i int, conn *core.Connection)
+	// Plugin runs for each node's iJTP plugin (JTP/JNC runs only).
+	Plugin func(id packet.NodeID, pl *ijtp.Plugin)
+}
+
+// flowHandle adapts the per-protocol connection objects.
+type flowHandle struct {
+	spec    FlowSpec
+	proto   Protocol
+	jtp     *core.Connection
+	tcp     *tcpsack.Connection
+	atp     *atp.Connection
+	started bool
+}
+
+// Run executes the scenario and aggregates a RunRecord.
+func Run(sc Scenario) *metrics.RunRecord { return RunWithHooks(sc, Hooks{}) }
+
+// RunWithHooks executes the scenario with probes attached.
+func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
+	eng := sim.NewEngine(sc.Seed)
+
+	// ---- Substrate -------------------------------------------------
+	chCfg := channel.Defaults()
+	if sc.Channel != nil {
+		chCfg = *sc.Channel
+	}
+	macCfg := mac.Defaults()
+	if sc.MAC != nil {
+		macCfg = *sc.MAC
+	}
+	if sc.MaxAttempts > 0 {
+		macCfg.MaxAttempts = sc.MaxAttempts
+	}
+
+	spacing := sc.LinearSpacing
+	if spacing <= 0 {
+		spacing = 80
+	}
+	var topo *topology.Topology
+	switch sc.Topo {
+	case Linear:
+		topo = topology.Linear(sc.Nodes, spacing)
+	case Random:
+		t, ok := topology.Random(sc.Nodes, chCfg.Range, eng.Rand(), 200)
+		if !ok {
+			panic(fmt.Sprintf("experiments: could not build connected random topology n=%d", sc.Nodes))
+		}
+		topo = t
+	default:
+		panic("experiments: unknown topology kind")
+	}
+
+	rtCfg := routing.Config{}
+	if sc.MobilitySpeed > 0 {
+		rtCfg = routing.Defaults()
+	}
+
+	nw := node.New(eng, node.Config{
+		Topo:    topo,
+		Channel: chCfg,
+		MAC:     macCfg,
+		Routing: rtCfg,
+		Energy:  energy.JAVeLEN(),
+	})
+
+	// ---- Protocol plumbing -----------------------------------------
+	var plugins []*ijtp.Plugin
+	switch sc.Proto {
+	case JTP, JNC:
+		iCfg := ijtp.Defaults()
+		iCfg.MaxAttempts = macCfg.MaxAttempts
+		if sc.Proto == JNC {
+			iCfg.CacheEnabled = false
+		}
+		if sc.CacheCapacity > 0 {
+			iCfg.CacheCapacity = sc.CacheCapacity
+		} else if sc.CacheCapacity < 0 {
+			iCfg.CacheEnabled = false
+		}
+		if sc.IJTPTune != nil {
+			sc.IJTPTune(&iCfg)
+		}
+		for _, nd := range nw.Nodes() {
+			id := nd.ID
+			pl := ijtp.New(id, iCfg, nd.Router, func(p *packet.Packet) bool {
+				return nw.SendFromFront(id, p)
+			})
+			pl.Clock = func() float64 { return eng.Now().Seconds() }
+			nd.MAC.AddPlugin(pl)
+			plugins = append(plugins, pl)
+			if hooks.Plugin != nil {
+				hooks.Plugin(id, pl)
+			}
+		}
+	case ATP:
+		atp.InstallStampers(nw)
+	case TCP:
+		// no in-network machinery
+	default:
+		panic("experiments: unknown protocol " + string(sc.Proto))
+	}
+
+	var mob *mobility.Model
+	if sc.MobilitySpeed > 0 {
+		mob = mobility.New(eng, topo, topo.Field, mobility.Defaults(sc.MobilitySpeed))
+	}
+
+	nw.Start()
+	if mob != nil {
+		mob.Start()
+	}
+	if hooks.Network != nil {
+		hooks.Network(nw)
+	}
+
+	// ---- Flows -------------------------------------------------------
+	handles := make([]*flowHandle, len(sc.Flows))
+	for i, spec := range sc.Flows {
+		src, dst := pickEndpoints(spec, sc, eng, topo, chCfg.Range)
+		spec.Src, spec.Dst = src, dst
+		h := &flowHandle{spec: spec, proto: sc.Proto}
+		flow := packet.FlowID(i + 1)
+
+		switch sc.Proto {
+		case JTP, JNC:
+			cfg := core.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
+			cfg.TotalPackets = spec.TotalPackets
+			cfg.LossTolerance = spec.LossTolerance
+			cfg.DisableBackoff = spec.DisableBackoff
+			cfg.DisableRetransmissions = spec.DisableRetransmissions
+			cfg.ConstantFeedbackRate = spec.ConstantFeedbackRate
+			if sc.TLowerBound > 0 {
+				cfg.TLowerBound = sc.TLowerBound
+			}
+			if sc.JTPTune != nil {
+				sc.JTPTune(&cfg)
+			}
+			if spec.InitialRate > 0 {
+				cfg.InitialRate = spec.InitialRate
+			}
+			if spec.MaxRate > 0 {
+				cfg.MaxRate = spec.MaxRate
+			}
+			h.jtp = core.Dial(nw, cfg)
+			if hooks.JTPConn != nil {
+				hooks.JTPConn(i, h.jtp)
+			}
+		case TCP:
+			cfg := tcpsack.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
+			cfg.TotalPackets = spec.TotalPackets
+			h.tcp = tcpsack.Dial(nw, cfg)
+		case ATP:
+			cfg := atp.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
+			cfg.TotalPackets = spec.TotalPackets
+			h.atp = atp.Dial(nw, cfg)
+		}
+		handles[i] = h
+
+		startAt := sim.DurationOf(spec.StartAt)
+		hh := h
+		eng.Schedule(startAt, func() {
+			hh.start()
+		})
+		if spec.StopAt > spec.StartAt && spec.StopAt > 0 {
+			eng.Schedule(sim.DurationOf(spec.StopAt), func() {
+				hh.stop()
+			})
+		}
+	}
+
+	// ---- Run ----------------------------------------------------------
+	eng.RunUntil(sim.Time(sim.DurationOf(sc.Seconds)))
+
+	// ---- Collect ------------------------------------------------------
+	rec := &metrics.RunRecord{
+		Name:          sc.Name,
+		Proto:         string(sc.Proto),
+		Nodes:         sc.Nodes,
+		Seconds:       sc.Seconds,
+		TotalEnergy:   nw.TotalEnergy(),
+		PerNodeEnergy: nw.PerNodeEnergy(),
+		QueueDrops:    nw.QueueDrops(),
+	}
+	for _, nd := range nw.Nodes() {
+		_, _, _, _, retryDrops, _ := nd.MAC.Counters()
+		rec.RetryDrops += retryDrops
+	}
+	for _, pl := range plugins {
+		c := pl.Counters()
+		rec.EnergyBudgetDrops += c.EnergyDrops
+		rec.CacheHits += c.CacheServed
+		rec.CacheInserts += pl.Cache().Stats().Inserts
+	}
+	for _, h := range handles {
+		rec.Flows = append(rec.Flows, h.record())
+	}
+	return rec
+}
+
+// pickEndpoints resolves -1 endpoints to random distinct reachable nodes.
+func pickEndpoints(spec FlowSpec, sc Scenario, eng *sim.Engine, topo *topology.Topology, rng float64) (int, int) {
+	src, dst := spec.Src, spec.Dst
+	if src >= 0 && dst >= 0 {
+		return src, dst
+	}
+	r := eng.Rand()
+	for tries := 0; tries < 1000; tries++ {
+		a := r.Intn(sc.Nodes)
+		b := r.Intn(sc.Nodes)
+		if a == b {
+			continue
+		}
+		if topology.HopDistance(topo, rng, packet.NodeID(a), packet.NodeID(b)) >= 1 {
+			return a, b
+		}
+	}
+	return 0, sc.Nodes - 1
+}
+
+func (h *flowHandle) start() {
+	if h.started {
+		return
+	}
+	h.started = true
+	switch {
+	case h.jtp != nil:
+		h.jtp.Start()
+	case h.tcp != nil:
+		h.tcp.Start()
+	case h.atp != nil:
+		h.atp.Start()
+	}
+}
+
+func (h *flowHandle) stop() {
+	switch {
+	case h.jtp != nil:
+		h.jtp.Stop()
+	case h.tcp != nil:
+		h.tcp.Stop()
+	case h.atp != nil:
+		h.atp.Stop()
+	}
+}
+
+// record converts protocol-specific stats into a FlowRecord.
+func (h *flowHandle) record() *metrics.FlowRecord {
+	fr := &metrics.FlowRecord{
+		Proto:   string(h.proto),
+		Src:     uint16(h.spec.Src),
+		Dst:     uint16(h.spec.Dst),
+		StartAt: h.spec.StartAt,
+	}
+	switch {
+	case h.jtp != nil:
+		ss := h.jtp.Sender.Stats()
+		rs := h.jtp.Receiver.Stats()
+		fr.DataSent = ss.DataSent
+		fr.SourceRetransmissions = ss.SourceRetransmissions
+		fr.CacheRecovered = rs.CacheRecoveredSeen
+		fr.AcksSent = rs.AcksSent
+		fr.UniqueDelivered = rs.UniqueReceived
+		fr.DeliveredBytes = rs.DeliveredBytes
+		fr.Duplicates = rs.Duplicates
+		fr.Completed = rs.Completed
+		if rs.Completed {
+			fr.CompletedAt = rs.CompletedAt.Seconds()
+		}
+		fr.Reception = h.jtp.Receiver.Reception()
+	case h.tcp != nil:
+		ss := h.tcp.Sender.Stats()
+		rs := h.tcp.Receiver.Stats()
+		fr.DataSent = ss.DataSent
+		fr.SourceRetransmissions = ss.Retransmissions
+		fr.AcksSent = rs.AcksSent
+		fr.UniqueDelivered = rs.UniqueReceived
+		fr.DeliveredBytes = rs.DeliveredBytes
+		fr.Duplicates = rs.Duplicates
+		fr.Completed = rs.Completed
+		if rs.Completed {
+			fr.CompletedAt = rs.CompletedAt.Seconds()
+		}
+		fr.Reception = h.tcp.Receiver.Reception()
+	case h.atp != nil:
+		ss := h.atp.Sender.Stats()
+		rs := h.atp.Receiver.Stats()
+		fr.DataSent = ss.DataSent
+		fr.SourceRetransmissions = ss.Retransmissions
+		fr.AcksSent = rs.FeedbackSent
+		fr.UniqueDelivered = rs.UniqueReceived
+		fr.DeliveredBytes = rs.DeliveredBytes
+		fr.Duplicates = rs.Duplicates
+		fr.Completed = rs.Completed
+		if rs.Completed {
+			fr.CompletedAt = rs.CompletedAt.Seconds()
+		}
+		fr.Reception = h.atp.Receiver.Reception()
+	}
+	return fr
+}

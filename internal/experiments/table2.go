@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Table2Point is one protocol row of Table 2: the JAVeLEN-system
+// (testbed) results.
+type Table2Point struct {
+	Proto        Protocol
+	EnergyPerBit stats.Running // J/bit
+	GoodputBps   stats.Running
+}
+
+// Table2Config parameterizes the testbed scenario (§6.2): 14 nodes,
+// 30-minute experiments, flows generated at each node with ~400 s mean
+// interarrival and ~100 KB mean transfer size, over stable indoor links
+// (no controlled pathloss).
+//
+// Substitution note: the physical JAVeLEN radios and RTLinux MAC are
+// unavailable; the scenario runs the same protocol code on the simulated
+// substrate with the Testbed channel (stable, low loss), which is
+// exactly the "shared code" arrangement the paper describes.
+type Table2Config struct {
+	Nodes          int
+	Seconds        float64
+	MeanInterarriv float64 // seconds between flow arrivals per node
+	TransferKB     int
+	Runs           int
+	Protocols      []Protocol
+	Seed           int64
+}
+
+// Table2Defaults returns the §6.2 parameters at the given scale.
+func Table2Defaults(scale float64) Table2Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(5 * scale)
+	if runs < 2 {
+		runs = 2
+	}
+	secs := 1800 * scale
+	if secs < 400 {
+		secs = 400
+	}
+	return Table2Config{
+		Nodes:          14,
+		Seconds:        secs,
+		MeanInterarriv: 400,
+		TransferKB:     100,
+		Runs:           runs,
+		Protocols:      []Protocol{JTP, ATP, TCP},
+		Seed:           201,
+	}
+}
+
+// Table2 reproduces Table 2: energy per delivered bit and average
+// goodput on the (simulated) JAVeLEN testbed.
+func Table2(cfg Table2Config) []*Table2Point {
+	var out []*Table2Point
+	for _, proto := range cfg.Protocols {
+		pt := &Table2Point{Proto: proto}
+		for run := 0; run < cfg.Runs; run++ {
+			rec := runTable2Once(proto, cfg, cfg.Seed+int64(run)*9677)
+			pt.EnergyPerBit.Add(rec.EnergyPerBit())
+			pt.GoodputBps.Add(rec.MeanGoodputBps())
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func runTable2Once(proto Protocol, cfg Table2Config, seed int64) *metrics.RunRecord {
+	ch := channel.Testbed()
+	// Poisson-ish flow arrivals: with N nodes and mean interarrival T per
+	// node, the system sees about N·seconds/T transfers; spread their
+	// start times deterministically from the seed.
+	nFlows := int(float64(cfg.Nodes) * cfg.Seconds / cfg.MeanInterarriv)
+	if nFlows < 1 {
+		nFlows = 1
+	}
+	pktBytes := 800
+	pkts := cfg.TransferKB * 1000 / pktBytes
+	flows := make([]FlowSpec, nFlows)
+	span := (cfg.Seconds - 100) / float64(nFlows)
+	for i := range flows {
+		flows[i] = FlowSpec{
+			Src: -1, Dst: -1,
+			StartAt:      50 + float64(i)*span,
+			TotalPackets: pkts,
+		}
+	}
+	return Run(Scenario{
+		Name:    "table2",
+		Proto:   proto,
+		Topo:    Random,
+		Nodes:   cfg.Nodes,
+		Seconds: cfg.Seconds,
+		Seed:    seed,
+		Channel: &ch,
+		Flows:   flows,
+	})
+}
+
+// Table2Table renders the paper-style rows (mJ/bit is the paper's unit;
+// our radio model is far cheaper per bit, so the relative column is the
+// comparison that matters).
+func Table2Table(points []*Table2Point) *metrics.Table {
+	t := metrics.NewTable(
+		"Table 2: JAVeLEN system results (simulated testbed)",
+		"proto", "energy/bit(uJ)", "goodput(kbps)", "vs jtp energy")
+	var jtpE float64
+	for _, p := range points {
+		if p.Proto == JTP {
+			jtpE = p.EnergyPerBit.Mean()
+		}
+	}
+	for _, p := range points {
+		rel := ""
+		if jtpE > 0 {
+			rel = fmtRatio(p.EnergyPerBit.Mean() / jtpE)
+		}
+		t.AddRow(string(p.Proto), p.EnergyPerBit.Mean()*1e6, p.GoodputBps.Mean()/1e3, rel)
+	}
+	return t
+}
+
+// Defaults renders Table 1: the default parameter values.
+func Defaults() *metrics.Table {
+	t := metrics.NewTable("Table 1: parameters' default value", "parameter", "value")
+	t.AddRow("MAX_ATTEMPTS", 5)
+	t.AddRow("JTP Pkt Size", "800 bytes")
+	t.AddRow("Cache Size", "1000 pkts")
+	t.AddRow("T_LowerBound", "10 s")
+	t.AddRow("TDMA slot", "25 ms")
+	t.AddRow("Radio data rate", "1 Mb/s")
+	t.AddRow("Tx power / fixed", "80 mW / 0.4 mJ")
+	t.AddRow("Rx power / fixed", "50 mW / 0.2 mJ")
+	t.AddRow("Link bad-state share", "10% (mean 3 s)")
+	t.AddRow("Loss good/bad state", "5% / 75%")
+	return t
+}

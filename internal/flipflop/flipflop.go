@@ -1,0 +1,256 @@
+// Package flipflop implements the flip-flop filter of JTP's destination
+// path monitor (paper §5.1).
+//
+// The monitor keeps an EWMA of a path metric x̄ and an EWMA of its range R̄
+// (mean successive absolute difference), and derives statistical
+// quality-control limits
+//
+//	UCL = x̄ + 3·R̄/1.128    LCL = x̄ − 3·R̄/1.128
+//
+// (1.128 is the d2 constant for moving ranges of two observations, per
+// Montgomery's SQC text [23]). Samples inside the limits are "stable" and
+// are folded in with a small (stable) weight; a run of consecutive
+// outliers signals a persistent path change: the monitor switches to an
+// agile (large-weight) filter so the average catches up, and reports the
+// change so the destination can send early feedback.
+package flipflop
+
+// Config parameterizes a Filter. The zero value is not valid; use Defaults.
+type Config struct {
+	// StableAlpha is the EWMA weight used while the path is stable.
+	// Small, so short-term variation is filtered out.
+	StableAlpha float64
+	// AgileAlpha is the weight used after a persistent change is detected,
+	// so the estimate catches up with the new operating point.
+	AgileAlpha float64
+	// RangeBeta is the weight for the moving-range EWMA R̄.
+	RangeBeta float64
+	// OutlierRun is the number of consecutive out-of-limits samples that
+	// constitutes a persistent change (and triggers early feedback).
+	OutlierRun int
+	// LimitK scales the control limits: UCL/LCL = x̄ ± LimitK·R̄/1.128.
+	// The paper uses the classic 3-sigma value.
+	LimitK float64
+	// MinRelRange floors R̄ at this fraction of |x̄| when computing the
+	// limits. Moving-range charts assume independent samples; path
+	// metrics are heavily autocorrelated (they come from EWMAs inside
+	// the MAC), so successive differences can shrink toward zero and
+	// collapse the limits onto the mean, declaring shifts forever. The
+	// floor keeps the band no tighter than a fixed relative width.
+	MinRelRange float64
+}
+
+// Defaults returns the configuration used throughout the reproduction:
+// stable α=0.1, agile α=0.5, range β=0.1, 3 consecutive outliers, 3-sigma
+// limits.
+func Defaults() Config {
+	return Config{
+		StableAlpha: 0.1,
+		AgileAlpha:  0.5,
+		RangeBeta:   0.1,
+		OutlierRun:  3,
+		LimitK:      3,
+		MinRelRange: 0.06,
+	}
+}
+
+// d2 is the SQC constant converting a mean moving range of two
+// observations into an estimate of the process standard deviation.
+const d2 = 1.128
+
+// Mode identifies which of the two EWMA filters is active.
+type Mode int
+
+const (
+	// Stable is the low-gain filter used in quiet conditions.
+	Stable Mode = iota
+	// Agile is the high-gain filter used while catching up after a
+	// persistent change.
+	Agile
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Agile {
+		return "agile"
+	}
+	return "stable"
+}
+
+// Event is the monitor's verdict about one sample.
+type Event int
+
+const (
+	// InLimits means the sample fell inside the control limits.
+	InLimits Event = iota
+	// Outlier means the sample fell outside the limits but the run of
+	// outliers is still shorter than OutlierRun.
+	Outlier
+	// Shift means this sample completed a run of OutlierRun consecutive
+	// outliers: the path state has persistently changed and the
+	// destination should send immediate feedback.
+	Shift
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case Outlier:
+		return "outlier"
+	case Shift:
+		return "shift"
+	}
+	return "in-limits"
+}
+
+// Filter is a flip-flop filter for one path metric. The zero value is not
+// ready; construct with New.
+type Filter struct {
+	cfg     Config
+	mean    float64
+	rng     float64 // R̄, EWMA of |x_i − x_{i−1}|
+	last    float64
+	n       int
+	run     int // consecutive outliers
+	mode    Mode
+	samples int
+}
+
+// New returns a filter with the given configuration. Invalid fields fall
+// back to Defaults values.
+func New(cfg Config) *Filter {
+	def := Defaults()
+	if cfg.StableAlpha <= 0 || cfg.StableAlpha > 1 {
+		cfg.StableAlpha = def.StableAlpha
+	}
+	if cfg.AgileAlpha <= 0 || cfg.AgileAlpha > 1 {
+		cfg.AgileAlpha = def.AgileAlpha
+	}
+	if cfg.RangeBeta <= 0 || cfg.RangeBeta > 1 {
+		cfg.RangeBeta = def.RangeBeta
+	}
+	if cfg.OutlierRun <= 0 {
+		cfg.OutlierRun = def.OutlierRun
+	}
+	if cfg.LimitK <= 0 {
+		cfg.LimitK = def.LimitK
+	}
+	return &Filter{cfg: cfg}
+}
+
+// Mean returns the current EWMA estimate x̄.
+func (f *Filter) Mean() float64 { return f.mean }
+
+// Range returns the current moving-range EWMA R̄.
+func (f *Filter) Range() float64 { return f.rng }
+
+// Mode returns the active filter mode.
+func (f *Filter) Mode() Mode { return f.mode }
+
+// Primed reports whether the filter has seen at least one sample.
+func (f *Filter) Primed() bool { return f.n > 0 }
+
+// Samples returns the number of samples observed.
+func (f *Filter) Samples() int { return f.samples }
+
+// Limits returns the current lower and upper control limits. Before the
+// filter is primed both are zero.
+func (f *Filter) Limits() (lcl, ucl float64) {
+	rng := f.rng
+	if floor := f.cfg.MinRelRange * abs(f.mean); rng < floor {
+		rng = floor
+	}
+	w := f.cfg.LimitK * rng / d2
+	return f.mean - w, f.mean + w
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// UCL returns the upper control limit (used by the energy-budget
+// controller, §5.2.4).
+func (f *Filter) UCL() float64 {
+	_, ucl := f.Limits()
+	return ucl
+}
+
+// Observe folds one sample into the monitor and reports whether it was in
+// limits, an outlier, or completed a persistent shift. Per the paper:
+//
+//   - x̄ is initialized to x0 and R̄ to x0/2 on the first sample;
+//   - R̄ is updated only from samples within the control limits, so a burst
+//     of outliers does not inflate the limits before the shift is declared;
+//   - after a shift the agile filter is used until a sample falls back
+//     inside the limits, when the monitor flips back to the stable filter.
+func (f *Filter) Observe(x float64) Event {
+	f.samples++
+	if f.n == 0 {
+		f.mean = x
+		f.rng = x / 2
+		if f.rng < 0 {
+			f.rng = -f.rng
+		}
+		f.last = x
+		f.n = 1
+		return InLimits
+	}
+
+	lcl, ucl := f.Limits()
+	inLimits := x >= lcl && x <= ucl
+
+	alpha := f.cfg.StableAlpha
+	if f.mode == Agile {
+		alpha = f.cfg.AgileAlpha
+	}
+
+	if inLimits {
+		// Sample agrees with the current operating point: update both
+		// EWMAs; if we were agile we have caught up, flip back to stable.
+		f.mean = (1-alpha)*f.mean + alpha*x
+		diff := x - f.last
+		if diff < 0 {
+			diff = -diff
+		}
+		f.rng = (1-f.cfg.RangeBeta)*f.rng + f.cfg.RangeBeta*diff
+		f.run = 0
+		f.mode = Stable
+		f.last = x
+		f.n++
+		return InLimits
+	}
+
+	// Outlier: count the run. The mean is still nudged (with the active
+	// alpha) so the estimate tracks genuine shifts. In stable mode the
+	// range is frozen so a burst of outliers cannot widen the limits
+	// before the shift is declared; in agile mode the range does update,
+	// otherwise the limits could never re-capture a regime whose variance
+	// grew, and the monitor would signal shifts forever.
+	f.run++
+	f.mean = (1-alpha)*f.mean + alpha*x
+	if f.mode == Agile {
+		diff := x - f.last
+		if diff < 0 {
+			diff = -diff
+		}
+		f.rng = (1-f.cfg.RangeBeta)*f.rng + f.cfg.RangeBeta*diff
+	}
+	f.last = x
+	f.n++
+	if f.run >= f.cfg.OutlierRun {
+		f.run = 0
+		f.mode = Agile
+		return Shift
+	}
+	return Outlier
+}
+
+// Reset returns the filter to its unprimed state, keeping the configuration.
+func (f *Filter) Reset() {
+	f.mean, f.rng, f.last = 0, 0, 0
+	f.n, f.run, f.samples = 0, 0, 0
+	f.mode = Stable
+}

@@ -1,0 +1,575 @@
+// Package mac implements a JAVeLEN-style TDMA medium-access layer
+// (paper §2): pseudo-random collision-free slot schedules, per-link
+// retransmission control, per-link statistics (packet loss rate and
+// available transmission rate), an energy monitor charging each link-layer
+// transmission/reception, and the PreXmit/PostRcv plugin hooks through
+// which iJTP performs its hop-by-hop soft-state operations (Algorithms 1
+// and 2).
+//
+// Model: time is divided into fixed slots. A global Scheduler owns one
+// simulator event per slot and hands the slot to one node, chosen by a
+// pseudo-random permutation refreshed every frame (a frame is one
+// tx-opportunity for every node). The slot owner transmits the head of its
+// queue; everyone else's radio is off — this is what makes the system
+// collision-free and ultra-low-power, and it means a node's available rate
+// to a neighbor is its share of idle slots, exactly the JAVeLEN estimate
+// the paper describes (§2.1.1).
+package mac
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Segment is a transport-layer packet carried by the MAC. JTP packets,
+// TCP-SACK segments and ATP segments all implement it.
+type Segment interface {
+	// Size returns the on-air size in bytes.
+	Size() int
+	// Source returns the end-to-end originating node.
+	Source() packet.NodeID
+	// Dest returns the end-to-end destination node.
+	Dest() packet.NodeID
+	// Label returns a short tag for tracing and metrics attribution.
+	Label() string
+}
+
+// Verdict is a plugin's decision about an imminent transmission.
+type Verdict int
+
+const (
+	// Continue lets the transmission proceed.
+	Continue Verdict = iota
+	// Drop discards the frame (e.g. energy budget exceeded, Algorithm 1
+	// line 3).
+	Drop
+)
+
+// LinkInfo is the cross-layer context handed to plugins: the MAC-layer
+// estimates iJTP needs for Algorithms 1 and 2.
+type LinkInfo struct {
+	// From and To identify the single hop being attempted.
+	From, To packet.NodeID
+	// FirstAttempt is true on the first transmission attempt of this
+	// frame on this hop (Algorithm 1's firstDataTransmission check).
+	FirstAttempt bool
+	// AttemptCost is the expected energy in joules one attempt will
+	// consume (transmit plus receive side).
+	AttemptCost float64
+	// LossRate is the MAC's current loss-probability estimate for this
+	// link (Algorithm 1's getLinkLossRate).
+	LossRate float64
+	// AvailRate is this node's effective available transmission rate in
+	// packets/s, already normalized by the average number of link-layer
+	// attempts per packet (§2.1.1's getAvailableRate / AvLinkLayerAttempts).
+	AvailRate float64
+	// SlotShare is this node's total transmit-opportunity rate in
+	// packets/s (its TDMA share); AvailRate/SlotShare measures how
+	// lightly loaded the node is.
+	SlotShare float64
+}
+
+// Plugin observes and modifies frames at the air interface. iJTP is the
+// canonical plugin; the ATP baseline installs a small rate-stamping one.
+type Plugin interface {
+	// PreXmit runs immediately before every transmission attempt. The
+	// returned verdict may drop the frame. The plugin may mutate the
+	// segment (header stamping) and frame retry budget.
+	PreXmit(fr *Frame, link LinkInfo) Verdict
+	// PostRcv runs immediately after a successful reception at the
+	// receiving node, before the frame is handed up the stack.
+	PostRcv(fr *Frame, link LinkInfo)
+}
+
+// DropReason classifies frame drops for metrics.
+type DropReason int
+
+const (
+	// DropRetries means the frame exhausted its link-layer attempts.
+	DropRetries DropReason = iota
+	// DropQueue means the transmit queue was full on enqueue.
+	DropQueue
+	// DropPlugin means a plugin vetoed the transmission (energy budget).
+	DropPlugin
+	// DropNoRoute means the next hop was invalid at transmission time.
+	DropNoRoute
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropRetries:
+		return "retries-exhausted"
+	case DropQueue:
+		return "queue-full"
+	case DropPlugin:
+		return "plugin-veto"
+	case DropNoRoute:
+		return "no-route"
+	}
+	return fmt.Sprintf("drop(%d)", int(r))
+}
+
+// Frame is one queued hop transmission.
+type Frame struct {
+	// Seg is the transport packet being carried.
+	Seg Segment
+	// From, To are the transmitter and next hop.
+	From, To packet.NodeID
+	// Attempts counts transmissions performed so far.
+	Attempts int
+	// MaxAttempts bounds link-layer transmissions. iJTP sets it per
+	// packet from the loss-tolerance computation; it defaults to the MAC
+	// configuration's MaxAttempts.
+	MaxAttempts int
+	// Enqueued is when the frame entered the queue (for delay metrics).
+	Enqueued sim.Time
+}
+
+// Config parameterizes the MAC.
+type Config struct {
+	// SlotDuration is the TDMA slot length.
+	SlotDuration sim.Duration
+	// MaxAttempts is the maximum number of link-layer transmissions the
+	// MAC allows a plugin to request per frame — the paper's
+	// MAX_ATTEMPTS, default 5 (Table 1).
+	MaxAttempts int
+	// DefaultAttempts is the per-frame transmission budget when no
+	// transport-layer plugin sets one. The JAVeLEN MAC is parsimonious:
+	// local retransmission happens only when the transport explicitly
+	// asks for it (that is the interface JTP was designed for, §1), so
+	// transports that cannot control the MAC — TCP-SACK and ATP — send
+	// each frame once per link and recover losses end to end. Default 1.
+	DefaultAttempts int
+	// QueueCap is the transmit queue capacity in frames; overflow counts
+	// as a queue drop (Fig 7(b)).
+	QueueCap int
+	// LossAlpha is the EWMA weight of the per-link loss estimator.
+	LossAlpha float64
+	// IdleAlpha is the EWMA weight of the idle-slot (available rate)
+	// estimator.
+	IdleAlpha float64
+	// AttemptsAlpha is the EWMA weight of the average-attempts-per-packet
+	// estimator used to normalize available rate.
+	AttemptsAlpha float64
+	// PrimeLoss seeds the loss estimators before any samples exist
+	// (a node knows its radio's nominal link quality).
+	PrimeLoss float64
+}
+
+// Defaults returns the MAC parameters used across the reproduction:
+// 25 ms slots, MAX_ATTEMPTS 5, 64-frame queues.
+func Defaults() Config {
+	return Config{
+		SlotDuration:    25 * sim.Millisecond,
+		MaxAttempts:     5,
+		DefaultAttempts: 1,
+		QueueCap:        64,
+		LossAlpha:       0.10,
+		IdleAlpha:       0.15,
+		AttemptsAlpha:   0.10,
+		PrimeLoss:       0.05,
+	}
+}
+
+// Env is the environment the MAC needs from the network: link loss draws
+// and reachability. The node package provides it.
+type Env interface {
+	// TransmitOK draws one Bernoulli loss trial for a transmission.
+	TransmitOK(from, to packet.NodeID) bool
+	// Reachable reports whether to is currently within radio range of
+	// from (under mobility this changes over time).
+	Reachable(from, to packet.NodeID) bool
+	// TransmitsAllowed reports whether the node's radio is operational;
+	// a failed node's owned slots are wasted.
+	TransmitsAllowed(id packet.NodeID) bool
+	// DeliverUp hands a received frame to the network layer of node `at`.
+	DeliverUp(at packet.NodeID, fr *Frame)
+}
+
+// linkStats tracks the per-neighbor loss estimate.
+type linkStats struct {
+	loss stats.EWMA
+}
+
+// MAC is one node's medium-access instance.
+type MAC struct {
+	id      packet.NodeID
+	cfg     Config
+	eng     *sim.Engine
+	env     Env
+	model   energy.Model
+	meter   *energy.Meter
+	plugins []Plugin
+
+	queue []*Frame
+	links map[packet.NodeID]*linkStats
+
+	idleFrac    stats.EWMA // fraction of owned slots with nothing to send
+	avgAttempts stats.EWMA // attempts per completed frame
+	ownSlotRate float64    // owned slots per second (set by the scheduler)
+
+	// Drops is invoked on every frame drop; the node layer counts them.
+	Drops func(fr *Frame, reason DropReason)
+
+	// Counters for metrics.
+	txAttempts   uint64
+	txSuccess    uint64
+	rxFrames     uint64
+	queueDrops   uint64
+	retryDrops   uint64
+	pluginDrops  uint64
+	noRouteDrops uint64
+}
+
+// New returns a MAC for node id. The meter is shared with the node so all
+// layers charge one budget.
+func New(eng *sim.Engine, id packet.NodeID, cfg Config, model energy.Model, meter *energy.Meter, env Env) *MAC {
+	if cfg.SlotDuration <= 0 {
+		cfg.SlotDuration = Defaults().SlotDuration
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = Defaults().MaxAttempts
+	}
+	if cfg.DefaultAttempts <= 0 {
+		cfg.DefaultAttempts = Defaults().DefaultAttempts
+	}
+	if cfg.DefaultAttempts > cfg.MaxAttempts {
+		cfg.DefaultAttempts = cfg.MaxAttempts
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = Defaults().QueueCap
+	}
+	m := &MAC{
+		id:    id,
+		cfg:   cfg,
+		eng:   eng,
+		env:   env,
+		model: model,
+		meter: meter,
+		links: make(map[packet.NodeID]*linkStats),
+	}
+	m.idleFrac = *stats.NewEWMA(cfg.IdleAlpha)
+	m.idleFrac.Set(1)
+	m.avgAttempts = *stats.NewEWMA(cfg.AttemptsAlpha)
+	m.avgAttempts.Set(1)
+	return m
+}
+
+// ID returns the node this MAC belongs to.
+func (m *MAC) ID() packet.NodeID { return m.id }
+
+// Config returns the MAC configuration.
+func (m *MAC) Config() Config { return m.cfg }
+
+// AddPlugin installs a PreXmit/PostRcv plugin. Plugins run in
+// installation order.
+func (m *MAC) AddPlugin(p Plugin) { m.plugins = append(m.plugins, p) }
+
+// Enqueue queues a segment for transmission to nextHop. It reports false
+// (and counts a queue drop) when the queue is full.
+func (m *MAC) Enqueue(seg Segment, nextHop packet.NodeID) bool {
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.queueDrops++
+		if m.Drops != nil {
+			m.Drops(&Frame{Seg: seg, From: m.id, To: nextHop}, DropQueue)
+		}
+		return false
+	}
+	m.queue = append(m.queue, &Frame{
+		Seg:         seg,
+		From:        m.id,
+		To:          nextHop,
+		MaxAttempts: m.cfg.DefaultAttempts,
+		Enqueued:    m.eng.Now(),
+	})
+	return true
+}
+
+// EnqueueFront queues a segment ahead of everything else; iJTP uses it for
+// cache retransmissions so locally recovered packets reach the destination
+// before the next feedback window.
+func (m *MAC) EnqueueFront(seg Segment, nextHop packet.NodeID) bool {
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.queueDrops++
+		if m.Drops != nil {
+			m.Drops(&Frame{Seg: seg, From: m.id, To: nextHop}, DropQueue)
+		}
+		return false
+	}
+	fr := &Frame{
+		Seg:         seg,
+		From:        m.id,
+		To:          nextHop,
+		MaxAttempts: m.cfg.DefaultAttempts,
+		Enqueued:    m.eng.Now(),
+	}
+	m.queue = append([]*Frame{fr}, m.queue...)
+	return true
+}
+
+// QueueLen returns the number of frames waiting.
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// link returns (creating if needed) the stats for a neighbor.
+func (m *MAC) link(to packet.NodeID) *linkStats {
+	ls, ok := m.links[to]
+	if !ok {
+		ls = &linkStats{loss: *stats.NewEWMA(m.cfg.LossAlpha)}
+		ls.loss.Set(m.cfg.PrimeLoss)
+		m.links[to] = ls
+	}
+	return ls
+}
+
+// LinkLossRate returns the current loss estimate toward a neighbor
+// (Algorithm 1's getLinkLossRate). Estimates are primed with the nominal
+// radio loss before any traffic is observed.
+func (m *MAC) LinkLossRate(to packet.NodeID) float64 {
+	return m.link(to).loss.Value()
+}
+
+// AvailableRate returns this node's raw available transmission rate in
+// packets/s: the idle fraction of its TDMA slots times its slot share.
+func (m *MAC) AvailableRate() float64 {
+	return m.idleFrac.Value() * m.ownSlotRate
+}
+
+// AvgAttempts returns the average link-layer transmissions per completed
+// frame, used to normalize the available rate (§2.1.1).
+func (m *MAC) AvgAttempts() float64 {
+	a := m.avgAttempts.Value()
+	if a < 1 {
+		return 1
+	}
+	return a
+}
+
+// EffectiveAvailRate returns the available rate normalized by the average
+// number of link-layer attempts and derated by queue occupancy — the
+// value iJTP stamps into packets. A backlogged node has no spare
+// capacity no matter what its recent idle-slot history says; folding the
+// queue in makes the stamp collapse toward zero as congestion sets in,
+// which is exactly the signal the destination's controller needs to
+// avoid queue losses (§2.1.1).
+func (m *MAC) EffectiveAvailRate() float64 {
+	avail := m.AvailableRate() / m.AvgAttempts()
+	occupancy := float64(len(m.queue)) / float64(m.cfg.QueueCap)
+	derate := 1 - 2*occupancy
+	if derate < 0 {
+		derate = 0
+	}
+	return avail * derate
+}
+
+// Counters returns the MAC counters for metrics collection.
+func (m *MAC) Counters() (txAttempts, txSuccess, rxFrames, queueDrops, retryDrops, pluginDrops uint64) {
+	return m.txAttempts, m.txSuccess, m.rxFrames, m.queueDrops, m.retryDrops, m.pluginDrops
+}
+
+// QueueDrops returns the number of frames rejected by a full queue.
+func (m *MAC) QueueDrops() uint64 { return m.queueDrops }
+
+// linkInfo builds the plugin context for the head frame.
+func (m *MAC) linkInfo(fr *Frame) LinkInfo {
+	size := fr.Seg.Size()
+	return LinkInfo{
+		From:         m.id,
+		To:           fr.To,
+		FirstAttempt: fr.Attempts == 0,
+		AttemptCost:  m.model.TxCost(size) + m.model.RxCost(size),
+		LossRate:     m.LinkLossRate(fr.To),
+		AvailRate:    m.EffectiveAvailRate(),
+		SlotShare:    m.ownSlotRate,
+	}
+}
+
+// ClearQueue discards all pending frames (node failure: the backlog
+// dies with the node).
+func (m *MAC) ClearQueue() {
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+}
+
+// OwnSlot runs one owned TDMA slot: transmit the head frame if any,
+// otherwise record an idle slot. Called by the Scheduler.
+func (m *MAC) OwnSlot() {
+	if !m.env.TransmitsAllowed(m.id) {
+		return
+	}
+	if len(m.queue) == 0 {
+		m.idleFrac.Add(1)
+		return
+	}
+	m.idleFrac.Add(0)
+	fr := m.queue[0]
+
+	if !m.env.Reachable(m.id, fr.To) {
+		// Next hop moved away: the attempt fails without consuming air
+		// energy beyond the transmission itself; we model it as a failed
+		// attempt so retry exhaustion (and rerouting of later packets)
+		// takes its course.
+		m.failAttempt(fr, true)
+		return
+	}
+
+	info := m.linkInfo(fr)
+	for _, p := range m.plugins {
+		if p.PreXmit(fr, info) == Drop {
+			m.pluginDrops++
+			m.popHead()
+			if m.Drops != nil {
+				m.Drops(fr, DropPlugin)
+			}
+			return
+		}
+	}
+
+	// Transmit: sender pays for the attempt whether or not it succeeds.
+	size := fr.Seg.Size()
+	m.meter.ChargeTx(m.model.TxCost(size))
+	m.txAttempts++
+	fr.Attempts++
+
+	if m.env.TransmitOK(m.id, fr.To) {
+		m.link(fr.To).loss.Add(0)
+		m.txSuccess++
+		m.avgAttempts.Add(float64(fr.Attempts))
+		m.popHead()
+		m.env.DeliverUp(fr.To, fr)
+		return
+	}
+	m.link(fr.To).loss.Add(1)
+	m.retryOrDrop(fr)
+}
+
+// failAttempt handles an attempt that could not reach the receiver at all.
+func (m *MAC) failAttempt(fr *Frame, chargeTx bool) {
+	if chargeTx {
+		m.meter.ChargeTx(m.model.TxCost(fr.Seg.Size()))
+		m.txAttempts++
+	}
+	fr.Attempts++
+	m.link(fr.To).loss.Add(1)
+	m.retryOrDrop(fr)
+}
+
+// retryOrDrop keeps the frame at the head for another attempt or drops it
+// once attempts are exhausted.
+func (m *MAC) retryOrDrop(fr *Frame) {
+	if fr.Attempts < fr.MaxAttempts {
+		return // head of queue retries on the next owned slot
+	}
+	m.retryDrops++
+	m.popHead()
+	if m.Drops != nil {
+		m.Drops(fr, DropRetries)
+	}
+}
+
+func (m *MAC) popHead() {
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+}
+
+// receive processes an incoming frame at this (receiving) MAC: charges
+// reception energy and runs PostRcv plugins. The node layer then routes or
+// delivers the segment.
+func (m *MAC) receive(fr *Frame) {
+	m.meter.ChargeRx(m.model.RxCost(fr.Seg.Size()))
+	m.rxFrames++
+	info := LinkInfo{
+		From:        fr.From,
+		To:          m.id,
+		AttemptCost: m.model.TxCost(fr.Seg.Size()) + m.model.RxCost(fr.Seg.Size()),
+		LossRate:    m.LinkLossRate(fr.From),
+		AvailRate:   m.EffectiveAvailRate(),
+		SlotShare:   m.ownSlotRate,
+	}
+	for _, p := range m.plugins {
+		p.PostRcv(fr, info)
+	}
+}
+
+// Receive is the entry point the Env uses to hand a frame to the
+// destination MAC of a hop.
+func (m *MAC) Receive(fr *Frame) { m.receive(fr) }
+
+// Scheduler owns the global TDMA schedule: one event per slot, slot owner
+// drawn from a pseudo-random permutation refreshed every frame, giving
+// every node exactly one transmit opportunity per frame without
+// collisions — the JAVeLEN MAC's pseudo-random schedules (§2).
+type Scheduler struct {
+	eng   *sim.Engine
+	slot  sim.Duration
+	macs  []*MAC
+	perm  []int
+	pos   int
+	tick  *sim.Ticker
+	slots uint64
+}
+
+// NewScheduler builds a schedule over the given MACs. All MACs must share
+// the same slot duration.
+func NewScheduler(eng *sim.Engine, slot sim.Duration, macs []*MAC) *Scheduler {
+	s := &Scheduler{eng: eng, slot: slot, macs: macs}
+	s.perm = make([]int, len(macs))
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	rate := 1.0 / (slot.Seconds() * float64(len(macs)))
+	for _, m := range macs {
+		m.ownSlotRate = rate
+	}
+	return s
+}
+
+// Start begins slot processing.
+func (s *Scheduler) Start() {
+	s.shuffle()
+	s.tick = s.eng.NewTicker(s.slot, s.onSlot)
+}
+
+// Stop halts slot processing.
+func (s *Scheduler) Stop() {
+	if s.tick != nil {
+		s.tick.Stop()
+	}
+}
+
+// Slots returns the number of slots elapsed.
+func (s *Scheduler) Slots() uint64 { return s.slots }
+
+// SlotDuration returns the configured slot length.
+func (s *Scheduler) SlotDuration() sim.Duration { return s.slot }
+
+// PerNodeSlotRate returns each node's transmit opportunities per second.
+func (s *Scheduler) PerNodeSlotRate() float64 {
+	return 1.0 / (s.slot.Seconds() * float64(len(s.macs)))
+}
+
+func (s *Scheduler) shuffle() {
+	r := s.eng.Rand()
+	for i := len(s.perm) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+	s.pos = 0
+}
+
+func (s *Scheduler) onSlot() {
+	owner := s.macs[s.perm[s.pos]]
+	owner.OwnSlot()
+	s.slots++
+	s.pos++
+	if s.pos == len(s.perm) {
+		s.shuffle()
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/javelen/jtp/internal/stats"
+)
+
+func TestFlowRecordGoodput(t *testing.T) {
+	f := &FlowRecord{StartAt: 100, DeliveredBytes: 1000}
+	// Stream: active until run end.
+	if g := f.GoodputBps(200); g != 80 { // 8000 bits over 100 s
+		t.Fatalf("stream goodput = %v", g)
+	}
+	// Completed transfer: active until completion.
+	f.Completed = true
+	f.CompletedAt = 150
+	if g := f.GoodputBps(200); g != 160 { // 8000 bits over 50 s
+		t.Fatalf("completed goodput = %v", g)
+	}
+	// Degenerate window must not divide by zero.
+	f.CompletedAt = 100
+	if g := f.GoodputBps(200); g <= 0 {
+		t.Fatalf("degenerate window: %v", g)
+	}
+}
+
+func TestRunRecordAggregates(t *testing.T) {
+	r := &RunRecord{
+		Seconds:     100,
+		TotalEnergy: 2.0,
+		Flows: []*FlowRecord{
+			{DeliveredBytes: 500, StartAt: 0},
+			{DeliveredBytes: 1500, StartAt: 0},
+		},
+	}
+	if r.DeliveredBytes() != 2000 {
+		t.Fatalf("delivered = %d", r.DeliveredBytes())
+	}
+	if r.DeliveredBits() != 16000 {
+		t.Fatalf("bits = %v", r.DeliveredBits())
+	}
+	if e := r.EnergyPerBit(); e != 2.0/16000 {
+		t.Fatalf("e/bit = %v", e)
+	}
+	// Mean goodput: (40 + 120)/2.
+	if g := r.MeanGoodputBps(); g != 80 {
+		t.Fatalf("mean goodput = %v", g)
+	}
+	empty := &RunRecord{}
+	if empty.EnergyPerBit() != 0 || empty.MeanGoodputBps() != 0 {
+		t.Fatal("empty record aggregates should be zero")
+	}
+}
+
+func TestSourceRetransmissionsSum(t *testing.T) {
+	r := &RunRecord{Flows: []*FlowRecord{
+		{SourceRetransmissions: 3},
+		{SourceRetransmissions: 4},
+	}}
+	if r.SourceRetransmissions() != 7 {
+		t.Fatal("sum wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-very-long-name", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-very-long-name") {
+		t.Fatal("missing rows")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the longest cell.
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Title Ignored", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow("with,comma", `quote"inside`)
+	csv := tb.CSV()
+	want := "a,b\nplain,1.5\n\"with,comma\",\"quote\"\"inside\"\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}
+
+func TestTableFormatsFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159265)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Fatalf("float formatting: %s", tb.String())
+	}
+}
+
+func TestActiveSeconds(t *testing.T) {
+	f := &FlowRecord{StartAt: 10}
+	if f.ActiveSeconds(110) != 100 {
+		t.Fatal("stream active window")
+	}
+	f.Completed = true
+	f.CompletedAt = 60
+	if f.ActiveSeconds(110) != 50 {
+		t.Fatal("completed active window")
+	}
+	if (&FlowRecord{StartAt: 100}).ActiveSeconds(50) <= 0 {
+		t.Fatal("negative window must clamp")
+	}
+	var s stats.Series
+	s.Add(1, 1)
+	f.Reception = &s
+	if f.Reception.Len() != 1 {
+		t.Fatal("series attach")
+	}
+}

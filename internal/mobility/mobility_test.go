@@ -1,0 +1,119 @@
+package mobility
+
+import (
+	"testing"
+
+	"github.com/javelen/jtp/internal/geom"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+func build(t *testing.T, speed float64, seed int64) (*sim.Engine, *topology.Topology, *Model) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	tp := topology.Grid(4, 4, 60)
+	m := New(eng, tp, tp.Field, Defaults(speed))
+	return eng, tp, m
+}
+
+func TestNodesStayInField(t *testing.T) {
+	eng, tp, m := build(t, 5, 1)
+	m.Start()
+	for i := 0; i < 100; i++ {
+		eng.RunFor(10 * sim.Second)
+		for _, id := range tp.IDs() {
+			if !tp.Field.Contains(tp.Position(id)) {
+				t.Fatalf("node %v escaped the field: %v", id, tp.Position(id))
+			}
+		}
+	}
+}
+
+func TestMovementHappens(t *testing.T) {
+	eng, tp, m := build(t, 5, 2)
+	orig := tp.Clone()
+	m.Start()
+	eng.RunFor(1000 * sim.Second)
+	moved := 0
+	for _, id := range tp.IDs() {
+		if tp.Position(id).Dist(orig.Position(id)) > 1 {
+			moved++
+		}
+	}
+	if moved < tp.N()/2 {
+		t.Fatalf("only %d/%d nodes moved after 1000s at 5 m/s", moved, tp.N())
+	}
+}
+
+func TestZeroSpeedFreezes(t *testing.T) {
+	eng, tp, m := build(t, 0, 3)
+	orig := tp.Clone()
+	m.Start()
+	eng.RunFor(500 * sim.Second)
+	for _, id := range tp.IDs() {
+		if tp.Position(id) != orig.Position(id) {
+			t.Fatalf("node %v moved at zero speed", id)
+		}
+	}
+}
+
+func TestSpeedBoundsDisplacement(t *testing.T) {
+	eng, tp, m := build(t, 1, 4)
+	m.Start()
+	prev := tp.Clone()
+	for i := 0; i < 50; i++ {
+		eng.RunFor(sim.Second)
+		for _, id := range tp.IDs() {
+			d := tp.Position(id).Dist(prev.Position(id))
+			if d > 1.05 { // 1 m/s ⇒ ≤ ~1 m per second
+				t.Fatalf("node %v moved %.2fm in 1s at 1 m/s", id, d)
+			}
+		}
+		prev = tp.Clone()
+	}
+}
+
+func TestStopHaltsMovement(t *testing.T) {
+	eng, tp, m := build(t, 5, 5)
+	m.Start()
+	eng.RunFor(300 * sim.Second)
+	m.Stop()
+	frozen := tp.Clone()
+	eng.RunFor(300 * sim.Second)
+	for _, id := range tp.IDs() {
+		if tp.Position(id) != frozen.Position(id) {
+			t.Fatalf("node %v moved after Stop", id)
+		}
+	}
+}
+
+func TestOnMoveHook(t *testing.T) {
+	eng, _, m := build(t, 1, 6)
+	calls := 0
+	m.OnMove = func() { calls++ }
+	m.Start()
+	eng.RunFor(10 * sim.Second)
+	if calls == 0 {
+		t.Fatal("OnMove never fired")
+	}
+}
+
+func TestPausesRespectMeanMagnitude(t *testing.T) {
+	// With a huge pause mean, nodes should mostly be stationary early on.
+	eng := sim.NewEngine(7)
+	tp := topology.Grid(3, 3, 60)
+	cfg := Defaults(5)
+	cfg.MeanPause = 1e6
+	m := New(eng, tp, tp.Field, cfg)
+	orig := tp.Clone()
+	m.Start()
+	eng.RunFor(100 * sim.Second)
+	limit := (geom.Vec{X: 1, Y: 1}).Len()
+	for _, id := range tp.IDs() {
+		if tp.Position(id).Dist(orig.Position(id)) > limit {
+			t.Fatalf("node %v moved during enormous pause", id)
+		}
+	}
+	_ = packet.NodeID(0)
+}

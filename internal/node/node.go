@@ -1,0 +1,384 @@
+// Package node wires the substrates into a running multi-hop wireless
+// network: per-node MAC instances over a shared TDMA schedule, per-node
+// link-state routers, the wireless channel, per-node energy meters, and
+// the dispatch of received segments to registered transport endpoints.
+//
+// The package is transport-agnostic: JTP, TCP-SACK and ATP all attach via
+// the Transport interface and originate traffic through SendFrom, exactly
+// the "shared substrate, different transport" comparison setup of §6.1.
+package node
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+	"github.com/javelen/jtp/internal/trace"
+)
+
+// Transport receives segments addressed to the node it is bound on.
+type Transport interface {
+	// Deliver hands the transport a segment whose Dest is this node.
+	// from is the previous hop (not the end-to-end source).
+	Deliver(seg mac.Segment, from packet.NodeID)
+}
+
+// FlowKeyed is implemented by segments that belong to a transport flow;
+// all segments in this repository implement it. Delivery is dispatched on
+// (Dest, FlowID).
+type FlowKeyed interface {
+	FlowID() packet.FlowID
+}
+
+// hopCounted is implemented by segments that carry a hop counter; the
+// network uses it as a TTL backstop against transient routing loops under
+// mobility. (JTP's principled loop defense is the energy budget, §2.1.1;
+// the TTL exists for the baselines.)
+type hopCounted interface {
+	AddHop() int
+}
+
+// Config assembles a network.
+type Config struct {
+	// Topo provides node count and positions. The network takes
+	// ownership; the mobility model may mutate it concurrently (in
+	// simulated time).
+	Topo *topology.Topology
+	// Channel parameterizes link loss and radio range.
+	Channel channel.Config
+	// MAC parameterizes the TDMA layer.
+	MAC mac.Config
+	// Routing parameterizes view refresh (zero period = static).
+	Routing routing.Config
+	// Energy is the radio energy model.
+	Energy energy.Model
+	// MaxHops drops segments that traversed more than this many hops
+	// (loop backstop). Zero defaults to 4×N.
+	MaxHops int
+}
+
+// Counters aggregates node-level drop accounting.
+type Counters struct {
+	NoRoute    uint64 // no next hop in the current view
+	TTLDrops   uint64 // hop-count backstop fired
+	NoEndpoint uint64 // segment for an unregistered flow
+}
+
+// Node is one network element.
+type Node struct {
+	ID     packet.NodeID
+	Meter  energy.Meter
+	MAC    *mac.MAC
+	Router *routing.Router
+
+	endpoints map[packet.FlowID]Transport
+	count     Counters
+	net       *Network
+}
+
+// Endpoints returns the number of registered transport endpoints.
+func (n *Node) Endpoints() int { return len(n.endpoints) }
+
+// Counters returns the node's drop counters.
+func (n *Node) Counters() Counters { return n.count }
+
+// Network owns the engine-coupled state of one simulated network.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	topo    *topology.Topology
+	chann   *channel.Channel
+	nodes   []*Node
+	sched   *mac.Scheduler
+	started bool
+	down    map[packet.NodeID]bool
+
+	// DropHook, when non-nil, observes every MAC-level frame drop.
+	DropHook func(at packet.NodeID, fr *mac.Frame, reason mac.DropReason)
+
+	// Tracer, when non-nil, records packet-lifecycle events (origination,
+	// forwarding, delivery, drops) for debugging and analysis.
+	Tracer *trace.Tracer
+}
+
+// traceSeg records one event for a segment if tracing is enabled.
+func (nw *Network) traceSeg(at packet.NodeID, kind trace.Kind, seg mac.Segment, detail string) {
+	if nw.Tracer == nil {
+		return
+	}
+	e := trace.Event{T: nw.eng.Now().Seconds(), Node: at, Kind: kind, Detail: detail}
+	if fk, ok := seg.(FlowKeyed); ok {
+		e.Flow = fk.FlowID()
+	}
+	if p, ok := seg.(*packet.Packet); ok {
+		e.Seq = p.Seq
+	}
+	nw.Tracer.Add(e)
+}
+
+// New builds the network: nodes, MACs, routers, channel, scheduler.
+// Call Start before injecting traffic.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Topo == nil || cfg.Topo.N() == 0 {
+		panic("node: Config.Topo must have at least one node")
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 4 * cfg.Topo.N()
+	}
+	if cfg.MaxHops < 8 {
+		cfg.MaxHops = 8
+	}
+	nw := &Network{
+		eng:   eng,
+		cfg:   cfg,
+		topo:  cfg.Topo,
+		chann: channel.New(eng, cfg.Channel),
+		down:  make(map[packet.NodeID]bool),
+	}
+	n := cfg.Topo.N()
+	macs := make([]*mac.MAC, n)
+	nw.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := packet.NodeID(i)
+		nd := &Node{ID: id, endpoints: make(map[packet.FlowID]Transport), net: nw}
+		nd.MAC = mac.New(eng, id, cfg.MAC, cfg.Energy, &nd.Meter, nw)
+		nd.Router = routing.New(eng, id, nw, cfg.Routing)
+		nd.MAC.Drops = func(fr *mac.Frame, reason mac.DropReason) {
+			nw.traceSeg(id, trace.Drop, fr.Seg, reason.String())
+			if nw.DropHook != nil {
+				nw.DropHook(id, fr, reason)
+			}
+		}
+		macs[i] = nd.MAC
+		nw.nodes[i] = nd
+	}
+	nw.sched = mac.NewScheduler(eng, cfg.MAC.SlotDuration, macs)
+	return nw
+}
+
+// Engine returns the simulation engine the network runs on.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Channel returns the wireless channel.
+func (nw *Network) Channel() *channel.Channel { return nw.chann }
+
+// Topology returns the (live) topology.
+func (nw *Network) Topology() *topology.Topology { return nw.topo }
+
+// Scheduler returns the TDMA scheduler.
+func (nw *Network) Scheduler() *mac.Scheduler { return nw.sched }
+
+// Node returns node id's element.
+func (nw *Network) Node(id packet.NodeID) *Node { return nw.nodes[int(id)] }
+
+// Nodes returns all nodes in id order.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// N returns the node count (routing.Directory).
+func (nw *Network) N() int { return nw.topo.N() }
+
+// Linked reports current radio-range adjacency (routing.Directory).
+// A failed node has no links.
+func (nw *Network) Linked(a, b packet.NodeID) bool {
+	if a == b || nw.down[a] || nw.down[b] {
+		return false
+	}
+	return nw.chann.InRange(nw.topo.Position(a).Dist2(nw.topo.Position(b)))
+}
+
+// SetDown fails or revives a node. A failed node stops receiving,
+// transmitting and routing; routers notice at their next view refresh —
+// the "intermediate node failure" case of §2 for which occasional
+// end-to-end retransmissions remain necessary. Failing a node clears its
+// MAC queue (its backlog dies with it). The simulation does not
+// automatically revive nodes.
+func (nw *Network) SetDown(id packet.NodeID, down bool) {
+	nw.down[id] = down
+	if down {
+		nw.nodes[int(id)].MAC.ClearQueue()
+	}
+}
+
+// Down reports whether a node is failed.
+func (nw *Network) Down(id packet.NodeID) bool { return nw.down[id] }
+
+// TransmitOK draws a loss trial on a live link (mac.Env).
+func (nw *Network) TransmitOK(from, to packet.NodeID) bool {
+	return nw.chann.TransmitOK(from, to)
+}
+
+// Reachable reports current radio-range reachability (mac.Env).
+func (nw *Network) Reachable(from, to packet.NodeID) bool {
+	return nw.Linked(from, to)
+}
+
+// TransmitsAllowed reports whether a node's radio is operational
+// (mac.Env); a failed node's owned slots do nothing.
+func (nw *Network) TransmitsAllowed(id packet.NodeID) bool {
+	return !nw.down[id]
+}
+
+// DeliverUp completes a successful hop: runs the receiving MAC (energy,
+// plugins), then either delivers to a local endpoint or forwards along
+// the route (mac.Env).
+func (nw *Network) DeliverUp(at packet.NodeID, fr *mac.Frame) {
+	nd := nw.nodes[int(at)]
+	nd.MAC.Receive(fr)
+	seg := fr.Seg
+	if seg.Dest() == at {
+		nw.traceSeg(at, trace.Deliver, seg, "")
+		nd.deliver(seg, fr.From)
+		return
+	}
+	if hc, ok := seg.(hopCounted); ok {
+		if hc.AddHop() > nw.cfg.MaxHops {
+			nd.count.TTLDrops++
+			nw.traceSeg(at, trace.Drop, seg, "ttl")
+			return
+		}
+	}
+	nw.traceSeg(at, trace.Forwarded, seg, "")
+	nd.forward(seg)
+}
+
+// deliver dispatches a segment to the endpoint registered for its flow.
+func (n *Node) deliver(seg mac.Segment, from packet.NodeID) {
+	fk, ok := seg.(FlowKeyed)
+	if !ok {
+		n.count.NoEndpoint++
+		return
+	}
+	tr, ok := n.endpoints[fk.FlowID()]
+	if !ok {
+		n.count.NoEndpoint++
+		return
+	}
+	tr.Deliver(seg, from)
+}
+
+// forward queues a transit segment toward its destination.
+func (n *Node) forward(seg mac.Segment) {
+	nh, ok := n.Router.NextHop(seg.Dest())
+	if !ok || nh == n.ID {
+		n.count.NoRoute++
+		return
+	}
+	n.MAC.Enqueue(seg, nh)
+}
+
+// Bind registers a transport endpoint for a flow on a node. Delivery is
+// keyed on (node, flow); both ends of a connection bind the same flow id.
+func (nw *Network) Bind(id packet.NodeID, flow packet.FlowID, tr Transport) {
+	nw.nodes[int(id)].endpoints[flow] = tr
+}
+
+// Unbind removes a flow endpoint.
+func (nw *Network) Unbind(id packet.NodeID, flow packet.FlowID) {
+	delete(nw.nodes[int(id)].endpoints, flow)
+}
+
+// SendFrom originates a segment at src, routing it toward its
+// destination. It reports false when no route exists or the local queue
+// is full. Loopback (dst == src) delivers immediately.
+func (nw *Network) SendFrom(src packet.NodeID, seg mac.Segment) bool {
+	nd := nw.nodes[int(src)]
+	dst := seg.Dest()
+	if dst == src {
+		nd.deliver(seg, src)
+		return true
+	}
+	nh, ok := nd.Router.NextHop(dst)
+	if !ok || nh == src {
+		nd.count.NoRoute++
+		return false
+	}
+	nw.traceSeg(src, trace.Enqueue, seg, "to "+nh.String())
+	return nd.MAC.Enqueue(seg, nh)
+}
+
+// SendFromFront originates a segment at src with queue priority; iJTP
+// cache retransmissions use it so recovered packets overtake new data.
+func (nw *Network) SendFromFront(src packet.NodeID, seg mac.Segment) bool {
+	nd := nw.nodes[int(src)]
+	nh, ok := nd.Router.NextHop(seg.Dest())
+	if !ok || nh == src {
+		nd.count.NoRoute++
+		return false
+	}
+	return nd.MAC.EnqueueFront(seg, nh)
+}
+
+// Start launches routing and the TDMA schedule.
+func (nw *Network) Start() {
+	if nw.started {
+		return
+	}
+	nw.started = true
+	for _, nd := range nw.nodes {
+		nd.Router.Start()
+	}
+	nw.sched.Start()
+}
+
+// Stop halts the schedule and routing timers.
+func (nw *Network) Stop() {
+	for _, nd := range nw.nodes {
+		nd.Router.Stop()
+	}
+	nw.sched.Stop()
+}
+
+// TotalEnergy sums all node meters in joules.
+func (nw *Network) TotalEnergy() float64 {
+	sum := 0.0
+	for _, nd := range nw.nodes {
+		sum += nd.Meter.Total()
+	}
+	return sum
+}
+
+// PerNodeEnergy returns each node's consumption in joules, by id.
+func (nw *Network) PerNodeEnergy() []float64 {
+	out := make([]float64, len(nw.nodes))
+	for i, nd := range nw.nodes {
+		out[i] = nd.Meter.Total()
+	}
+	return out
+}
+
+// ResetMeters zeroes all energy meters (end of warm-up).
+func (nw *Network) ResetMeters() {
+	for _, nd := range nw.nodes {
+		nd.Meter.Reset()
+	}
+}
+
+// QueueDrops sums MAC queue overflow drops across nodes (Fig 7(b)).
+func (nw *Network) QueueDrops() uint64 {
+	var sum uint64
+	for _, nd := range nw.nodes {
+		sum += nd.MAC.QueueDrops()
+	}
+	return sum
+}
+
+// Counters sums node-level drop counters.
+func (nw *Network) Counters() Counters {
+	var c Counters
+	for _, nd := range nw.nodes {
+		c.NoRoute += nd.count.NoRoute
+		c.TTLDrops += nd.count.TTLDrops
+		c.NoEndpoint += nd.count.NoEndpoint
+	}
+	return c
+}
+
+// String summarizes the network.
+func (nw *Network) String() string {
+	return fmt.Sprintf("network(n=%d, slot=%v)", nw.N(), nw.cfg.MAC.SlotDuration)
+}

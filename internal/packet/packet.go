@@ -1,0 +1,609 @@
+// Package packet defines the JTP packet formats of Fig 2 of the paper and
+// the addressing types shared by every layer of the stack.
+//
+// Inside the simulator packets travel as *Packet structs for speed, but the
+// package also provides the real binary wire codec (Encode/Decode) used by
+// the examples and validated by round-trip property tests — this is the
+// "shared code" of §6 that would run unchanged on real radios.
+//
+// Wire layout (big endian), mirroring the optimized header of Fig 2(a):
+//
+//	offset size field
+//	0      1    version(4) | type(4)
+//	1      1    flags
+//	2      2    source node id
+//	4      2    destination node id
+//	6      2    flow id
+//	8      4    sequence number
+//	12     4    available rate (milli-packets/s, min over path so far)
+//	16     2    loss tolerance (units of 10^-4, 0..10000)
+//	18     2    payload length (bytes)
+//	20     4    energy budget (µJ)
+//	24     4    energy used (µJ)
+//
+// for a 28-byte data header, exactly the prototype size reported in §6.1.
+// Packets carrying feedback append the ACK block of Fig 2(b):
+//
+//	0      4    cumulative ack
+//	4      4    rate feedback (milli-packets/s)
+//	8      4    energy budget feedback (µJ)
+//	12     4    sender timeout (ms)
+//	16     1    number of SNACK ranges
+//	17     1    number of locally-recovered ranges
+//	18     8·n  SNACK ranges (first, last inclusive, 4 bytes each)
+//	...    8·m  locally-recovered ranges
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID addresses a node, as carried in JTP headers.
+type NodeID uint16
+
+// String formats the id as "n<k>".
+func (id NodeID) String() string { return fmt.Sprintf("n%d", uint16(id)) }
+
+// Broadcast is the all-nodes address. The reproduction's transports are all
+// unicast; Broadcast appears only in routing-layer tests.
+const Broadcast NodeID = 0xFFFF
+
+// FlowID identifies a transport connection end to end.
+type FlowID uint16
+
+// Type discriminates JTP packet types.
+type Type uint8
+
+const (
+	// Data carries application payload from source to destination.
+	Data Type = iota + 1
+	// Ack carries receiver feedback (rate, energy budget, SNACK) and is
+	// examined hop by hop by iJTP (§2.1.2).
+	Ack
+)
+
+// String names the packet type.
+func (t Type) String() string {
+	switch t {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Version is the wire format version encoded in the first header nibble.
+const Version = 1
+
+// Flags carried in the data header.
+const (
+	// FlagFirst marks the first packet of a transfer; its payload begins
+	// with the transfer manifest (total packet count).
+	FlagFirst uint8 = 1 << iota
+	// FlagLast marks the final packet of a transfer.
+	FlagLast
+	// FlagRetransmit marks an end-to-end (source) retransmission; used by
+	// the metrics layer to attribute energy.
+	FlagRetransmit
+	// FlagCacheRecovered marks a packet retransmitted by an in-network
+	// cache on behalf of the source (§4).
+	FlagCacheRecovered
+	// FlagEarlyFeedback marks an ACK triggered by the path monitor's
+	// shift detection rather than the regular feedback timer (§5.1).
+	FlagEarlyFeedback
+	// FlagDeadline marks a packet carrying the real-time deadline
+	// extension word (§2.1.1: "the deadline field is used by real-time
+	// traffic"). The wire encoding appends DeadlineExtSize bytes.
+	FlagDeadline
+)
+
+// DeadlineExtSize is the encoded size of the optional deadline word.
+const DeadlineExtSize = 4
+
+// Header sizes in bytes, as charged on the air interface.
+const (
+	// DataHeaderSize is the optimized JTP header of Fig 2(a).
+	DataHeaderSize = 28
+	// AckFixedSize is the fixed part of the ACK block of Fig 2(b);
+	// each SNACK or locally-recovered range adds RangeSize bytes.
+	AckFixedSize = 18
+	// RangeSize is the encoded size of one sequence range.
+	RangeSize = 8
+)
+
+// SeqRange is an inclusive range of sequence numbers [First, Last], the
+// unit of SNACK and locally-recovered reporting.
+type SeqRange struct {
+	First, Last uint32
+}
+
+// Count returns the number of sequence numbers covered.
+func (r SeqRange) Count() int { return int(r.Last-r.First) + 1 }
+
+// Contains reports whether seq falls in the range.
+func (r SeqRange) Contains(seq uint32) bool { return seq >= r.First && seq <= r.Last }
+
+// String formats the range as "[a..b]".
+func (r SeqRange) String() string { return fmt.Sprintf("[%d..%d]", r.First, r.Last) }
+
+// AckInfo is the feedback block of Fig 2(b): cumulative positive ACK,
+// selective negative ACKs, the locally-recovered set, and the receiver's
+// transmission-parameter feedback.
+type AckInfo struct {
+	// CumAck is the highest sequence number such that every needed packet
+	// at or below it has been received (positive cumulative ack).
+	CumAck uint32
+	// Rate is the sending rate mandated by the destination's PI²/MD
+	// controller, in packets/s.
+	Rate float64
+	// EnergyBudget is the per-packet energy budget mandated by the
+	// destination's energy controller (joules).
+	EnergyBudget float64
+	// SenderTimeout is the feedback interval T the receiver is operating
+	// at; if the source hears nothing for longer it must back off (§5.1).
+	SenderTimeout float64
+	// Snack lists sequence ranges the destination is still missing and
+	// wants retransmitted. Intermediate caches serve these if they can.
+	Snack []SeqRange
+	// Recovered lists ranges already retransmitted by an in-network
+	// cache on behalf of the source, so upstream nodes and the source do
+	// not retransmit them again and the source can back off (§4, §4.2).
+	Recovered []SeqRange
+}
+
+// SnackCount returns the total number of sequence numbers in the SNACK set.
+func (a *AckInfo) SnackCount() int {
+	n := 0
+	for _, r := range a.Snack {
+		n += r.Count()
+	}
+	return n
+}
+
+// RecoveredCount returns the total number of locally recovered packets.
+func (a *AckInfo) RecoveredCount() int {
+	n := 0
+	for _, r := range a.Recovered {
+		n += r.Count()
+	}
+	return n
+}
+
+// Packet is a JTP packet. Inside the simulator it is passed by pointer;
+// Encode serializes it to the wire format above.
+type Packet struct {
+	Type  Type
+	Flags uint8
+	Src   NodeID
+	Dst   NodeID
+	Flow  FlowID
+	Seq   uint32
+
+	// AvailRate is the minimum effective available rate (packets/s)
+	// stamped by iJTP along the path so far (§2.1.1). The source
+	// initializes it to +Inf semantics via InitialAvailRate.
+	AvailRate float64
+	// LossTol is the remaining end-to-end loss tolerance in [0,1],
+	// re-encoded at every hop per Eq (3).
+	LossTol float64
+	// EnergyBudget is the maximum total energy (joules) the network may
+	// spend on this packet before dropping it.
+	EnergyBudget float64
+	// EnergyUsed accumulates the energy (joules) spent on this packet so
+	// far; incremented by iJTP before every link-layer transmission
+	// (Algorithm 1).
+	EnergyUsed float64
+	// Deadline is the absolute virtual time in seconds after which the
+	// packet is worthless to the application; zero means none. iJTP
+	// drops expired packets instead of spending further energy on them.
+	// Carried on the wire only when FlagDeadline is set.
+	Deadline float64
+	// PayloadLen is the application payload size in bytes. The simulator
+	// does not carry actual payload bytes; the codec zero-fills them.
+	PayloadLen int
+
+	// Ack is non-nil on feedback-carrying packets.
+	Ack *AckInfo
+
+	// Pad is extra on-air bytes charged for this packet but not part of
+	// the optimized wire encoding. The experiments use it to emulate the
+	// prototype's 200-byte ACK header (§6.1: "the JTP ACK header is 200
+	// bytes ... not optimized in this prototype implementation").
+	Pad int
+
+	// hops counts the links traversed; the network layer uses it as a
+	// loop backstop. Not part of the wire format (JTP's principled loop
+	// defense is the energy budget).
+	hops int
+}
+
+// InitialAvailRate is the available-rate stamp a source writes before the
+// first hop; any real link will be slower. (The wire codec saturates at
+// the encodable maximum.)
+const InitialAvailRate = 4e6 // packets/s
+
+// Size returns the packet's size on the air in bytes: header, optional
+// deadline extension, ACK block if present, payload, and pad.
+func (p *Packet) Size() int {
+	n := DataHeaderSize + p.PayloadLen + p.Pad
+	if p.Flags&FlagDeadline != 0 {
+		n += DeadlineExtSize
+	}
+	if p.Ack != nil {
+		n += AckFixedSize + RangeSize*(len(p.Ack.Snack)+len(p.Ack.Recovered))
+	}
+	return n
+}
+
+// FlowID returns the flow identifier (transport dispatch key).
+func (p *Packet) FlowID() FlowID { return p.Flow }
+
+// AddHop increments and returns the hop counter.
+func (p *Packet) AddHop() int {
+	p.hops++
+	return p.hops
+}
+
+// Hops returns the number of links traversed so far in the simulator.
+func (p *Packet) Hops() int { return p.hops }
+
+// Source returns the originating node (Segment interface).
+func (p *Packet) Source() NodeID { return p.Src }
+
+// Dest returns the final destination (Segment interface).
+func (p *Packet) Dest() NodeID { return p.Dst }
+
+// Label returns a short tag for tracing (Segment interface).
+func (p *Packet) Label() string { return "jtp-" + p.Type.String() }
+
+// Clone returns a deep copy; caches hand out clones so later header
+// rewrites don't corrupt cached state.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Ack != nil {
+		a := *p.Ack
+		a.Snack = append([]SeqRange(nil), p.Ack.Snack...)
+		a.Recovered = append([]SeqRange(nil), p.Ack.Recovered...)
+		q.Ack = &a
+	}
+	return &q
+}
+
+// String formats a compact one-line description for traces.
+func (p *Packet) String() string {
+	if p.Ack != nil {
+		return fmt.Sprintf("%s %v->%v flow=%d cum=%d snack=%v rate=%.2f",
+			p.Type, p.Src, p.Dst, p.Flow, p.Ack.CumAck, p.Ack.Snack, p.Ack.Rate)
+	}
+	return fmt.Sprintf("%s %v->%v flow=%d seq=%d lt=%.3f rate=%.2f e=%.1f/%.1fµJ",
+		p.Type, p.Src, p.Dst, p.Flow, p.Seq, p.LossTol, p.AvailRate,
+		p.EnergyUsed*1e6, p.EnergyBudget*1e6)
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortBuffer = errors.New("packet: buffer too short")
+	ErrBadVersion  = errors.New("packet: unsupported version")
+	ErrBadType     = errors.New("packet: unknown packet type")
+	ErrTooManyRngs = errors.New("packet: too many SNACK/recovered ranges")
+	ErrBadPayload  = errors.New("packet: payload length mismatch")
+)
+
+// Quantization of the wire encoding. Rates are carried in milli-packets/s,
+// loss tolerance in 10^-4 units, energies in µJ, timeouts in ms.
+const (
+	rateUnit    = 1e-3 // packets/s per wire unit
+	lossUnit    = 1e-4
+	energyUnit  = 1e-6 // joules per wire unit
+	timeoutUnit = 1e-3 // seconds per wire unit
+	maxRanges   = 255
+)
+
+func encodeRate(r float64) uint32 {
+	if r < 0 {
+		return 0
+	}
+	v := r / rateUnit
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v + 0.5)
+}
+
+func decodeRate(v uint32) float64 { return float64(v) * rateUnit }
+
+func encodeLoss(l float64) uint16 {
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		l = 1
+	}
+	return uint16(l/lossUnit + 0.5)
+}
+
+func decodeLoss(v uint16) float64 {
+	l := float64(v) * lossUnit
+	if l > 1 {
+		l = 1
+	}
+	return l
+}
+
+func encodeEnergy(e float64) uint32 {
+	if e < 0 {
+		return 0
+	}
+	v := e / energyUnit
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v + 0.5)
+}
+
+func decodeEnergy(v uint32) float64 { return float64(v) * energyUnit }
+
+func encodeTimeout(t float64) uint32 {
+	if t < 0 {
+		return 0
+	}
+	v := t / timeoutUnit
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v + 0.5)
+}
+
+func decodeTimeout(v uint32) float64 { return float64(v) * timeoutUnit }
+
+// Quantize rounds the packet's analog fields to their wire resolution, so
+// that Encode followed by Decode reproduces the packet exactly. The
+// simulator calls this where wire fidelity matters; tests rely on it for
+// round-trip properties.
+func (p *Packet) Quantize() {
+	p.AvailRate = decodeRate(encodeRate(p.AvailRate))
+	p.LossTol = decodeLoss(encodeLoss(p.LossTol))
+	p.EnergyBudget = decodeEnergy(encodeEnergy(p.EnergyBudget))
+	p.EnergyUsed = decodeEnergy(encodeEnergy(p.EnergyUsed))
+	if p.Flags&FlagDeadline != 0 {
+		p.Deadline = decodeTimeout(encodeTimeout(p.Deadline))
+	} else {
+		p.Deadline = 0
+	}
+	if p.Ack != nil {
+		p.Ack.Rate = decodeRate(encodeRate(p.Ack.Rate))
+		p.Ack.EnergyBudget = decodeEnergy(encodeEnergy(p.Ack.EnergyBudget))
+		p.Ack.SenderTimeout = decodeTimeout(encodeTimeout(p.Ack.SenderTimeout))
+	}
+}
+
+// EncodedSize returns the number of bytes Encode will produce: the wire
+// representation, which excludes Pad (padding exists only for on-air
+// energy accounting).
+func (p *Packet) EncodedSize() int { return p.Size() - p.Pad }
+
+// Encode appends the wire representation to dst and returns the extended
+// slice. Payload bytes are zero-filled (the simulator carries no payload).
+func (p *Packet) Encode(dst []byte) ([]byte, error) {
+	if p.Type != Data && p.Type != Ack {
+		return dst, ErrBadType
+	}
+	if p.Ack != nil && (len(p.Ack.Snack) > maxRanges || len(p.Ack.Recovered) > maxRanges) {
+		return dst, ErrTooManyRngs
+	}
+	if p.PayloadLen < 0 || p.PayloadLen > math.MaxUint16 {
+		return dst, ErrBadPayload
+	}
+	var hdr [DataHeaderSize]byte
+	hdr[0] = Version<<4 | uint8(p.Type)
+	hdr[1] = p.Flags
+	binary.BigEndian.PutUint16(hdr[2:], uint16(p.Src))
+	binary.BigEndian.PutUint16(hdr[4:], uint16(p.Dst))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(p.Flow))
+	binary.BigEndian.PutUint32(hdr[8:], p.Seq)
+	binary.BigEndian.PutUint32(hdr[12:], encodeRate(p.AvailRate))
+	binary.BigEndian.PutUint16(hdr[16:], encodeLoss(p.LossTol))
+	binary.BigEndian.PutUint16(hdr[18:], uint16(p.PayloadLen))
+	binary.BigEndian.PutUint32(hdr[20:], encodeEnergy(p.EnergyBudget))
+	binary.BigEndian.PutUint32(hdr[24:], encodeEnergy(p.EnergyUsed))
+	dst = append(dst, hdr[:]...)
+
+	if p.Flags&FlagDeadline != 0 {
+		var ext [DeadlineExtSize]byte
+		binary.BigEndian.PutUint32(ext[:], encodeTimeout(p.Deadline))
+		dst = append(dst, ext[:]...)
+	}
+
+	if p.Ack != nil {
+		var fixed [AckFixedSize]byte
+		binary.BigEndian.PutUint32(fixed[0:], p.Ack.CumAck)
+		binary.BigEndian.PutUint32(fixed[4:], encodeRate(p.Ack.Rate))
+		binary.BigEndian.PutUint32(fixed[8:], encodeEnergy(p.Ack.EnergyBudget))
+		binary.BigEndian.PutUint32(fixed[12:], encodeTimeout(p.Ack.SenderTimeout))
+		fixed[16] = uint8(len(p.Ack.Snack))
+		fixed[17] = uint8(len(p.Ack.Recovered))
+		dst = append(dst, fixed[:]...)
+		var rng [RangeSize]byte
+		for _, r := range p.Ack.Snack {
+			binary.BigEndian.PutUint32(rng[0:], r.First)
+			binary.BigEndian.PutUint32(rng[4:], r.Last)
+			dst = append(dst, rng[:]...)
+		}
+		for _, r := range p.Ack.Recovered {
+			binary.BigEndian.PutUint32(rng[0:], r.First)
+			binary.BigEndian.PutUint32(rng[4:], r.Last)
+			dst = append(dst, rng[:]...)
+		}
+	}
+
+	// Zero-filled payload.
+	dst = append(dst, make([]byte, p.PayloadLen)...)
+	return dst, nil
+}
+
+// hasAckBlock reports whether a packet of this type carries the feedback
+// block. The codec infers it from the type: ACK packets always carry one.
+func hasAckBlock(t Type) bool { return t == Ack }
+
+// Decode parses one packet from buf, returning the packet and the number
+// of bytes consumed.
+func Decode(buf []byte) (*Packet, int, error) {
+	if len(buf) < DataHeaderSize {
+		return nil, 0, ErrShortBuffer
+	}
+	if buf[0]>>4 != Version {
+		return nil, 0, ErrBadVersion
+	}
+	p := &Packet{
+		Type:  Type(buf[0] & 0x0F),
+		Flags: buf[1],
+		Src:   NodeID(binary.BigEndian.Uint16(buf[2:])),
+		Dst:   NodeID(binary.BigEndian.Uint16(buf[4:])),
+		Flow:  FlowID(binary.BigEndian.Uint16(buf[6:])),
+		Seq:   binary.BigEndian.Uint32(buf[8:]),
+	}
+	if p.Type != Data && p.Type != Ack {
+		return nil, 0, ErrBadType
+	}
+	p.AvailRate = decodeRate(binary.BigEndian.Uint32(buf[12:]))
+	p.LossTol = decodeLoss(binary.BigEndian.Uint16(buf[16:]))
+	p.PayloadLen = int(binary.BigEndian.Uint16(buf[18:]))
+	p.EnergyBudget = decodeEnergy(binary.BigEndian.Uint32(buf[20:]))
+	p.EnergyUsed = decodeEnergy(binary.BigEndian.Uint32(buf[24:]))
+	n := DataHeaderSize
+
+	if p.Flags&FlagDeadline != 0 {
+		if len(buf) < n+DeadlineExtSize {
+			return nil, 0, ErrShortBuffer
+		}
+		p.Deadline = decodeTimeout(binary.BigEndian.Uint32(buf[n:]))
+		n += DeadlineExtSize
+	}
+
+	if hasAckBlock(p.Type) {
+		if len(buf) < n+AckFixedSize {
+			return nil, 0, ErrShortBuffer
+		}
+		a := &AckInfo{
+			CumAck:        binary.BigEndian.Uint32(buf[n:]),
+			Rate:          decodeRate(binary.BigEndian.Uint32(buf[n+4:])),
+			EnergyBudget:  decodeEnergy(binary.BigEndian.Uint32(buf[n+8:])),
+			SenderTimeout: decodeTimeout(binary.BigEndian.Uint32(buf[n+12:])),
+		}
+		ns, nr := int(buf[n+16]), int(buf[n+17])
+		n += AckFixedSize
+		need := RangeSize * (ns + nr)
+		if len(buf) < n+need {
+			return nil, 0, ErrShortBuffer
+		}
+		if ns > 0 {
+			a.Snack = make([]SeqRange, ns)
+			for i := 0; i < ns; i++ {
+				a.Snack[i] = SeqRange{
+					First: binary.BigEndian.Uint32(buf[n:]),
+					Last:  binary.BigEndian.Uint32(buf[n+4:]),
+				}
+				n += RangeSize
+			}
+		}
+		if nr > 0 {
+			a.Recovered = make([]SeqRange, nr)
+			for i := 0; i < nr; i++ {
+				a.Recovered[i] = SeqRange{
+					First: binary.BigEndian.Uint32(buf[n:]),
+					Last:  binary.BigEndian.Uint32(buf[n+4:]),
+				}
+				n += RangeSize
+			}
+		}
+		p.Ack = a
+	}
+
+	if len(buf) < n+p.PayloadLen {
+		return nil, 0, ErrShortBuffer
+	}
+	n += p.PayloadLen
+	return p, n, nil
+}
+
+// RangesFromSeqs compresses a sorted-or-unsorted set of sequence numbers
+// into minimal inclusive ranges. Duplicates are tolerated.
+func RangesFromSeqs(seqs []uint32) []SeqRange {
+	if len(seqs) == 0 {
+		return nil
+	}
+	sorted := append([]uint32(nil), seqs...)
+	// insertion sort: SNACK sets are small (tens of entries)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out []SeqRange
+	cur := SeqRange{First: sorted[0], Last: sorted[0]}
+	for _, s := range sorted[1:] {
+		switch {
+		case s == cur.Last || s == cur.Last+1:
+			if s > cur.Last {
+				cur.Last = s
+			}
+		default:
+			out = append(out, cur)
+			cur = SeqRange{First: s, Last: s}
+		}
+	}
+	return append(out, cur)
+}
+
+// SeqsFromRanges expands ranges back into the covered sequence numbers.
+func SeqsFromRanges(ranges []SeqRange) []uint32 {
+	var out []uint32
+	for _, r := range ranges {
+		for s := r.First; ; s++ {
+			out = append(out, s)
+			if s == r.Last {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RangesContain reports whether seq is covered by any of the ranges.
+func RangesContain(ranges []SeqRange, seq uint32) bool {
+	for _, r := range ranges {
+		if r.Contains(seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveFromRanges removes seq from the set described by ranges, splitting
+// a range when the removal is interior. Used by iJTP when moving a
+// sequence number from the SNACK field to the locally-recovered field.
+// The result is a fresh slice: an interior split grows the set by one,
+// so building in place would clobber unread input.
+func RemoveFromRanges(ranges []SeqRange, seq uint32) []SeqRange {
+	out := make([]SeqRange, 0, len(ranges)+1)
+	for _, r := range ranges {
+		switch {
+		case !r.Contains(seq):
+			out = append(out, r)
+		case r.First == seq && r.Last == seq:
+			// drop entirely
+		case r.First == seq:
+			out = append(out, SeqRange{First: seq + 1, Last: r.Last})
+		case r.Last == seq:
+			out = append(out, SeqRange{First: r.First, Last: seq - 1})
+		default:
+			out = append(out, SeqRange{First: r.First, Last: seq - 1},
+				SeqRange{First: seq + 1, Last: r.Last})
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package routing implements the link-state routing substrate JTP rides
+// on (paper §2: JAVeLEN "uses an energy conserving link-state routing
+// algorithm [29], that provides each node with a local, possibly
+// inaccurate, view of the network's topology").
+//
+// Each node keeps its own View — a snapshot of the connectivity graph with
+// shortest-path next hops and hop counts — refreshed on an independent
+// jittered timer. Under mobility, views go stale between refreshes,
+// reproducing the paper's "topological views at the nodes are typically
+// not accurate": iJTP's per-hop loss-tolerance computation (§3) and its
+// re-encoding of the tolerance field are what keep the end-to-end
+// reliability target intact despite that inaccuracy.
+//
+// The full flooding protocol of [29] is not simulated; its *effect* — a
+// periodically refreshed, possibly stale local view — is. Routing control
+// traffic is excluded from the energy accounting exactly as the paper
+// excludes "energy consumed for network maintenance by the lower layers"
+// (§6.1).
+package routing
+
+import (
+	"sort"
+
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+)
+
+// Directory is the oracle the routers snapshot their views from: node
+// positions and radio range. The node package implements it over the
+// topology and channel.
+type Directory interface {
+	// N returns the number of nodes.
+	N() int
+	// Linked reports whether two nodes are currently within radio range.
+	Linked(a, b packet.NodeID) bool
+}
+
+// View is one node's snapshot of the topology: next hops and hop counts
+// for every destination.
+type View struct {
+	// UpdatedAt is the virtual time of the snapshot.
+	UpdatedAt sim.Time
+	next      []packet.NodeID // next[dst], self for dst==self
+	hops      []int           // hops[dst], -1 unreachable
+}
+
+// NextHop returns the next hop toward dst and whether dst is reachable.
+func (v *View) NextHop(dst packet.NodeID) (packet.NodeID, bool) {
+	if v == nil || int(dst) >= len(v.hops) || v.hops[dst] < 0 {
+		return 0, false
+	}
+	return v.next[dst], true
+}
+
+// Hops returns the number of links to dst (0 for self), or -1 if
+// unreachable in this view.
+func (v *View) Hops(dst packet.NodeID) int {
+	if v == nil || int(dst) >= len(v.hops) {
+		return -1
+	}
+	return v.hops[dst]
+}
+
+// buildView computes shortest paths from src by BFS over the current
+// adjacency, with neighbors visited in id order for determinism.
+func buildView(dir Directory, src packet.NodeID, at sim.Time) *View {
+	n := dir.N()
+	v := &View{
+		UpdatedAt: at,
+		next:      make([]packet.NodeID, n),
+		hops:      make([]int, n),
+	}
+	for i := range v.hops {
+		v.hops[i] = -1
+	}
+	v.hops[src] = 0
+	v.next[src] = src
+
+	// first hop on the path; computed by BFS outward from src
+	queue := []packet.NodeID{src}
+	neighbors := make([]packet.NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		neighbors = neighbors[:0]
+		for w := 0; w < n; w++ {
+			id := packet.NodeID(w)
+			if id != u && dir.Linked(u, id) {
+				neighbors = append(neighbors, id)
+			}
+		}
+		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+		for _, w := range neighbors {
+			if v.hops[w] >= 0 {
+				continue
+			}
+			v.hops[w] = v.hops[u] + 1
+			if u == src {
+				v.next[w] = w
+			} else {
+				v.next[w] = v.next[u]
+			}
+			queue = append(queue, w)
+		}
+	}
+	return v
+}
+
+// Config parameterizes the routing layer.
+type Config struct {
+	// UpdatePeriod is how often each node refreshes its view. Zero means
+	// static routing: views are computed once at Start.
+	UpdatePeriod sim.Duration
+	// UpdateJitter desynchronizes the refresh timers.
+	UpdateJitter sim.Duration
+}
+
+// Defaults returns 1 s refresh with 200 ms jitter (mobile scenarios);
+// static scenarios pass UpdatePeriod 0.
+func Defaults() Config {
+	return Config{UpdatePeriod: sim.Second, UpdateJitter: 200 * sim.Millisecond}
+}
+
+// Router is one node's routing instance.
+type Router struct {
+	id   packet.NodeID
+	dir  Directory
+	eng  *sim.Engine
+	cfg  Config
+	view *View
+	tick *sim.Ticker
+}
+
+// New returns a router for node id over the directory.
+func New(eng *sim.Engine, id packet.NodeID, dir Directory, cfg Config) *Router {
+	return &Router{id: id, dir: dir, eng: eng, cfg: cfg}
+}
+
+// Start computes the initial view and, for a positive update period,
+// begins periodic refresh.
+func (r *Router) Start() {
+	r.Refresh()
+	if r.cfg.UpdatePeriod > 0 {
+		r.tick = r.eng.NewJitteredTicker(r.cfg.UpdatePeriod, r.cfg.UpdateJitter, r.Refresh)
+	}
+}
+
+// Stop halts periodic refresh.
+func (r *Router) Stop() {
+	if r.tick != nil {
+		r.tick.Stop()
+	}
+}
+
+// Refresh recomputes the view from the directory immediately.
+func (r *Router) Refresh() {
+	r.view = buildView(r.dir, r.id, r.eng.Now())
+}
+
+// NextHop returns the next hop toward dst according to this node's
+// current (possibly stale) view.
+func (r *Router) NextHop(dst packet.NodeID) (packet.NodeID, bool) {
+	if dst == r.id {
+		return r.id, true
+	}
+	return r.view.NextHop(dst)
+}
+
+// HopsTo returns this node's estimate of the remaining path length to
+// dst — the H_i of §3 — or -1 if dst is unreachable in the current view.
+func (r *Router) HopsTo(dst packet.NodeID) int {
+	return r.view.Hops(dst)
+}
+
+// View returns the current snapshot (for tests and tracing).
+func (r *Router) View() *View { return r.view }

@@ -1,0 +1,180 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+)
+
+// gridDir is an adjustable directory for tests: an explicit adjacency
+// matrix.
+type gridDir struct {
+	n   int
+	adj map[[2]packet.NodeID]bool
+}
+
+func newDir(n int) *gridDir {
+	return &gridDir{n: n, adj: map[[2]packet.NodeID]bool{}}
+}
+
+func (d *gridDir) link(a, b packet.NodeID) {
+	d.adj[[2]packet.NodeID{a, b}] = true
+	d.adj[[2]packet.NodeID{b, a}] = true
+}
+
+func (d *gridDir) unlink(a, b packet.NodeID) {
+	delete(d.adj, [2]packet.NodeID{a, b})
+	delete(d.adj, [2]packet.NodeID{b, a})
+}
+
+func (d *gridDir) N() int { return d.n }
+func (d *gridDir) Linked(a, b packet.NodeID) bool {
+	return d.adj[[2]packet.NodeID{a, b}]
+}
+
+func chain(n int) *gridDir {
+	d := newDir(n)
+	for i := 0; i < n-1; i++ {
+		d.link(packet.NodeID(i), packet.NodeID(i+1))
+	}
+	return d
+}
+
+func TestChainNextHops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(5)
+	r := New(eng, 0, d, Config{})
+	r.Start()
+	nh, ok := r.NextHop(4)
+	if !ok || nh != 1 {
+		t.Fatalf("next hop to 4 = %v ok=%v", nh, ok)
+	}
+	if h := r.HopsTo(4); h != 4 {
+		t.Fatalf("hops to 4 = %d", h)
+	}
+	if h := r.HopsTo(0); h != 0 {
+		t.Fatalf("hops to self = %d", h)
+	}
+	nh, ok = r.NextHop(0)
+	if !ok || nh != 0 {
+		t.Fatal("self next hop")
+	}
+}
+
+func TestMidChainRouting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(7)
+	r := New(eng, 3, d, Config{})
+	r.Start()
+	if nh, _ := r.NextHop(0); nh != 2 {
+		t.Fatalf("left next hop = %v", nh)
+	}
+	if nh, _ := r.NextHop(6); nh != 4 {
+		t.Fatalf("right next hop = %v", nh)
+	}
+	if h := r.HopsTo(6); h != 3 {
+		t.Fatalf("hops = %d", h)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(4)
+	d.unlink(1, 2)
+	r := New(eng, 0, d, Config{})
+	r.Start()
+	if _, ok := r.NextHop(3); ok {
+		t.Fatal("partitioned destination should be unreachable")
+	}
+	if h := r.HopsTo(3); h != -1 {
+		t.Fatalf("hops to unreachable = %d", h)
+	}
+}
+
+func TestShortestPathPreferred(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3, plus direct 0-3.
+	eng := sim.NewEngine(1)
+	d := newDir(4)
+	d.link(0, 1)
+	d.link(1, 3)
+	d.link(0, 2)
+	d.link(2, 3)
+	d.link(0, 3)
+	r := New(eng, 0, d, Config{})
+	r.Start()
+	if nh, _ := r.NextHop(3); nh != 3 {
+		t.Fatalf("direct link ignored: next hop %v", nh)
+	}
+	if h := r.HopsTo(3); h != 1 {
+		t.Fatalf("hops = %d", h)
+	}
+}
+
+func TestStaleViewUntilRefresh(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(4)
+	r := New(eng, 0, d, Config{}) // static: no periodic refresh
+	r.Start()
+	d.unlink(2, 3) // topology changes under the router
+	if h := r.HopsTo(3); h != 3 {
+		t.Fatalf("static view should be stale, hops=%d", h)
+	}
+	r.Refresh()
+	if h := r.HopsTo(3); h != -1 {
+		t.Fatalf("refresh should see the partition, hops=%d", h)
+	}
+}
+
+func TestPeriodicRefresh(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(4)
+	r := New(eng, 0, d, Config{UpdatePeriod: sim.Second, UpdateJitter: 100 * sim.Millisecond})
+	r.Start()
+	d.unlink(2, 3)
+	eng.RunFor(3 * sim.Second)
+	if h := r.HopsTo(3); h != -1 {
+		t.Fatalf("periodic refresh missed the change, hops=%d", h)
+	}
+	r.Stop()
+	d.link(2, 3)
+	eng.RunFor(3 * sim.Second)
+	if h := r.HopsTo(3); h != -1 {
+		t.Fatal("stopped router kept refreshing")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two equal-length paths: via 1 or via 2; BFS visits neighbors in id
+	// order, so via-1 must win, and repeatedly.
+	eng := sim.NewEngine(1)
+	d := newDir(4)
+	d.link(0, 1)
+	d.link(0, 2)
+	d.link(1, 3)
+	d.link(2, 3)
+	for i := 0; i < 5; i++ {
+		r := New(eng, 0, d, Config{})
+		r.Start()
+		if nh, _ := r.NextHop(3); nh != 1 {
+			t.Fatalf("tie break not deterministic: %v", nh)
+		}
+	}
+}
+
+func TestViewSnapshotAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, 0, chain(3), Config{})
+	r.Start()
+	v := r.View()
+	if v == nil || v.Hops(2) != 2 {
+		t.Fatal("view accessor broken")
+	}
+	var nilView *View
+	if _, ok := nilView.NextHop(1); ok {
+		t.Fatal("nil view should route nowhere")
+	}
+	if nilView.Hops(1) != -1 {
+		t.Fatal("nil view hops should be -1")
+	}
+}

@@ -1,0 +1,284 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate on which the whole JTP reproduction runs: the
+// TDMA MAC schedules one event per slot, transports schedule pacing and
+// timeout events, the mobility model schedules waypoint changes, and so on.
+// Events execute in strict (time, sequence) order, so a run is a pure
+// function of its configuration and random seed.
+//
+// Virtual time is an int64 nanosecond count (type Time). Using integer
+// nanoseconds instead of float64 seconds makes event ordering exact and
+// keeps long runs (hours of virtual time) free of floating-point drift.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is kept distinct so simulation code cannot accidentally
+// mix wall-clock and virtual durations.
+type Duration int64
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Seconds reports the time as a float64 number of seconds. Intended for
+// metrics and display, never for event ordering.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds reports the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// DurationOf converts a float64 number of seconds into a Duration,
+// rounding to the nearest nanosecond.
+func DurationOf(seconds float64) Duration {
+	return Duration(seconds*float64(Second) + 0.5)
+}
+
+// Add offsets a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Handler is the callback attached to a scheduled event. It runs at the
+// event's virtual time on the single simulation goroutine; handlers must not
+// block and must not retain the engine across runs.
+type Handler func()
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant, preserving FIFO order within a timestamp.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+// The zero value is an inert reference whose Stop is a no-op.
+type EventRef struct{ ev *event }
+
+// Stop cancels the referenced event if it has not yet fired.
+// It reports whether the event was still pending.
+func (r EventRef) Stop() bool {
+	if r.ev == nil || r.ev.stopped || r.ev.index < 0 {
+		return false
+	}
+	r.ev.stopped = true
+	return true
+}
+
+// Pending reports whether the referenced event is scheduled and not cancelled.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.stopped && r.ev.index >= 0
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; all simulation state is owned by the goroutine calling
+// Run (the usual pattern for deterministic network simulators).
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Executed counts handlers run; useful for progress reporting and to
+	// bound runaway simulations in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// The same seed always reproduces the same run.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. All stochastic
+// simulation decisions (link loss draws, jitter, placement) must come from
+// this source to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero
+// (the event fires at the current time, after already-queued events for
+// this instant).
+func (e *Engine) Schedule(d Duration, fn Handler) EventRef {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to the current instant.
+func (e *Engine) ScheduleAt(at Time, fn Handler) EventRef {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil handler")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return EventRef{ev}
+}
+
+// Stop halts the run loop after the currently executing handler returns.
+// Pending events remain queued; a subsequent RunUntil may resume them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than end. Virtual time is left at end (or at the last
+// event's time, whichever is larger) so repeated calls advance monotonically.
+func (e *Engine) RunUntil(end Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		e.Executed++
+		next.fn()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// RunFor executes events for a span of virtual time starting at Now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Drain executes all remaining events regardless of time. Intended for
+// tests; production runs should bound time with RunUntil.
+func (e *Engine) Drain() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*event)
+		if next.stopped {
+			continue
+		}
+		e.now = next.at
+		e.Executed++
+		next.fn()
+	}
+}
+
+// PendingEvents reports the number of scheduled, uncancelled events.
+func (e *Engine) PendingEvents() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Ticker invokes fn every period until Stop is called on the returned
+// ticker. The first invocation happens one period from now (plus jitter if
+// any). Jitter, when positive, uniformly perturbs each period by ±jitter/2;
+// it models unsynchronized periodic processes (e.g. routing updates).
+type Ticker struct {
+	engine *Engine
+	period Duration
+	jitter Duration
+	fn     Handler
+	ref    EventRef
+	done   bool
+}
+
+// NewTicker schedules fn every period. period must be positive.
+func (e *Engine) NewTicker(period Duration, fn Handler) *Ticker {
+	return e.NewJitteredTicker(period, 0, fn)
+}
+
+// NewJitteredTicker schedules fn roughly every period, each interval
+// perturbed uniformly by ±jitter/2.
+func (e *Engine) NewJitteredTicker(period, jitter Duration, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, jitter: jitter, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	d := t.period
+	if t.jitter > 0 {
+		d += Duration(t.engine.rng.Int63n(int64(t.jitter))) - t.jitter/2
+		if d <= 0 {
+			d = 1
+		}
+	}
+	t.ref = t.engine.Schedule(d, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.ref.Stop()
+}

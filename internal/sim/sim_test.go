@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*Second, func() { got = append(got, 3) })
+	e.Schedule(1*Second, func() { got = append(got, 1) })
+	e.Schedule(2*Second, func() { got = append(got, 2) })
+	e.RunUntil(Time(10 * Second))
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { got = append(got, i) })
+	}
+	e.RunUntil(Time(2 * Second))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(5*Second, func() { ran++ })
+	e.Schedule(10*Second+1, func() { ran++ })
+	e.RunUntil(Time(10 * Second))
+	if ran != 1 {
+		t.Fatalf("expected exactly the in-window event, ran=%d", ran)
+	}
+	if e.Now() != Time(10*Second) {
+		t.Fatalf("time should land on the boundary, got %v", e.Now())
+	}
+	e.RunUntil(Time(20 * Second))
+	if ran != 2 {
+		t.Fatalf("later event should run on resume, ran=%d", ran)
+	}
+}
+
+func TestEventStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ref := e.Schedule(Second, func() { ran = true })
+	if !ref.Pending() {
+		t.Fatal("freshly scheduled event should be pending")
+	}
+	if !ref.Stop() {
+		t.Fatal("Stop should report the event was pending")
+	}
+	if ref.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.RunUntil(Time(10 * Second))
+	if ran {
+		t.Fatal("stopped event ran")
+	}
+	var zero EventRef
+	if zero.Stop() || zero.Pending() {
+		t.Fatal("zero EventRef must be inert")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(Second, recurse)
+		}
+	}
+	e.Schedule(Second, recurse)
+	e.RunUntil(Time(100 * Second))
+	if depth != 5 {
+		t.Fatalf("nested scheduling depth = %d, want 5", depth)
+	}
+	if e.Now() != Time(100*Second) {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-5*Second, func() { ran = true })
+	e.RunUntil(0)
+	if !ran {
+		t.Fatal("negative-delay event should fire immediately")
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(Second, func() { count++; e.Stop() })
+	e.Schedule(2*Second, func() { count++ })
+	e.RunUntil(Time(10 * Second))
+	if count != 1 {
+		t.Fatalf("Stop did not halt the loop, count=%d", count)
+	}
+	e.RunUntil(Time(10 * Second))
+	if count != 2 {
+		t.Fatalf("resume after Stop failed, count=%d", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	tk := e.NewTicker(Second, func() { ticks++ })
+	e.RunUntil(Time(5*Second + Millisecond))
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	tk.Stop()
+	e.RunUntil(Time(10 * Second))
+	if ticks != 5 {
+		t.Fatalf("ticker kept firing after Stop: %d", ticks)
+	}
+}
+
+func TestTickerStopInsideHandler(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	var tk *Ticker
+	tk = e.NewTicker(Second, func() {
+		ticks++
+		if ticks == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Time(20 * Second))
+	if ticks != 3 {
+		t.Fatalf("ticker should self-stop at 3, got %d", ticks)
+	}
+}
+
+func TestJitteredTickerStaysPositive(t *testing.T) {
+	e := NewEngine(7)
+	ticks := 0
+	e.NewJitteredTicker(Second, 500*Millisecond, func() { ticks++ })
+	e.RunUntil(Time(100 * Second))
+	// Expect roughly 100 ticks; jitter is symmetric.
+	if ticks < 80 || ticks > 125 {
+		t.Fatalf("jittered ticker fired %d times over 100s at 1Hz", ticks)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(99)
+		var vals []float64
+		e.NewTicker(Second, func() { vals = append(vals, e.Rand().Float64()) })
+		e.RunUntil(Time(10 * Second))
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(1000*Second, func() { ran++ })
+	e.Schedule(2000*Second, func() { ran++ })
+	e.Drain()
+	if ran != 2 {
+		t.Fatalf("Drain ran %d events, want 2", ran)
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("pending after drain: %d", e.PendingEvents())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if DurationOf(1.5) != Duration(1500*Millisecond) {
+		t.Fatalf("DurationOf(1.5) = %d", DurationOf(1.5))
+	}
+	tm := Time(2500 * Millisecond)
+	if tm.Seconds() != 2.5 {
+		t.Fatalf("Seconds() = %v", tm.Seconds())
+	}
+	if tm.Add(500*Millisecond) != Time(3*Second) {
+		t.Fatal("Add failed")
+	}
+	if tm.Sub(Time(Second)) != Duration(1500*Millisecond) {
+		t.Fatal("Sub failed")
+	}
+	if tm.String() != "2.500s" {
+		t.Fatalf("String() = %q", tm.String())
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(Time(5 * Second))
+	ran := false
+	e.ScheduleAt(Time(Second), func() { ran = true })
+	e.RunUntil(Time(5 * Second))
+	if !ran {
+		t.Fatal("past-scheduled event should fire at current time")
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	e := NewEngine(1)
+	r1 := e.Schedule(Second, func() {})
+	e.Schedule(2*Second, func() {})
+	if e.PendingEvents() != 2 {
+		t.Fatalf("pending = %d, want 2", e.PendingEvents())
+	}
+	r1.Stop()
+	if e.PendingEvents() != 1 {
+		t.Fatalf("pending after stop = %d, want 1", e.PendingEvents())
+	}
+}

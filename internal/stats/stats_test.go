@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Primed() {
+		t.Fatal("fresh EWMA should be unprimed")
+	}
+	if v := e.Add(10); v != 10 {
+		t.Fatalf("first sample should initialize: %v", v)
+	}
+	if v := e.Add(20); v != 15 {
+		t.Fatalf("second sample: %v, want 15", v)
+	}
+	e.Set(100)
+	if e.Value() != 100 {
+		t.Fatal("Set failed")
+	}
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.1)
+	for i := 0; i < 500; i++ {
+		e.Add(7)
+	}
+	if math.Abs(e.Value()-7) > 1e-9 {
+		t.Fatalf("EWMA of constant stream = %v", e.Value())
+	}
+}
+
+func TestRunningAgainstNaive(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if math.Abs(r.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean %v vs naive %v", r.Mean(), mean)
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	naiveVar := varSum / float64(len(xs)-1)
+	if math.Abs(r.Variance()-naiveVar) > 1e-12 {
+		t.Fatalf("variance %v vs naive %v", r.Variance(), naiveVar)
+	}
+	if r.Min() != 1 || r.Max() != 9 || r.N() != 10 {
+		t.Fatalf("min/max/n wrong: %v %v %v", r.Min(), r.Max(), r.N())
+	}
+	if math.Abs(r.Sum()-39) > 1e-12 {
+		t.Fatalf("sum = %v", r.Sum())
+	}
+}
+
+func TestRunningWelfordProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		sum := 0.0
+		for _, x := range xs {
+			// bound magnitude to keep float comparisons honest
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				continue
+			}
+			r.Add(x)
+			sum += x
+		}
+		if r.N() == 0 {
+			return r.Mean() == 0
+		}
+		return math.Abs(r.Mean()-sum/float64(r.N())) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	var r Running
+	if r.CI95() != 0 {
+		t.Fatal("empty CI should be 0")
+	}
+	r.Add(5)
+	if r.CI95() != 0 {
+		t.Fatal("single-sample CI should be 0")
+	}
+	for i := 0; i < 19; i++ {
+		r.Add(5)
+	}
+	if r.CI95() != 0 {
+		t.Fatal("zero-variance CI should be 0")
+	}
+	var r2 Running
+	for i := 0; i < 20; i++ {
+		r2.Add(float64(i % 2)) // alternating 0/1
+	}
+	ci := r2.CI95()
+	// stddev ≈ 0.513, t(19) ≈ 2.093, n=20 → ci ≈ 0.24
+	if ci < 0.2 || ci > 0.3 {
+		t.Fatalf("CI95 = %v, expected ≈0.24", ci)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(1) != 12.706 {
+		t.Fatalf("df=1: %v", tCritical95(1))
+	}
+	if tCritical95(30) != 2.042 {
+		t.Fatalf("df=30: %v", tCritical95(30))
+	}
+	if tCritical95(1000) != 1.960 {
+		t.Fatalf("df large: %v", tCritical95(1000))
+	}
+	if tCritical95(0) != 0 {
+		t.Fatal("df=0 should be 0")
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	sub := s.Between(1.5, 3)
+	if sub.Len() != 1 || sub.Samples[0].V != 20 {
+		t.Fatalf("Between failed: %+v", sub.Samples)
+	}
+}
+
+func TestSeriesBin(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	b := s.Bin(5)
+	if b.Len() != 2 {
+		t.Fatalf("Bin len = %d, want 2", b.Len())
+	}
+	if b.Samples[0].V != 2 { // mean of 0..4
+		t.Fatalf("first bin mean = %v", b.Samples[0].V)
+	}
+	if b.Samples[1].V != 7 { // mean of 5..9
+		t.Fatalf("second bin mean = %v", b.Samples[1].V)
+	}
+	if (&Series{}).Bin(5).Len() != 0 {
+		t.Fatal("empty series Bin should be empty")
+	}
+}
+
+func TestSeriesCumulativeMean(t *testing.T) {
+	var s Series
+	s.Add(0, 2)
+	s.Add(1, 4)
+	s.Add(2, 6)
+	c := s.CumulativeMean()
+	want := []float64{2, 3, 4}
+	for i, w := range want {
+		if c.Samples[i].V != w {
+			t.Fatalf("cum[%d] = %v, want %v", i, c.Samples[i].V, w)
+		}
+	}
+}
+
+func TestSeriesQuantile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if q := s.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if (&Series{}).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}

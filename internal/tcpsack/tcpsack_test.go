@@ -1,0 +1,232 @@
+package tcpsack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+func testNet(t *testing.T, n int, ch channel.Config, seed int64) (*sim.Engine, *node.Network) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	nw := node.New(eng, node.Config{
+		Topo:    topology.Linear(n, 80),
+		Channel: ch,
+		MAC:     mac.Defaults(),
+		Routing: routing.Config{},
+		Energy:  energy.JAVeLEN(),
+	})
+	nw.Start()
+	return eng, nw
+}
+
+func clean() channel.Config {
+	c := channel.Defaults()
+	c.GoodLoss = 0
+	c.Static = true
+	return c
+}
+
+func TestPadhyeRateBehaviour(t *testing.T) {
+	// Lower loss ⇒ higher rate.
+	if PadhyeRate(1, 2, 0.01, 2) <= PadhyeRate(1, 2, 0.1, 2) {
+		t.Fatal("rate must fall with loss")
+	}
+	// Longer RTT ⇒ lower rate.
+	if PadhyeRate(2, 4, 0.05, 2) >= PadhyeRate(1, 2, 0.05, 2) {
+		t.Fatal("rate must fall with RTT")
+	}
+	// Known point: RTT=1, p=0.01, b=2 → denominator ≈ 1·0.1155 + small.
+	r := PadhyeRate(1, 1, 0.01, 2)
+	if r < 5 || r > 10 {
+		t.Fatalf("PadhyeRate(1,1,0.01,2) = %.2f, expected ≈8", r)
+	}
+	if math.IsInf(PadhyeRate(0.5, 1, 0, 2), 1) {
+		t.Fatal("p floor missing")
+	}
+}
+
+func TestPadhyeMonotoneProperty(t *testing.T) {
+	prop := func(p1, p2 float64) bool {
+		a := 1e-4 + math.Mod(math.Abs(p1), 0.9)
+		b := 1e-4 + math.Mod(math.Abs(p2), 0.9)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return PadhyeRate(1, 2, a, 2)+1e-12 >= PadhyeRate(1, 2, b, 2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentSizes(t *testing.T) {
+	d := &Segment{Kind: Data, PayloadLen: DefaultPayloadLen}
+	if d.Size() != 800 {
+		t.Fatalf("data segment = %d bytes", d.Size())
+	}
+	a := &Segment{Kind: Ack, Sack: []packet.SeqRange{{First: 1, Last: 2}, {First: 4, Last: 4}}}
+	if a.Size() != HeaderSize+2*SackBlockSize {
+		t.Fatalf("ack size = %d", a.Size())
+	}
+	if d.Label() != "tcp-DATA" || a.Label() != "tcp-ACK" {
+		t.Fatal("labels")
+	}
+	_ = d.String()
+	_ = a.String()
+}
+
+func TestCleanTransfer(t *testing.T) {
+	eng, nw := testNet(t, 4, clean(), 1)
+	cfg := Defaults(1, 0, 3)
+	cfg.TotalPackets = 40
+	conn := Dial(nw, cfg)
+	conn.Start()
+	eng.RunFor(300 * sim.Second)
+	if !conn.Done() {
+		t.Fatalf("clean tcp transfer incomplete: %+v", conn.Receiver.Stats())
+	}
+	if rtx := conn.Sender.Stats().Retransmissions; rtx != 0 {
+		t.Fatalf("clean path retransmissions: %d", rtx)
+	}
+}
+
+func TestDelayedAckRatio(t *testing.T) {
+	eng, nw := testNet(t, 3, clean(), 2)
+	cfg := Defaults(1, 0, 2)
+	cfg.TotalPackets = 60
+	conn := Dial(nw, cfg)
+	conn.Start()
+	eng.RunFor(400 * sim.Second)
+	rs := conn.Receiver.Stats()
+	if !rs.Completed {
+		t.Fatal("incomplete")
+	}
+	// In-order delivery: 1 ACK per 2 data segments (±timer flushes).
+	if rs.AcksSent < 28 || rs.AcksSent > 40 {
+		t.Fatalf("delayed acks = %d for 60 packets", rs.AcksSent)
+	}
+}
+
+func TestLossyTransferCompletes(t *testing.T) {
+	eng, nw := testNet(t, 4, channel.Defaults(), 3)
+	cfg := Defaults(1, 0, 3)
+	cfg.TotalPackets = 30
+	conn := Dial(nw, cfg)
+	conn.Start()
+	eng.RunFor(3000 * sim.Second)
+	if !conn.Done() {
+		t.Fatalf("lossy tcp transfer incomplete: recv %+v sender %+v",
+			conn.Receiver.Stats(), conn.Sender.Stats())
+	}
+	if conn.Sender.Stats().Retransmissions == 0 {
+		t.Fatal("lossy single-attempt path needs e2e retransmissions")
+	}
+}
+
+func TestRTOBackoffResets(t *testing.T) {
+	eng, nw := testNet(t, 3, clean(), 4)
+	cfg := Defaults(1, 0, 2)
+	s := NewSender(nw, cfg)
+	s.Start()
+	defer s.Stop()
+	eng.RunFor(2 * sim.Second)
+	base := s.rto()
+	s.rtoBackoff = 3
+	if s.rto() <= base {
+		t.Fatal("backoff did not raise RTO")
+	}
+	if s.rto() > 16 {
+		t.Fatal("RTO cap exceeded")
+	}
+	// Cumulative progress resets the backoff.
+	s.inflight[0] = &sentInfo{sentAt: eng.Now()}
+	s.Deliver(&Segment{Kind: Ack, Src: 2, Dst: 0, Flow: 1, CumAck: 1}, 1)
+	if s.rtoBackoff != 0 {
+		t.Fatal("cumAck progress did not reset RTO backoff")
+	}
+}
+
+func TestSackTriggersFastRetransmit(t *testing.T) {
+	eng, nw := testNet(t, 3, clean(), 5)
+	cfg := Defaults(1, 0, 2)
+	s := NewSender(nw, cfg)
+	s.Start()
+	defer s.Stop()
+	eng.RunFor(30 * sim.Second) // a few packets out
+	// Fake: cum at 0 (seq 0 lost) but 1..3 SACKed.
+	for seq := uint32(0); seq < 4; seq++ {
+		if s.inflight[seq] == nil {
+			s.inflight[seq] = &sentInfo{sentAt: eng.Now()}
+		}
+	}
+	s.Deliver(&Segment{
+		Kind: Ack, Src: 2, Dst: 0, Flow: 1, CumAck: 0,
+		Sack: []packet.SeqRange{{First: 1, Last: 3}},
+	}, 1)
+	found := false
+	for _, seq := range s.pending {
+		if seq == 0 {
+			found = true
+		}
+	}
+	if !found && !s.inPend[0] {
+		t.Fatal("hole below SACKed block not queued for fast retransmit")
+	}
+}
+
+func TestReceiverImmediateAckOnOutOfOrder(t *testing.T) {
+	eng, nw := testNet(t, 3, clean(), 6)
+	cfg := Defaults(1, 0, 2)
+	r := NewReceiver(nw, cfg)
+	r.Start()
+	defer r.Stop()
+	r.Deliver(&Segment{Kind: Data, Src: 0, Dst: 2, Flow: 1, Seq: 0, PayloadLen: 10}, 1)
+	acks0 := r.Stats().AcksSent
+	// Gap: seq 2 arrives before 1 → immediate dup-ack-style feedback.
+	r.Deliver(&Segment{Kind: Data, Src: 0, Dst: 2, Flow: 1, Seq: 2, PayloadLen: 10}, 1)
+	if r.Stats().AcksSent != acks0+1 {
+		t.Fatal("out-of-order arrival should ACK immediately")
+	}
+	_ = eng
+}
+
+func TestSackBlocksMostRecentFirst(t *testing.T) {
+	_, nw := testNet(t, 3, clean(), 7)
+	cfg := Defaults(1, 0, 2)
+	r := NewReceiver(nw, cfg)
+	r.Start()
+	defer r.Stop()
+	for _, seq := range []uint32{0, 2, 5, 9} {
+		r.Deliver(&Segment{Kind: Data, Src: 0, Dst: 2, Flow: 1, Seq: seq, PayloadLen: 10}, 1)
+	}
+	blocks := r.sackBlocks()
+	if len(blocks) != 3 {
+		t.Fatalf("sack blocks = %v", blocks)
+	}
+	if blocks[0].First != 9 {
+		t.Fatalf("most recent block first: %v", blocks)
+	}
+}
+
+func TestFlowIDAndHops(t *testing.T) {
+	s := &Segment{Flow: 7}
+	if s.FlowID() != 7 {
+		t.Fatal("flow id")
+	}
+	if s.AddHop() != 1 || s.AddHop() != 2 {
+		t.Fatal("hop counter")
+	}
+}

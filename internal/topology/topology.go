@@ -1,0 +1,196 @@
+// Package topology builds the node layouts used by the evaluation:
+// static linear chains (§6.1.1), random two-dimensional fields sized so the
+// network is connected with high probability (§6.1.2), and grids for
+// additional tests.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/javelen/jtp/internal/geom"
+	"github.com/javelen/jtp/internal/packet"
+)
+
+// Topology is a set of node positions in a field. Node IDs are dense,
+// starting at 0.
+type Topology struct {
+	// Field is the simulation area.
+	Field geom.Rect
+	// Pos maps node id (by index) to position.
+	Pos []geom.Point
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Pos) }
+
+// Position returns node id's position.
+func (t *Topology) Position(id packet.NodeID) geom.Point { return t.Pos[int(id)] }
+
+// SetPosition moves a node (the mobility model calls this).
+func (t *Topology) SetPosition(id packet.NodeID, p geom.Point) { t.Pos[int(id)] = p }
+
+// IDs returns all node ids in order.
+func (t *Topology) IDs() []packet.NodeID {
+	ids := make([]packet.NodeID, t.N())
+	for i := range ids {
+		ids[i] = packet.NodeID(i)
+	}
+	return ids
+}
+
+// Clone returns a deep copy (mobility mutates positions in place).
+func (t *Topology) Clone() *Topology {
+	return &Topology{Field: t.Field, Pos: append([]geom.Point(nil), t.Pos...)}
+}
+
+// String summarizes the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology(n=%d, field=%.0fx%.0fm)", t.N(), t.Field.Width(), t.Field.Height())
+}
+
+// Linear places n nodes on a straight line with the given spacing in
+// meters. With spacing below the radio range, consecutive nodes are
+// neighbors and the chain has n−1 hops — the static linear topologies of
+// §6.1.1 where "the source and the destination ... are placed at the two
+// ends of the network".
+func Linear(n int, spacing float64) *Topology {
+	if n < 1 {
+		panic("topology: Linear needs n >= 1")
+	}
+	t := &Topology{
+		Field: geom.Rect{Min: geom.Point{X: 0, Y: 0},
+			Max: geom.Point{X: spacing * float64(n), Y: spacing}},
+		Pos: make([]geom.Point, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Pos[i] = geom.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return t
+}
+
+// Grid places nodes on a rows×cols lattice with the given spacing.
+func Grid(rows, cols int, spacing float64) *Topology {
+	if rows < 1 || cols < 1 {
+		panic("topology: Grid needs positive dimensions")
+	}
+	t := &Topology{
+		Field: geom.Rect{Min: geom.Point{},
+			Max: geom.Point{X: spacing * float64(cols), Y: spacing * float64(rows)}},
+		Pos: make([]geom.Point, 0, rows*cols),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			t.Pos = append(t.Pos, geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return t
+}
+
+// FieldSideFor returns the side of a square field in which n nodes with
+// the given radio range are connected with high probability. It uses the
+// critical-connectivity scaling for random geometric graphs,
+// r ≈ side·sqrt(ln n / (π n)), solved for the side with a safety margin —
+// the paper's "the field size is set to ensure that the network is
+// connected with high probability" (§6.1.2).
+func FieldSideFor(n int, radioRange float64) float64 {
+	if n < 2 {
+		return radioRange
+	}
+	crit := math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
+	// Keep the normalized range ~35% above critical.
+	return radioRange / (1.35 * crit) * 1.0
+}
+
+// Random places n nodes uniformly in a square field sized by FieldSideFor
+// and retries until the resulting unit-disk graph is connected (or
+// maxTries is exhausted, when it returns the last attempt and false).
+func Random(n int, radioRange float64, rng *rand.Rand, maxTries int) (*Topology, bool) {
+	side := FieldSideFor(n, radioRange)
+	if maxTries <= 0 {
+		maxTries = 100
+	}
+	var t *Topology
+	for try := 0; try < maxTries; try++ {
+		t = &Topology{Field: geom.Square(side), Pos: make([]geom.Point, n)}
+		for i := range t.Pos {
+			t.Pos[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		}
+		if Connected(t, radioRange) {
+			return t, true
+		}
+	}
+	return t, false
+}
+
+// Adjacency returns the unit-disk adjacency lists under the given range.
+func Adjacency(t *Topology, radioRange float64) [][]packet.NodeID {
+	n := t.N()
+	adj := make([][]packet.NodeID, n)
+	r2 := radioRange * radioRange
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if t.Pos[i].Dist2(t.Pos[j]) <= r2 {
+				adj[i] = append(adj[i], packet.NodeID(j))
+				adj[j] = append(adj[j], packet.NodeID(i))
+			}
+		}
+	}
+	return adj
+}
+
+// Connected reports whether the unit-disk graph under the given range is
+// connected.
+func Connected(t *Topology, radioRange float64) bool {
+	n := t.N()
+	if n <= 1 {
+		return true
+	}
+	adj := Adjacency(t, radioRange)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	return count == n
+}
+
+// HopDistance returns the minimum hop count between two nodes under the
+// given range, or -1 if unreachable. BFS; used by tests and flow placement.
+func HopDistance(t *Topology, radioRange float64, a, b packet.NodeID) int {
+	if a == b {
+		return 0
+	}
+	adj := Adjacency(t, radioRange)
+	dist := make([]int, t.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []packet.NodeID{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if w == b {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}

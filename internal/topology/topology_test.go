@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/javelen/jtp/internal/packet"
+)
+
+func TestLinear(t *testing.T) {
+	tp := Linear(5, 80)
+	if tp.N() != 5 {
+		t.Fatalf("N = %d", tp.N())
+	}
+	for i := 0; i < 5; i++ {
+		p := tp.Position(packet.NodeID(i))
+		if p.X != float64(i)*80 || p.Y != 0 {
+			t.Fatalf("node %d at %v", i, p)
+		}
+	}
+	// Spacing 80 < range 100: chain of n-1 hops.
+	if h := HopDistance(tp, 100, 0, 4); h != 4 {
+		t.Fatalf("end-to-end hops = %d, want 4", h)
+	}
+	if !Connected(tp, 100) {
+		t.Fatal("linear chain should be connected")
+	}
+	// Range below spacing: disconnected.
+	if Connected(tp, 79) {
+		t.Fatal("under-ranged chain should be disconnected")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	tp := Grid(3, 4, 50)
+	if tp.N() != 12 {
+		t.Fatalf("N = %d", tp.N())
+	}
+	// Corner to corner: manhattan hops with range covering one step.
+	if h := HopDistance(tp, 51, 0, 11); h != 5 {
+		t.Fatalf("grid corner hops = %d, want 5", h)
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tp, ok := Random(12, 100, rng, 100)
+	if !ok {
+		t.Fatal("could not build connected random topology")
+	}
+	adj := Adjacency(tp, 100)
+	for i, nbrs := range adj {
+		for _, j := range nbrs {
+			found := false
+			for _, back := range adj[j] {
+				if int(back) == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d->%v but not back", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 5 + int(nRaw%20)
+		rng := rand.New(rand.NewSource(seed))
+		tp, ok := Random(n, 100, rng, 200)
+		if !ok {
+			return true // builder honestly reported failure
+		}
+		return Connected(tp, 100) && tp.N() == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistanceUnreachable(t *testing.T) {
+	tp := Linear(3, 200) // spacing beyond range
+	if h := HopDistance(tp, 100, 0, 2); h != -1 {
+		t.Fatalf("unreachable hops = %d, want -1", h)
+	}
+	if h := HopDistance(tp, 100, 1, 1); h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tp := Linear(3, 80)
+	cp := tp.Clone()
+	cp.SetPosition(0, tp.Position(1))
+	if tp.Position(0) == tp.Position(1) {
+		t.Fatal("Clone shares position storage")
+	}
+}
+
+func TestFieldSideGrowth(t *testing.T) {
+	// More nodes at fixed range -> larger field (denser critical radius).
+	if FieldSideFor(10, 100) >= FieldSideFor(40, 100) {
+		t.Fatalf("field should grow with n: %v vs %v",
+			FieldSideFor(10, 100), FieldSideFor(40, 100))
+	}
+	if FieldSideFor(1, 100) != 100 {
+		t.Fatal("degenerate n")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	tp := Linear(3, 10)
+	ids := tp.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if tp.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(t float64, kind Kind, seq uint32) Event {
+	return Event{T: t, Node: 1, Kind: kind, Flow: 1, Seq: seq}
+}
+
+func TestRingRetainsLastN(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Add(ev(float64(i), Transmit, uint32(i)))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	got := tr.Events()
+	for i, e := range got {
+		if e.Seq != uint32(7+i) {
+			t.Fatalf("chronological order broken: %v", got)
+		}
+	}
+}
+
+func TestPartialRing(t *testing.T) {
+	tr := New(10)
+	tr.Add(ev(1, Enqueue, 0))
+	tr.Add(ev(2, Deliver, 0))
+	got := tr.Events()
+	if len(got) != 2 || got[0].Kind != Enqueue || got[1].Kind != Deliver {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(10)
+	tr.Filter = func(e Event) bool { return e.Kind == Drop }
+	tr.Add(ev(1, Transmit, 1))
+	tr.Add(ev(2, Drop, 2))
+	if tr.Len() != 1 || tr.Events()[0].Kind != Drop {
+		t.Fatal("filter not applied")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(10)
+	tr.Add(ev(1.5, Transmit, 7))
+	tr.Add(ev(2.0, Drop, 7))
+	tr.Add(Event{T: 2.5, Node: 2, Kind: Drop, Flow: 1, Seq: 8, Detail: "queue-full"})
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "transmit") || !strings.Contains(out, "queue-full") {
+		t.Fatalf("dump:\n%s", out)
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "drop") || !strings.Contains(sum, "2") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+func TestFlowEvents(t *testing.T) {
+	tr := New(10)
+	tr.Add(Event{Flow: 1, Kind: Deliver})
+	tr.Add(Event{Flow: 2, Kind: Deliver})
+	tr.Add(Event{Flow: 1, Kind: Drop})
+	if n := len(tr.FlowEvents(1)); n != 2 {
+		t.Fatalf("flow 1 events = %d", n)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Enqueue; k <= Feedback; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("unnamed kind %d", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 2000; i++ {
+		tr.Add(ev(float64(i), Transmit, uint32(i)))
+	}
+	if tr.Len() != 1024 {
+		t.Fatalf("default capacity = %d", tr.Len())
+	}
+}

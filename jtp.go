@@ -1,0 +1,445 @@
+package jtp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/javelen/jtp/internal/cache"
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/core"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/ijtp"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/mobility"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+	"github.com/javelen/jtp/internal/trace"
+)
+
+// TopologyKind selects how nodes are laid out.
+type TopologyKind int
+
+const (
+	// LinearTopology places nodes on a chain; node 0 and node N-1 are the
+	// ends.
+	LinearTopology TopologyKind = iota
+	// RandomTopology places nodes uniformly in a square field sized so
+	// the network is connected with high probability.
+	RandomTopology
+)
+
+// ChannelProfile selects the wireless link behaviour.
+type ChannelProfile int
+
+const (
+	// LossyChannel is the paper's evaluation channel: every link
+	// alternates between a good state (5% loss) and a bad state (75%
+	// loss), spending about 10% of the time bad with 3 s mean bad
+	// periods.
+	LossyChannel ChannelProfile = iota
+	// StableChannel is the testbed-like profile: static links with 2%
+	// loss.
+	StableChannel
+)
+
+// CachePolicy selects the in-network cache replacement strategy.
+type CachePolicy int
+
+// Cache replacement policies (paper default LRU; the rest are the §4/§8
+// future-work strategies).
+const (
+	// CacheLRU evicts the least recently manipulated packet.
+	CacheLRU CachePolicy = iota
+	// CacheFIFO evicts the oldest inserted packet.
+	CacheFIFO
+	// CacheRandom evicts a uniformly random packet.
+	CacheRandom
+	// CacheEnergyAware keeps the packets the network has invested the
+	// most transmission energy in.
+	CacheEnergyAware
+)
+
+// SimConfig assembles a simulated JAVeLEN network.
+type SimConfig struct {
+	// Nodes is the network size (required, >= 2).
+	Nodes int
+	// Topology selects the layout (default LinearTopology).
+	Topology TopologyKind
+	// Spacing is the chain spacing in meters for LinearTopology
+	// (default 80; radio range is 100).
+	Spacing float64
+	// MobilitySpeed, when positive, moves nodes under random waypoint
+	// motion at this many m/s (47 m mean legs, 100 s mean pauses).
+	MobilitySpeed float64
+	// Channel selects the link model (default LossyChannel).
+	Channel ChannelProfile
+	// Seed makes runs reproducible; same seed, same run (default 1).
+	Seed int64
+	// CacheCapacity overrides the 1000-packet per-node caches; negative
+	// disables in-network caching entirely (the paper's JNC ablation).
+	CacheCapacity int
+	// MaxAttempts overrides MAX_ATTEMPTS, the per-link transmission
+	// ceiling (default 5).
+	MaxAttempts int
+	// CachePolicy selects the cache replacement strategy (default LRU).
+	CachePolicy CachePolicy
+}
+
+// FlowConfig opens one JTP connection.
+type FlowConfig struct {
+	// Src and Dst are node indices in [0, Nodes).
+	Src, Dst int
+	// TotalPackets is the transfer size in 800-byte packets; 0 means an
+	// unbounded stream.
+	TotalPackets int
+	// LossTolerance is the application's end-to-end loss tolerance in
+	// [0,1): 0 is fully reliable; 0.10 tolerates 10% loss and spends
+	// correspondingly less energy (paper §3).
+	LossTolerance float64
+	// StartAt delays the flow start (virtual seconds from now).
+	StartAt float64
+	// DisableBackoff turns off the §4.2 fairness back-off (ablation).
+	DisableBackoff bool
+	// DisableRetransmissions makes the receiver never request
+	// retransmission (a UDP-like flow).
+	DisableRetransmissions bool
+	// ConstantFeedbackRate forces fixed-rate feedback in packets/s;
+	// 0 keeps the paper's variable-rate feedback.
+	ConstantFeedbackRate float64
+	// DeadlineSeconds, when positive, marks every packet worthless this
+	// many seconds after first transmission (real-time traffic); expired
+	// packets are dropped inside the network instead of consuming
+	// further energy. Combine with LossTolerance and
+	// DisableRetransmissions for streaming.
+	DeadlineSeconds float64
+}
+
+// Sim is a simulated JAVeLEN network running JTP.
+type Sim struct {
+	eng      *sim.Engine
+	nw       *node.Network
+	mob      *mobility.Model
+	plugins  []*ijtp.Plugin
+	flows    []*Flow
+	nextFlow packet.FlowID
+	started  bool
+}
+
+// Flow is one JTP connection opened on a Sim.
+type Flow struct {
+	conn *core.Connection
+	cfg  FlowConfig
+	sim  *Sim
+}
+
+// Errors returned by the facade.
+var (
+	ErrBadConfig   = errors.New("jtp: invalid configuration")
+	ErrUnreachable = errors.New("jtp: destination unreachable")
+)
+
+// NewSim builds a network per the configuration. The returned Sim is
+// idle; open flows and call Run.
+func NewSim(cfg SimConfig) (*Sim, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 nodes, got %d", ErrBadConfig, cfg.Nodes)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	eng := sim.NewEngine(seed)
+
+	chCfg := channel.Defaults()
+	if cfg.Channel == StableChannel {
+		chCfg = channel.Testbed()
+	}
+	spacing := cfg.Spacing
+	if spacing <= 0 {
+		spacing = 80
+	}
+	var topo *topology.Topology
+	switch cfg.Topology {
+	case LinearTopology:
+		topo = topology.Linear(cfg.Nodes, spacing)
+	case RandomTopology:
+		t, ok := topology.Random(cfg.Nodes, chCfg.Range, eng.Rand(), 200)
+		if !ok {
+			return nil, fmt.Errorf("%w: could not place %d connected nodes", ErrBadConfig, cfg.Nodes)
+		}
+		topo = t
+	default:
+		return nil, fmt.Errorf("%w: unknown topology kind %d", ErrBadConfig, cfg.Topology)
+	}
+
+	macCfg := mac.Defaults()
+	if cfg.MaxAttempts > 0 {
+		macCfg.MaxAttempts = cfg.MaxAttempts
+	}
+	rtCfg := routing.Config{}
+	if cfg.MobilitySpeed > 0 {
+		rtCfg = routing.Defaults()
+	}
+	nw := node.New(eng, node.Config{
+		Topo:    topo,
+		Channel: chCfg,
+		MAC:     macCfg,
+		Routing: rtCfg,
+		Energy:  energy.JAVeLEN(),
+	})
+
+	s := &Sim{eng: eng, nw: nw, nextFlow: 1}
+
+	iCfg := ijtp.Defaults()
+	iCfg.MaxAttempts = macCfg.MaxAttempts
+	if cfg.CacheCapacity > 0 {
+		iCfg.CacheCapacity = cfg.CacheCapacity
+	} else if cfg.CacheCapacity < 0 {
+		iCfg.CacheEnabled = false
+	}
+	switch cfg.CachePolicy {
+	case CacheFIFO:
+		iCfg.CachePolicy = cache.FIFO
+	case CacheRandom:
+		iCfg.CachePolicy = cache.Random
+	case CacheEnergyAware:
+		iCfg.CachePolicy = cache.EnergyAware
+	}
+	for _, nd := range nw.Nodes() {
+		id := nd.ID
+		pl := ijtp.New(id, iCfg, nd.Router, func(p *packet.Packet) bool {
+			return nw.SendFromFront(id, p)
+		})
+		pl.Clock = func() float64 { return eng.Now().Seconds() }
+		nd.MAC.AddPlugin(pl)
+		s.plugins = append(s.plugins, pl)
+	}
+
+	if cfg.MobilitySpeed > 0 {
+		s.mob = mobility.New(eng, topo, topo.Field, mobility.Defaults(cfg.MobilitySpeed))
+	}
+	return s, nil
+}
+
+// start launches the substrate lazily on first Run or OpenFlow.
+func (s *Sim) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.nw.Start()
+	if s.mob != nil {
+		s.mob.Start()
+	}
+}
+
+// OpenFlow opens a JTP connection and schedules its start.
+func (s *Sim) OpenFlow(cfg FlowConfig) (*Flow, error) {
+	n := s.nw.N()
+	if cfg.Src < 0 || cfg.Src >= n || cfg.Dst < 0 || cfg.Dst >= n || cfg.Src == cfg.Dst {
+		return nil, fmt.Errorf("%w: endpoints %d->%d of %d nodes", ErrBadConfig, cfg.Src, cfg.Dst, n)
+	}
+	if cfg.LossTolerance < 0 || cfg.LossTolerance >= 1 {
+		return nil, fmt.Errorf("%w: loss tolerance %.2f outside [0,1)", ErrBadConfig, cfg.LossTolerance)
+	}
+	s.start()
+	if _, ok := s.nw.Node(packet.NodeID(cfg.Src)).Router.NextHop(packet.NodeID(cfg.Dst)); !ok {
+		return nil, fmt.Errorf("%w: no route %d->%d", ErrUnreachable, cfg.Src, cfg.Dst)
+	}
+
+	ccfg := core.Defaults(s.nextFlow, packet.NodeID(cfg.Src), packet.NodeID(cfg.Dst))
+	s.nextFlow++
+	ccfg.TotalPackets = cfg.TotalPackets
+	ccfg.LossTolerance = cfg.LossTolerance
+	ccfg.DisableBackoff = cfg.DisableBackoff
+	ccfg.DisableRetransmissions = cfg.DisableRetransmissions
+	ccfg.ConstantFeedbackRate = cfg.ConstantFeedbackRate
+	ccfg.DeadlineAfter = cfg.DeadlineSeconds
+
+	f := &Flow{conn: core.Dial(s.nw, ccfg), cfg: cfg, sim: s}
+	s.flows = append(s.flows, f)
+	if cfg.StartAt > 0 {
+		s.eng.Schedule(sim.DurationOf(cfg.StartAt), f.conn.Start)
+	} else {
+		f.conn.Start()
+	}
+	return f, nil
+}
+
+// Run advances virtual time by the given number of seconds, processing
+// all events. It may be called repeatedly.
+func (s *Sim) Run(seconds float64) {
+	s.start()
+	s.eng.RunFor(sim.DurationOf(seconds))
+}
+
+// RunUntilDone advances time until every fixed-size flow completes or
+// maxSeconds elapse; it reports whether all completed.
+func (s *Sim) RunUntilDone(maxSeconds float64) bool {
+	s.start()
+	const step = 50.0
+	deadline := s.eng.Now().Add(sim.DurationOf(maxSeconds))
+	for s.eng.Now() < deadline {
+		if s.allDone() {
+			return true
+		}
+		s.eng.RunFor(sim.DurationOf(step))
+	}
+	return s.allDone()
+}
+
+func (s *Sim) allDone() bool {
+	for _, f := range s.flows {
+		if f.cfg.TotalPackets > 0 && !f.conn.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.eng.Now().Seconds() }
+
+// FailNode takes a node's radio down: it stops transmitting, receiving
+// and routing, and its queued packets are lost. Routes re-form at the
+// next link-state refresh; in-flight transfers recover through caches
+// and end-to-end retransmission (§2's "intermediate node failure").
+func (s *Sim) FailNode(id int) error {
+	if id < 0 || id >= s.nw.N() {
+		return fmt.Errorf("%w: node %d of %d", ErrBadConfig, id, s.nw.N())
+	}
+	s.nw.SetDown(packet.NodeID(id), true)
+	return nil
+}
+
+// ReviveNode brings a failed node back.
+func (s *Sim) ReviveNode(id int) error {
+	if id < 0 || id >= s.nw.N() {
+		return fmt.Errorf("%w: node %d of %d", ErrBadConfig, id, s.nw.N())
+	}
+	s.nw.SetDown(packet.NodeID(id), false)
+	return nil
+}
+
+// At schedules fn to run at the given virtual time in seconds (for
+// scripting failures and load changes in examples and tests).
+func (s *Sim) At(seconds float64, fn func()) {
+	s.eng.ScheduleAt(sim.Time(sim.DurationOf(seconds)), fn)
+}
+
+// EnableTrace starts recording the last n packet-lifecycle events
+// (origination, forwarding, delivery, drops with reasons).
+func (s *Sim) EnableTrace(n int) {
+	s.nw.Tracer = trace.New(n)
+}
+
+// DumpTrace writes the recorded events to w, one per line, and returns
+// the number of events written. EnableTrace must have been called.
+func (s *Sim) DumpTrace(w io.Writer) (int, error) {
+	if s.nw.Tracer == nil {
+		return 0, fmt.Errorf("%w: tracing not enabled", ErrBadConfig)
+	}
+	if err := s.nw.Tracer.Dump(w); err != nil {
+		return 0, err
+	}
+	return s.nw.Tracer.Len(), nil
+}
+
+// TraceSummary returns per-event-kind counts of the recorded trace, or
+// an empty string when tracing is disabled.
+func (s *Sim) TraceSummary() string {
+	if s.nw.Tracer == nil {
+		return ""
+	}
+	return s.nw.Tracer.Summary()
+}
+
+// TotalEnergy returns system-wide joules spent on transport packets.
+func (s *Sim) TotalEnergy() float64 { return s.nw.TotalEnergy() }
+
+// PerNodeEnergy returns joules by node index.
+func (s *Sim) PerNodeEnergy() []float64 { return s.nw.PerNodeEnergy() }
+
+// EnergyPerBit returns system joules per delivered application bit
+// across all flows — the paper's headline metric.
+func (s *Sim) EnergyPerBit() float64 {
+	var bytes uint64
+	for _, f := range s.flows {
+		bytes += f.DeliveredBytes()
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return s.TotalEnergy() / float64(bytes*8)
+}
+
+// QueueDrops returns MAC queue overflow drops across the network.
+func (s *Sim) QueueDrops() uint64 { return s.nw.QueueDrops() }
+
+// CacheHits returns in-network cache recoveries across the network.
+func (s *Sim) CacheHits() uint64 {
+	var sum uint64
+	for _, pl := range s.plugins {
+		sum += pl.Counters().CacheServed
+	}
+	return sum
+}
+
+// Flows returns the opened flows in creation order.
+func (s *Sim) Flows() []*Flow { return s.flows }
+
+// Delivered returns the number of unique packets delivered to the
+// application.
+func (f *Flow) Delivered() uint64 { return f.conn.Receiver.Stats().UniqueReceived }
+
+// DeliveredBytes returns unique application payload bytes delivered.
+func (f *Flow) DeliveredBytes() uint64 { return f.conn.Receiver.Stats().DeliveredBytes }
+
+// Completed reports whether a fixed-size transfer finished.
+func (f *Flow) Completed() bool { return f.conn.Done() }
+
+// CompletedAt returns the completion time in virtual seconds (0 if not
+// completed).
+func (f *Flow) CompletedAt() float64 {
+	st := f.conn.Receiver.Stats()
+	if !st.Completed {
+		return 0
+	}
+	return st.CompletedAt.Seconds()
+}
+
+// GoodputBps returns delivered bits per second of active time.
+func (f *Flow) GoodputBps() float64 {
+	st := f.conn.Receiver.Stats()
+	end := f.sim.Now()
+	if st.Completed {
+		end = st.CompletedAt.Seconds()
+	}
+	active := end - f.cfg.StartAt
+	if active <= 0 {
+		return 0
+	}
+	return float64(st.DeliveredBytes*8) / active
+}
+
+// SourceRetransmissions returns end-to-end retransmissions performed by
+// the source.
+func (f *Flow) SourceRetransmissions() uint64 {
+	return f.conn.Sender.Stats().SourceRetransmissions
+}
+
+// CacheRecovered returns packets recovered by in-network caches on this
+// flow's behalf, as observed at the receiver.
+func (f *Flow) CacheRecovered() uint64 {
+	return f.conn.Receiver.Stats().CacheRecoveredSeen
+}
+
+// AcksSent returns feedback packets the receiver transmitted.
+func (f *Flow) AcksSent() uint64 { return f.conn.Receiver.Stats().AcksSent }
+
+// Rate returns the receiver-mandated sending rate in packets/s.
+func (f *Flow) Rate() float64 { return f.conn.Receiver.Rate() }
