@@ -1,31 +1,50 @@
 // Command jtpsim regenerates the paper's tables and figures on the
-// simulated JAVeLEN substrate and prints them as aligned text tables.
+// simulated JAVeLEN substrate and runs arbitrary scenario campaigns.
 //
 // Usage:
 //
-//	jtpsim -exp fig9            # one experiment at default scale
-//	jtpsim -exp all -scale 0.2  # everything, scaled down 5x
-//	jtpsim -list                # enumerate experiment ids
+//	jtpsim -exp fig9                   # one experiment at default scale
+//	jtpsim -exp fig9 -par 8            # same, on 8 campaign workers
+//	jtpsim -exp all -scale 0.2         # everything, scaled down 5x
+//	jtpsim -list                       # enumerate experiment ids
+//	jtpsim batch -matrix sweep.json    # user-declared scenario matrix
 //
 // Scale multiplies run counts, durations and transfer sizes relative to
 // the paper's full setup (scale 1 reproduces the paper's run counts:
 // 20 runs × 2500 s for Fig 9, etc.). The shapes are stable well below
 // full scale; the defaults here favor minutes over hours.
+//
+// The multi-run experiments (figs 9–11) and batch mode execute on the
+// internal/campaign worker pool; -par sets the pool size (default: all
+// CPUs). Results are byte-identical for every -par value.
+//
+// Batch mode reads a JSON matrix (see experiments.BatchSpec) crossing
+// protocol × network size × mobility speed × loss tolerance × cache
+// policy × channel profile, runs every cell with independent seeds, and
+// emits per-cell aggregates as an aligned table, CSV (-csv), or JSON
+// (-json). Tables go to stdout; diagnostics and -list go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
+	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/experiments"
 	"github.com/javelen/jtp/internal/metrics"
 )
 
 // asCSV switches table output to CSV (-csv flag).
 var asCSV bool
+
+// par is the campaign worker-pool size (-par flag; 0 = all CPUs).
+var par int
 
 // show prints one table in the selected format.
 func show(t *metrics.Table) {
@@ -46,6 +65,14 @@ type experiment struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		os.Exit(batchMain(os.Args[2:]))
+	}
+	os.Exit(expMain())
+}
+
+// expMain is the classic figure-reproduction mode.
+func expMain() int {
 	var (
 		expID = flag.String("exp", "", "experiment id (see -list), or 'all'")
 		scale = flag.Float64("scale", 0.25, "fraction of the paper's full run counts/durations (0..1]")
@@ -53,18 +80,21 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.BoolVar(&asCSV, "csv", false, "emit tables as CSV (for plotting)")
+	flag.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	flag.Parse()
 
 	exps := registry()
 	if *list || *expID == "" {
-		fmt.Println("experiments (pass -exp <id>):")
+		fmt.Fprintln(os.Stderr, "experiments (pass -exp <id>):")
 		for _, e := range exps {
-			fmt.Printf("  %-8s %s\n", e.id, e.desc)
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.desc)
 		}
-		if *expID == "" && !*list {
-			os.Exit(2)
+		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
+		if !*list {
+			// No experiment named: usage error.
+			return 2
 		}
-		return
+		return 0
 	}
 
 	if *expID == "all" {
@@ -73,16 +103,112 @@ func main() {
 			e.run(*scale, *seed)
 			fmt.Println()
 		}
-		return
+		return 0
 	}
+	id := strings.ToLower(*expID)
 	for _, e := range exps {
-		if e.id == strings.ToLower(*expID) {
+		if e.id == id {
 			e.run(*scale, *seed)
-			return
+			return 0
 		}
 	}
 	fmt.Fprintf(os.Stderr, "jtpsim: unknown experiment %q (try -list)\n", *expID)
-	os.Exit(2)
+	return 2
+}
+
+// batchMain runs a user-declared scenario matrix: jtpsim batch -matrix
+// file.json [-par N] [-runs N] [-seconds S] [-csv|-json] [-v].
+func batchMain(args []string) int {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	var (
+		matrixPath = fs.String("matrix", "", "path to the JSON scenario matrix (required)")
+		runs       = fs.Int("runs", 0, "override the spec's runs per cell")
+		seconds    = fs.Float64("seconds", 0, "override the spec's virtual run length")
+		seed       = fs.Int64("seed", 0, "override the spec's base seed")
+		asJSON     = fs.Bool("json", false, "emit the aggregate report as JSON")
+		verbose    = fs.Bool("v", false, "log each completed run to stderr")
+	)
+	fs.BoolVar(&asCSV, "csv", false, "emit the aggregate report as CSV")
+	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
+	fs.Parse(args)
+
+	if *matrixPath == "" {
+		fmt.Fprintln(os.Stderr, "jtpsim batch: -matrix <file.json> is required")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		return 2
+	}
+	data, err := os.ReadFile(*matrixPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 1
+	}
+	spec, err := experiments.ParseBatchSpec(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 1
+	}
+	if *runs > 0 {
+		spec.Runs = *runs
+	}
+	if *seconds > 0 {
+		spec.Seconds = *seconds
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	m := spec.Matrix()
+	fmt.Fprintf(os.Stderr, "jtpsim batch: %s: %d cells × %d runs = %d simulations\n",
+		spec.Name, m.NumCells(), spec.Runs, m.NumRuns())
+
+	// Ctrl-C cancels the campaign; the partial report is still emitted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var onResult func(campaign.RunSpec, campaign.Sample, error)
+	if *verbose {
+		total := m.NumRuns()
+		onResult = func(s campaign.RunSpec, _ campaign.Sample, err error) {
+			status := "ok"
+			if err != nil {
+				status = "FAIL: " + err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s run=%d seed=%d %s\n",
+				s.Index+1, total, s.Cell.Key(), s.Run, s.Seed, status)
+		}
+	}
+
+	rep, err := spec.Execute(ctx, par, onResult)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: cancelled: %v (%d/%d runs aggregated)\n",
+			err, rep.Runs, m.NumRuns())
+	}
+
+	switch {
+	case *asJSON:
+		js, jerr := rep.JSON()
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", jerr)
+			return 1
+		}
+		fmt.Println(string(js))
+	case asCSV:
+		fmt.Print(rep.CSV())
+	default:
+		// No observable list: render every observable the cells report
+		// (energy, goodput, cache hits, rtx, drops, ...).
+		title := fmt.Sprintf("campaign %s (%d runs, %d failures)", rep.Name, rep.Runs, rep.Failures)
+		show(rep.Table(title))
+	}
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", rep.Err())
+		return 1
+	}
+	if err != nil {
+		return 1
+	}
+	return 0
 }
 
 func registry() []experiment {
@@ -173,6 +299,7 @@ func registry() []experiment {
 			if seed != 0 {
 				cfg.Seed = seed
 			}
+			cfg.Par = par
 			a, b := experiments.Fig9Table(experiments.Fig9(cfg))
 			show(a)
 			fmt.Println()
@@ -183,6 +310,7 @@ func registry() []experiment {
 			if seed != 0 {
 				cfg.Seed = seed
 			}
+			cfg.Par = par
 			a, b := experiments.Fig10Tables(experiments.Fig10(cfg))
 			show(a)
 			fmt.Println()
@@ -193,6 +321,7 @@ func registry() []experiment {
 			if seed != 0 {
 				cfg.Seed = seed
 			}
+			cfg.Par = par
 			a, b, c := experiments.Fig11Tables(experiments.Fig11(cfg))
 			show(a)
 			fmt.Println()

@@ -19,6 +19,10 @@
 //
 // The paper's full evaluation (every table and figure) lives in
 // internal/experiments and is runnable through cmd/jtpsim and the
-// repository benchmarks. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// repository benchmarks. Multi-run sweeps (Figs 9-11 and arbitrary
+// `jtpsim batch` scenario matrices) execute on the internal/campaign
+// engine: a declarative axis cross product run on a parallel,
+// deterministic worker pool whose aggregates are byte-identical for
+// every worker count. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results and batch CLI usage.
 package jtp

@@ -1,0 +1,3 @@
+module github.com/javelen/jtp
+
+go 1.24

@@ -1,0 +1,308 @@
+// Package campaign is the scenario-matrix campaign engine: it expands a
+// declarative cross product of axes (protocol × topology × channel ×
+// cache policy × mobility × loss tolerance × …) into a deterministic run
+// list, executes the runs on a sharded worker pool, and streams per-cell
+// aggregates (means and 95% confidence intervals via internal/stats).
+//
+// The engine is the substrate under the paper's multi-run evaluations
+// (Figs 9–11: 10–20 runs × thousands of virtual seconds per cell) and
+// under arbitrary user campaigns (`jtpsim batch -matrix file.json`).
+//
+// Determinism is a hard guarantee: every run derives its seed from the
+// matrix alone, and results are folded into their cell aggregates in
+// ascending run order no matter which worker finishes first, so the
+// aggregate report is byte-identical for any worker count.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Axis is one dimension of a scenario matrix. Values may be strings,
+// bools, ints, or float64s (the types JSON numbers and flags decode to).
+type Axis struct {
+	Name   string
+	Values []any
+}
+
+// Strings builds an axis value list from strings.
+func Strings(vs ...string) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// Ints builds an axis value list from ints.
+func Ints(vs ...int) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// Floats builds an axis value list from float64s.
+func Floats(vs ...float64) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// FormatValue renders an axis value canonically (used for cell keys,
+// table cells, and CSV/JSON emission).
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Cell is one point of the expanded matrix: a fixed value per axis, in
+// axis order. Cells are immutable after expansion.
+type Cell struct {
+	names  []string
+	values []any
+}
+
+// Len returns the number of axes.
+func (c Cell) Len() int { return len(c.names) }
+
+// Axis returns the i-th axis name.
+func (c Cell) Axis(i int) string { return c.names[i] }
+
+// Value returns the i-th axis value.
+func (c Cell) Value(i int) any { return c.values[i] }
+
+// Get returns the value of the named axis.
+func (c Cell) Get(name string) (any, bool) {
+	for i, n := range c.names {
+		if n == name {
+			return c.values[i], true
+		}
+	}
+	return nil, false
+}
+
+// String returns the named axis value rendered canonically ("" if the
+// axis does not exist).
+func (c Cell) String(name string) string {
+	v, ok := c.Get(name)
+	if !ok {
+		return ""
+	}
+	return FormatValue(v)
+}
+
+// Float returns the named axis value as a float64 (0 if absent or not
+// numeric).
+func (c Cell) Float(name string) float64 {
+	v, _ := c.Get(name)
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+// Int returns the named axis value as an int (0 if absent or not numeric).
+func (c Cell) Int(name string) int { return int(c.Float(name)) }
+
+// Key renders the cell as "axis=value/axis=value", a stable identifier
+// used in logs and seed derivation.
+func (c Cell) Key() string {
+	s := ""
+	for i, n := range c.names {
+		if i > 0 {
+			s += "/"
+		}
+		s += n + "=" + FormatValue(c.values[i])
+	}
+	return s
+}
+
+// RunSpec identifies one simulation run of a campaign.
+type RunSpec struct {
+	// Index is the dense global index in deterministic expansion order
+	// (cell-major, run-minor). Aggregation folds results in this order.
+	Index int
+	// CellIndex is the cell's position in Matrix.Cells() order.
+	CellIndex int
+	// Run is the run number within the cell, 0-based.
+	Run int
+	// Cell is the cell's axis assignment.
+	Cell Cell
+	// Seed is the run's derived RNG seed.
+	Seed int64
+}
+
+// SeedFunc derives a run's seed from its cell and run number. The
+// default is a splitmix64-style hash of (base, cellIndex, run); figure
+// reproductions override it to preserve their historical seed schedules.
+type SeedFunc func(cell Cell, cellIndex, run int) int64
+
+// Matrix declares a campaign: the cross product of Axes, each cell
+// repeated Runs times with independent derived seeds.
+type Matrix struct {
+	// Name labels the campaign in reports.
+	Name string
+	// Axes are crossed in order; the first axis varies slowest.
+	Axes []Axis
+	// Runs is the number of independent seeds per cell (min 1).
+	Runs int
+	// BaseSeed feeds seed derivation; the same matrix and base seed
+	// always produce the same run list.
+	BaseSeed int64
+	// SeedFn overrides the default seed derivation when non-nil.
+	SeedFn SeedFunc
+}
+
+// AddAxis appends an axis and returns the matrix for chaining.
+func (m *Matrix) AddAxis(name string, values ...any) *Matrix {
+	m.Axes = append(m.Axes, Axis{Name: name, Values: values})
+	return m
+}
+
+// Validate reports structural problems: empty axes, duplicate axis
+// names, or a non-positive cell count.
+func (m *Matrix) Validate() error {
+	seen := map[string]bool{}
+	for _, ax := range m.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("campaign: axis with empty name")
+		}
+		if seen[ax.Name] {
+			return fmt.Errorf("campaign: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("campaign: axis %q has no values", ax.Name)
+		}
+	}
+	return nil
+}
+
+// NumCells returns the product of axis sizes (1 for a zero-axis matrix).
+func (m *Matrix) NumCells() int {
+	n := 1
+	for _, ax := range m.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// runsPerCell returns Runs clamped to at least 1.
+func (m *Matrix) runsPerCell() int {
+	if m.Runs < 1 {
+		return 1
+	}
+	return m.Runs
+}
+
+// NumRuns returns the total number of runs in the expanded matrix.
+func (m *Matrix) NumRuns() int { return m.NumCells() * m.runsPerCell() }
+
+// AxisNames returns the axis names in order.
+func (m *Matrix) AxisNames() []string {
+	out := make([]string, len(m.Axes))
+	for i, ax := range m.Axes {
+		out[i] = ax.Name
+	}
+	return out
+}
+
+// Cells expands the axes into the deterministic cell list: the first
+// axis varies slowest, the last fastest (matching nested for-loops with
+// the first axis outermost).
+func (m *Matrix) Cells() []Cell {
+	names := m.AxisNames()
+	total := m.NumCells()
+	cells := make([]Cell, 0, total)
+	idx := make([]int, len(m.Axes))
+	for {
+		values := make([]any, len(m.Axes))
+		for i, ax := range m.Axes {
+			values[i] = ax.Values[idx[i]]
+		}
+		cells = append(cells, Cell{names: names, values: values})
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(m.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells
+		}
+	}
+}
+
+// Expand produces the full deterministic run list: cells in Cells()
+// order, each with runsPerCell() consecutive runs.
+func (m *Matrix) Expand() []RunSpec {
+	cells := m.Cells()
+	runs := m.runsPerCell()
+	seedFn := m.SeedFn
+	if seedFn == nil {
+		seedFn = m.defaultSeed
+	}
+	specs := make([]RunSpec, 0, len(cells)*runs)
+	for ci, cell := range cells {
+		for r := 0; r < runs; r++ {
+			specs = append(specs, RunSpec{
+				Index:     len(specs),
+				CellIndex: ci,
+				Run:       r,
+				Cell:      cell,
+				Seed:      seedFn(cell, ci, r),
+			})
+		}
+	}
+	return specs
+}
+
+// defaultSeed mixes the base seed, cell index, and run number through a
+// splitmix64 finalizer so neighboring cells get well-separated streams.
+func (m *Matrix) defaultSeed(_ Cell, cellIndex, run int) int64 {
+	z := uint64(m.BaseSeed) ^ 0x9e3779b97f4a7c15
+	z += uint64(cellIndex)*0xbf58476d1ce4e5b9 + uint64(run)*0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// sortedKeys returns the map's keys in sorted order (for deterministic
+// emission).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

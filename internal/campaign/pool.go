@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Sample is one run's named observables (e.g. "energy_per_bit",
+// "goodput_bps"). A run may omit observables; aggregation only folds the
+// keys that are present.
+type Sample map[string]float64
+
+// RunFunc executes one simulation run and returns its observables. It is
+// called from multiple worker goroutines concurrently and must not share
+// mutable state across calls; everything a run needs is in its RunSpec
+// (in particular its derived Seed). Long runs should poll ctx and bail
+// early when cancelled, but the pool also tolerates RunFuncs that ignore
+// ctx entirely (cancellation then takes effect between runs).
+type RunFunc func(ctx context.Context, spec RunSpec) (Sample, error)
+
+// Options tunes campaign execution.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Window bounds how far execution may run ahead of in-order
+	// aggregation, in runs; <= 0 means 4×Workers. A bounded window keeps
+	// the out-of-order buffer O(workers), so campaign memory stays
+	// O(cells), never O(runs).
+	Window int
+	// OnResult, when non-nil, observes every run result. It is invoked
+	// in ascending RunSpec.Index order under the aggregation lock, so
+	// callers get a deterministic progress stream without locking.
+	OnResult func(spec RunSpec, s Sample, err error)
+}
+
+// workers resolves the pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// window resolves the reorder window.
+func (o Options) window(workers int) int {
+	if o.Window > 0 {
+		if o.Window < workers {
+			return workers
+		}
+		return o.Window
+	}
+	return 4 * workers
+}
+
+// Execute expands the matrix and runs every RunSpec on a worker pool,
+// streaming results into per-cell aggregates. It returns when all runs
+// have been folded, or earlier with ctx.Err() when ctx is cancelled (the
+// returned report then holds the runs folded so far).
+//
+// Determinism: results are folded strictly in RunSpec.Index order — a
+// result that arrives early waits in a bounded reorder buffer — so the
+// report is byte-identical for any Workers/Window setting, including
+// Workers=1. Worker admission is throttled by the same window, bounding
+// in-flight plus buffered results to Window runs.
+func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("campaign: nil RunFunc")
+	}
+	specs := m.Expand()
+	rep := newReport(&m)
+
+	nw := opt.workers()
+	if nw > len(specs) && len(specs) > 0 {
+		nw = len(specs)
+	}
+	window := opt.window(nw)
+
+	agg := &aggregator{
+		rep:      rep,
+		runs:     m.runsPerCell(),
+		pending:  make(map[int]foldItem, window),
+		released: make(chan struct{}, window),
+		onResult: opt.OnResult,
+	}
+	// Pre-fill admission tokens: up to `window` runs may be dispatched
+	// beyond the fold frontier.
+	for i := 0; i < window; i++ {
+		agg.released <- struct{}{}
+	}
+
+	work := make(chan RunSpec)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for spec := range work {
+				s, err := runSafely(ctx, fn, spec)
+				agg.deliver(spec, s, err)
+			}
+		}()
+	}
+
+	// Dispatcher: admit runs in index order, one token per run. Tokens
+	// are recycled by the aggregator as results fold, so dispatch never
+	// outruns aggregation by more than the window.
+	var dispatchErr error
+dispatch:
+	for _, spec := range specs {
+		select {
+		case <-ctx.Done():
+			dispatchErr = ctx.Err()
+			break dispatch
+		case <-agg.released:
+		}
+		select {
+		case <-ctx.Done():
+			dispatchErr = ctx.Err()
+			break dispatch
+		case work <- spec:
+		}
+	}
+	close(work)
+	wg.Wait()
+	return rep, dispatchErr
+}
+
+// runSafely invokes fn, converting a panic into an error so one bad
+// cell cannot take down a whole campaign. The panic's stack is kept in
+// the error: it is the only pointer to the offending scenario code.
+func runSafely(ctx context.Context, fn RunFunc, spec RunSpec) (s Sample, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("run %s (run %d) panicked: %v\n%s",
+				spec.Cell.Key(), spec.Run, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, spec)
+}
+
+// foldItem is a completed run waiting for its turn in the fold order.
+type foldItem struct {
+	spec RunSpec
+	s    Sample
+	err  error
+}
+
+// aggregator folds results into cell aggregates in ascending global run
+// order, buffering out-of-order arrivals. The buffer is bounded by the
+// admission window: a token is only recycled when a result folds.
+type aggregator struct {
+	mu       sync.Mutex
+	rep      *Report
+	runs     int // runs per cell, to map global index -> cell
+	next     int // next global index to fold
+	pending  map[int]foldItem
+	released chan struct{}
+	onResult func(RunSpec, Sample, error)
+}
+
+// deliver accepts one completed run from a worker and folds every
+// in-order result now available.
+func (a *aggregator) deliver(spec RunSpec, s Sample, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pending[spec.Index] = foldItem{spec: spec, s: s, err: err}
+	for {
+		item, ok := a.pending[a.next]
+		if !ok {
+			return
+		}
+		delete(a.pending, a.next)
+		a.rep.fold(item.spec, item.s, item.err)
+		if a.onResult != nil {
+			a.onResult(item.spec, item.s, item.err)
+		}
+		a.next++
+		a.released <- struct{}{}
+	}
+}

@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// CellResult is the streaming aggregate of one matrix cell: a
+// stats.Running (count/mean/CI95/min/max) per observable, fed in
+// ascending run order. Memory is O(observables), independent of the
+// number of runs folded in.
+type CellResult struct {
+	// Cell is the cell's axis assignment.
+	Cell Cell
+	// Runs counts results folded into this cell (including failures).
+	Runs int
+	// Failures counts runs that returned an error (or panicked).
+	Failures int
+	// FirstError describes the first failure, if any.
+	FirstError string
+
+	obs map[string]*stats.Running
+}
+
+// Observables returns the observable names seen in this cell, sorted.
+func (c *CellResult) Observables() []string { return sortedKeys(c.obs) }
+
+// Running returns a copy of the named observable's aggregate (the zero
+// Running if the cell never reported it).
+func (c *CellResult) Running(name string) stats.Running {
+	if r, ok := c.obs[name]; ok {
+		return *r
+	}
+	return stats.Running{}
+}
+
+// fold adds one run's sample to the aggregate.
+func (c *CellResult) fold(s Sample, err error) {
+	c.Runs++
+	if err != nil {
+		c.Failures++
+		if c.FirstError == "" {
+			c.FirstError = err.Error()
+		}
+		return
+	}
+	for _, k := range sortedKeys(s) {
+		r, ok := c.obs[k]
+		if !ok {
+			r = &stats.Running{}
+			c.obs[k] = r
+		}
+		r.Add(s[k])
+	}
+}
+
+// Report is a campaign's aggregate outcome: one CellResult per matrix
+// cell, in deterministic cell order.
+type Report struct {
+	// Name is the campaign name from the matrix.
+	Name string
+	// Axes are the axis names, in matrix order.
+	Axes []string
+	// Cells are the per-cell aggregates, in Matrix.Cells() order.
+	Cells []*CellResult
+	// Runs counts all folded runs; Failures those that errored.
+	Runs     int
+	Failures int
+}
+
+// newReport allocates the report skeleton for a matrix.
+func newReport(m *Matrix) *Report {
+	cells := m.Cells()
+	rep := &Report{Name: m.Name, Axes: m.AxisNames(), Cells: make([]*CellResult, len(cells))}
+	for i, c := range cells {
+		rep.Cells[i] = &CellResult{Cell: c, obs: map[string]*stats.Running{}}
+	}
+	return rep
+}
+
+// fold routes one run result to its cell.
+func (r *Report) fold(spec RunSpec, s Sample, err error) {
+	r.Runs++
+	if err != nil {
+		r.Failures++
+	}
+	r.Cells[spec.CellIndex].fold(s, err)
+}
+
+// Err returns nil when every folded run succeeded, else an error
+// describing the first failure and the failure count.
+func (r *Report) Err() error {
+	if r.Failures == 0 {
+		return nil
+	}
+	for _, c := range r.Cells {
+		if c.FirstError != "" {
+			return fmt.Errorf("campaign %s: %d/%d runs failed; first: %s",
+				r.Name, r.Failures, r.Runs, c.FirstError)
+		}
+	}
+	return fmt.Errorf("campaign %s: %d/%d runs failed", r.Name, r.Failures, r.Runs)
+}
+
+// ObservableNames returns every observable reported by any cell, sorted.
+func (r *Report) ObservableNames() []string {
+	all := map[string]bool{}
+	for _, c := range r.Cells {
+		for _, k := range c.Observables() {
+			all[k] = true
+		}
+	}
+	return sortedKeys(all)
+}
+
+// Table renders the report as a metrics.Table: one row per cell, axis
+// columns first, then mean and ±CI95 columns for each requested
+// observable (all observables when none are named).
+func (r *Report) Table(title string, observables ...string) *metrics.Table {
+	if len(observables) == 0 {
+		observables = r.ObservableNames()
+	}
+	headers := append([]string{}, r.Axes...)
+	for _, o := range observables {
+		headers = append(headers, o, "±CI")
+	}
+	tbl := metrics.NewTable(title, headers...)
+	for _, c := range r.Cells {
+		row := make([]any, 0, len(headers))
+		for i := 0; i < c.Cell.Len(); i++ {
+			row = append(row, FormatValue(c.Cell.Value(i)))
+		}
+		for _, o := range observables {
+			agg := c.Running(o)
+			row = append(row, agg.Mean(), agg.CI95())
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// CSV renders the report's table as CSV.
+func (r *Report) CSV(observables ...string) string {
+	return r.Table("", observables...).CSV()
+}
+
+// jsonObservable is the JSON shape of one aggregated observable.
+type jsonObservable struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// jsonCell is the JSON shape of one cell aggregate. Map keys are emitted
+// sorted by encoding/json, keeping the output byte-stable.
+type jsonCell struct {
+	Cell        map[string]string         `json:"cell"`
+	Runs        int                       `json:"runs"`
+	Failures    int                       `json:"failures,omitempty"`
+	FirstError  string                    `json:"firstError,omitempty"`
+	Observables map[string]jsonObservable `json:"observables"`
+}
+
+// jsonReport is the JSON shape of a report.
+type jsonReport struct {
+	Name     string     `json:"name"`
+	Axes     []string   `json:"axes"`
+	Runs     int        `json:"runs"`
+	Failures int        `json:"failures,omitempty"`
+	Cells    []jsonCell `json:"cells"`
+}
+
+// JSON renders the report as deterministic, indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{Name: r.Name, Axes: r.Axes, Runs: r.Runs, Failures: r.Failures}
+	for _, c := range r.Cells {
+		jc := jsonCell{
+			Cell:        map[string]string{},
+			Runs:        c.Runs,
+			Failures:    c.Failures,
+			FirstError:  c.FirstError,
+			Observables: map[string]jsonObservable{},
+		}
+		for i := 0; i < c.Cell.Len(); i++ {
+			jc.Cell[c.Cell.Axis(i)] = FormatValue(c.Cell.Value(i))
+		}
+		for _, k := range c.Observables() {
+			agg := c.Running(k)
+			jc.Observables[k] = jsonObservable{
+				N:    agg.N(),
+				Mean: agg.Mean(),
+				CI95: agg.CI95(),
+				Min:  agg.Min(),
+				Max:  agg.Max(),
+			}
+		}
+		out.Cells = append(out.Cells, jc)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/metrics"
+)
+
+// Observable names shared by the figure campaigns and batch mode.
+const (
+	obsEnergyPerBit   = "energy_per_bit"    // joules per delivered bit
+	obsGoodputBps     = "goodput_bps"       // mean per-flow goodput, bits/s
+	obsSourceRtxPerKB = "source_rtx_per_kB" // end-to-end rtx per delivered kB
+	obsCacheHitsPerKB = "cache_hits_per_kB" // cache-served rtx per delivered kB
+	obsDeliveredKB    = "delivered_kB"      // unique payload delivered
+	obsSourceRtx      = "source_rtx"        // end-to-end retransmissions
+	obsCacheHits      = "cache_hits"        // cache-served retransmissions
+	obsQueueDrops     = "queue_drops"       // MAC queue overflows
+	obsRetryDrops     = "retry_drops"       // link-layer retry exhaustion
+)
+
+// protocolValues converts a protocol list into campaign axis values.
+func protocolValues(ps []Protocol) []any {
+	out := make([]any, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// mustExecute runs a figure campaign with par workers and panics on any
+// failed run, preserving the panic-on-bad-scenario behavior the serial
+// figure loops had.
+func mustExecute(m campaign.Matrix, par int, run func(spec campaign.RunSpec) campaign.Sample) *campaign.Report {
+	rep, err := campaign.Execute(context.Background(), m, campaign.Options{Workers: par},
+		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+			return run(spec), nil
+		})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	if err := rep.Err(); err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return rep
+}
+
+// runRecordSample extracts the standard campaign observables from one
+// run record. Batch campaigns report them for every cell so arbitrary
+// user matrices and the paper figures speak the same metric names.
+func runRecordSample(rec *metrics.RunRecord) campaign.Sample {
+	return campaign.Sample{
+		obsEnergyPerBit: rec.EnergyPerBit(),
+		obsGoodputBps:   rec.MeanGoodputBps(),
+		obsDeliveredKB:  float64(rec.DeliveredBytes()) / 1e3,
+		obsSourceRtx:    float64(rec.SourceRetransmissions()),
+		obsCacheHits:    float64(rec.CacheHits),
+		obsQueueDrops:   float64(rec.QueueDrops),
+		obsRetryDrops:   float64(rec.RetryDrops),
+	}
+}

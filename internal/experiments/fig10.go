@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/stats"
 )
@@ -26,6 +27,8 @@ type Fig10Config struct {
 	Warmup    float64
 	Protocols []Protocol
 	Seed      int64
+	// Par is the campaign worker-pool size (0 = GOMAXPROCS).
+	Par int
 }
 
 // Fig10Defaults returns the paper's parameters at the given scale.
@@ -53,22 +56,36 @@ func Fig10Defaults(scale float64) Fig10Config {
 }
 
 // Fig10 reproduces Figs 10(a) and (b): energy per delivered bit and mean
-// goodput over static random topologies.
+// goodput over static random topologies, swept on the campaign engine.
+// The seed depends on (run, size) but not protocol: same node placement
+// and flow endpoints, "all the protocols run under the same conditions
+// in the same run" (§6.1.2).
 func Fig10(cfg Fig10Config) []*Fig10Point {
-	var out []*Fig10Point
-	for _, proto := range cfg.Protocols {
-		for _, n := range cfg.Sizes {
-			pt := &Fig10Point{Proto: proto, Nodes: n}
-			for run := 0; run < cfg.Runs; run++ {
-				// Same seed across protocols: same node placement and
-				// flow endpoints, "all the protocols run under the same
-				// conditions in the same run" (§6.1.2).
-				seed := cfg.Seed + int64(run)*8123 + int64(n)
-				rec := runFig10Once(proto, n, seed, cfg)
-				pt.EnergyPerBit.Add(rec.EnergyPerBit())
-				pt.GoodputBps.Add(rec.MeanGoodputBps())
-			}
-			out = append(out, pt)
+	m := campaign.Matrix{
+		Name: "fig10",
+		Axes: []campaign.Axis{
+			{Name: "proto", Values: protocolValues(cfg.Protocols)},
+			{Name: "netSize", Values: campaign.Ints(cfg.Sizes...)},
+		},
+		Runs: cfg.Runs,
+		SeedFn: func(cell campaign.Cell, _, run int) int64 {
+			return cfg.Seed + int64(run)*8123 + int64(cell.Int("netSize"))
+		},
+	}
+	rep := mustExecute(m, cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+		rec := runFig10Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
+		return campaign.Sample{
+			obsEnergyPerBit: rec.EnergyPerBit(),
+			obsGoodputBps:   rec.MeanGoodputBps(),
+		}
+	})
+	out := make([]*Fig10Point, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = &Fig10Point{
+			Proto:        Protocol(c.Cell.String("proto")),
+			Nodes:        c.Cell.Int("netSize"),
+			EnergyPerBit: c.Running(obsEnergyPerBit),
+			GoodputBps:   c.Running(obsGoodputBps),
 		}
 	}
 	return out

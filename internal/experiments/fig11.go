@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/stats"
 )
@@ -30,6 +31,8 @@ type Fig11Config struct {
 	Warmup    float64
 	Protocols []Protocol
 	Seed      int64
+	// Par is the campaign worker-pool size (0 = GOMAXPROCS).
+	Par int
 }
 
 // Fig11Defaults returns the paper's parameters at the given scale.
@@ -61,22 +64,40 @@ func Fig11Defaults(scale float64) Fig11Config {
 // relation between end-to-end and locally recovered packets under
 // mobility.
 func Fig11(cfg Fig11Config) []*Fig11Point {
-	var out []*Fig11Point
-	for _, proto := range cfg.Protocols {
-		for _, speed := range cfg.Speeds {
-			pt := &Fig11Point{Proto: proto, Speed: speed}
-			for run := 0; run < cfg.Runs; run++ {
-				seed := cfg.Seed + int64(run)*4457
-				rec := runFig11Once(proto, speed, seed, cfg)
-				pt.EnergyPerBit.Add(rec.EnergyPerBit())
-				pt.GoodputBps.Add(rec.MeanGoodputBps())
-				kb := float64(rec.DeliveredBytes()) / 1e3
-				if kb > 0 {
-					pt.SourceRtxPerKB.Add(float64(rec.SourceRetransmissions()) / kb)
-					pt.CacheHitsPerKB.Add(float64(rec.CacheHits) / kb)
-				}
-			}
-			out = append(out, pt)
+	m := campaign.Matrix{
+		Name: "fig11",
+		Axes: []campaign.Axis{
+			{Name: "proto", Values: protocolValues(cfg.Protocols)},
+			{Name: "speed", Values: campaign.Floats(cfg.Speeds...)},
+		},
+		Runs: cfg.Runs,
+		SeedFn: func(_ campaign.Cell, _, run int) int64 {
+			return cfg.Seed + int64(run)*4457
+		},
+	}
+	rep := mustExecute(m, cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+		rec := runFig11Once(Protocol(spec.Cell.String("proto")), spec.Cell.Float("speed"), spec.Seed, cfg)
+		s := campaign.Sample{
+			obsEnergyPerBit: rec.EnergyPerBit(),
+			obsGoodputBps:   rec.MeanGoodputBps(),
+		}
+		// The recovery ratios are only defined when the run delivered
+		// data; absent observables are simply not folded for that run.
+		if kb := float64(rec.DeliveredBytes()) / 1e3; kb > 0 {
+			s[obsSourceRtxPerKB] = float64(rec.SourceRetransmissions()) / kb
+			s[obsCacheHitsPerKB] = float64(rec.CacheHits) / kb
+		}
+		return s
+	})
+	out := make([]*Fig11Point, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = &Fig11Point{
+			Proto:          Protocol(c.Cell.String("proto")),
+			Speed:          c.Cell.Float("speed"),
+			EnergyPerBit:   c.Running(obsEnergyPerBit),
+			GoodputBps:     c.Running(obsGoodputBps),
+			SourceRtxPerKB: c.Running(obsSourceRtxPerKB),
+			CacheHitsPerKB: c.Running(obsCacheHitsPerKB),
 		}
 	}
 	return out

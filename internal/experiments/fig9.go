@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/stats"
 )
@@ -32,6 +33,9 @@ type Fig9Config struct {
 	Protocols []Protocol
 	// Seed is the base seed; run i uses Seed+i.
 	Seed int64
+	// Par is the worker-pool size for the campaign engine
+	// (0 = GOMAXPROCS). Results are identical for every Par value.
+	Par int
 }
 
 // Fig9Defaults returns the paper's parameters, scaled by the given
@@ -63,19 +67,35 @@ func Fig9Defaults(scale float64) Fig9Config {
 }
 
 // Fig9 reproduces Fig 9(a) energy/bit and Fig 9(b) goodput for linear
-// topologies.
+// topologies. The (protocol × size × run) sweep executes on the campaign
+// engine; the historical seed schedule (Seed + run·1009) is preserved,
+// so results match the original serial implementation exactly.
 func Fig9(cfg Fig9Config) []*Fig9Point {
-	var out []*Fig9Point
-	for _, proto := range cfg.Protocols {
-		for _, n := range cfg.Sizes {
-			pt := &Fig9Point{Proto: proto, Nodes: n}
-			for run := 0; run < cfg.Runs; run++ {
-				seed := cfg.Seed + int64(run)*1009
-				rec := runFig9Once(proto, n, seed, cfg)
-				pt.EnergyPerBit.Add(rec.EnergyPerBit())
-				pt.GoodputBps.Add(rec.MeanGoodputBps())
-			}
-			out = append(out, pt)
+	m := campaign.Matrix{
+		Name: "fig9",
+		Axes: []campaign.Axis{
+			{Name: "proto", Values: protocolValues(cfg.Protocols)},
+			{Name: "netSize", Values: campaign.Ints(cfg.Sizes...)},
+		},
+		Runs: cfg.Runs,
+		SeedFn: func(_ campaign.Cell, _, run int) int64 {
+			return cfg.Seed + int64(run)*1009
+		},
+	}
+	rep := mustExecute(m, cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+		rec := runFig9Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
+		return campaign.Sample{
+			obsEnergyPerBit: rec.EnergyPerBit(),
+			obsGoodputBps:   rec.MeanGoodputBps(),
+		}
+	})
+	out := make([]*Fig9Point, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = &Fig9Point{
+			Proto:        Protocol(c.Cell.String("proto")),
+			Nodes:        c.Cell.Int("netSize"),
+			EnergyPerBit: c.Running(obsEnergyPerBit),
+			GoodputBps:   c.Running(obsGoodputBps),
 		}
 	}
 	return out

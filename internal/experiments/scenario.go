@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/javelen/jtp/internal/atp"
+	"github.com/javelen/jtp/internal/cache"
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/core"
 	"github.com/javelen/jtp/internal/energy"
@@ -106,6 +107,9 @@ type Scenario struct {
 	// CacheCapacity overrides Table 1's 1000-packet caches when > 0;
 	// -1 means zero capacity (equivalent to JNC).
 	CacheCapacity int
+	// CachePolicy selects the in-network cache replacement policy
+	// (default cache.LRU, the paper's policy).
+	CachePolicy cache.Policy
 	// MaxAttempts overrides Table 1's MAX_ATTEMPTS when > 0.
 	MaxAttempts int
 	// TLowerBound overrides Table 1's 10 s feedback lower bound when > 0.
@@ -204,6 +208,7 @@ func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
 		} else if sc.CacheCapacity < 0 {
 			iCfg.CacheEnabled = false
 		}
+		iCfg.CachePolicy = sc.CachePolicy
 		if sc.IJTPTune != nil {
 			sc.IJTPTune(&iCfg)
 		}
