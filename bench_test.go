@@ -21,9 +21,20 @@ import (
 	"github.com/javelen/jtp/internal/experiments"
 	"github.com/javelen/jtp/internal/flipflop"
 	"github.com/javelen/jtp/internal/ijtp"
+	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/sim"
 )
+
+// mustRun unwraps experiments.Run for benchmark scenarios, whose
+// protocols are compile-time constants and cannot fail lookup.
+func mustRun(sc experiments.Scenario) *metrics.RunRecord {
+	rec, err := experiments.Run(sc)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
 
 // ---- Figure/Table benchmarks -----------------------------------------
 
@@ -273,10 +284,10 @@ type FlowSpecAlias = experiments.FlowSpec
 func BenchmarkAblationCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		on := ablationScenario(300 + int64(i))
-		rec := experiments.Run(on)
+		rec := mustRun(on)
 		off := ablationScenario(300 + int64(i))
 		off.Proto = experiments.JNC
-		recOff := experiments.Run(off)
+		recOff := mustRun(off)
 		b.ReportMetric(rec.EnergyPerBit()*1e6, "cache-uJ/bit")
 		b.ReportMetric(recOff.EnergyPerBit()*1e6, "nocache-uJ/bit")
 	}
@@ -287,7 +298,7 @@ func BenchmarkAblationCache(b *testing.B) {
 func BenchmarkAblationFlipflop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ff := ablationScenario(400 + int64(i))
-		rec := experiments.Run(ff)
+		rec := mustRun(ff)
 		single := ablationScenario(400 + int64(i))
 		single.JTPTune = func(cfg *core.Config) {
 			// An enormous outlier run never triggers: the monitor stays
@@ -296,7 +307,7 @@ func BenchmarkAblationFlipflop(b *testing.B) {
 			cfg.RateMonitor.OutlierRun = 1 << 20
 			cfg.EnergyMonitor = cfg.RateMonitor
 		}
-		recSingle := experiments.Run(single)
+		recSingle := mustRun(single)
 		b.ReportMetric(rec.MeanGoodputBps()/1e3, "flipflop-kbps")
 		b.ReportMetric(recSingle.MeanGoodputBps()/1e3, "stableonly-kbps")
 		b.ReportMetric(float64(rec.QueueDrops), "flipflop-qdrops")
@@ -318,7 +329,7 @@ func BenchmarkAblationLossTolerance(b *testing.B) {
 		if static {
 			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.StaticTolerance = true }
 		}
-		rec := experiments.Run(sc)
+		rec := mustRun(sc)
 		return rec.TotalEnergy, rec.Flows[0].UniqueDelivered
 	}
 	for i := 0; i < b.N; i++ {
@@ -357,7 +368,7 @@ func BenchmarkAblationCachePolicy(b *testing.B) {
 			}
 			p := pol.p
 			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.CachePolicy = p }
-			rec := experiments.Run(sc)
+			rec := mustRun(sc)
 			b.ReportMetric(float64(rec.Flows[0].SourceRetransmissions), pol.label+"-srcRtx")
 			b.ReportMetric(float64(rec.CacheHits), pol.label+"-hits")
 		}
@@ -381,7 +392,7 @@ func BenchmarkAblationTargetStrategy(b *testing.B) {
 			})
 			s := strat.s
 			sc.IJTPTune = func(cfg *ijtp.Config) { cfg.Strategy = s }
-			rec := experiments.Run(sc)
+			rec := mustRun(sc)
 			b.ReportMetric(rec.EnergyPerBit()*1e6, strat.label+"-uJ/bit")
 			b.ReportMetric(rec.MeanGoodputBps()/1e3, strat.label+"-kbps")
 		}
@@ -406,7 +417,7 @@ func BenchmarkAblationGains(b *testing.B) {
 			sc.JTPTune = func(cfg *core.Config) {
 				cfg.KI, cfg.KD = ki, kd
 			}
-			rec := experiments.Run(sc)
+			rec := mustRun(sc)
 			b.ReportMetric(rec.MeanGoodputBps()/1e3, g.label)
 		}
 	}
@@ -512,7 +523,7 @@ func BenchmarkSimulatedSecond(b *testing.B) {
 		},
 	}
 	b.ResetTimer()
-	out := experiments.Run(rec)
+	out := mustRun(rec)
 	b.StopTimer()
 	if out.TotalEnergy <= 0 && b.N > 30 {
 		b.Fatal("stack benchmark did nothing")

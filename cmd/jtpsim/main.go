@@ -90,6 +90,8 @@ func expMain() int {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.desc)
 		}
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
+		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
+			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {
 			// No experiment named: usage error.
 			return 2
@@ -136,6 +138,8 @@ func batchMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "jtpsim batch: -matrix <file.json> is required")
 		fs.SetOutput(os.Stderr)
 		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "matrix \"protocols\" accepts any registered driver: %s\n",
+			strings.Join(experiments.RegisteredProtocols(), ", "))
 		return 2
 	}
 	data, err := os.ReadFile(*matrixPath)

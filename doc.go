@@ -7,15 +7,21 @@
 // TCP-SACK and ATP baselines the paper compares against.
 //
 // The top-level package is the public API: build a simulated network,
-// open JTP connections with per-flow reliability (loss tolerance), run
-// virtual time forward, and read energy/goodput metrics.
+// open transport connections with per-flow reliability (loss
+// tolerance), run virtual time forward, and read energy/goodput
+// metrics. Flows run JTP by default; any registered transport driver
+// (see Protocols: "jtp", "jnc", "tcp", "atp", ...) can be selected
+// per network or per flow, so baselines run on the same substrate.
 //
 //	sim, err := jtp.NewSim(jtp.SimConfig{Nodes: 5, Topology: jtp.LinearTopology})
 //	if err != nil { ... }
 //	flow, err := sim.OpenFlow(jtp.FlowConfig{Src: 0, Dst: 4, TotalPackets: 200})
 //	if err != nil { ... }
+//	base, err := sim.OpenFlow(jtp.FlowConfig{Src: 4, Dst: 0, TotalPackets: 200,
+//		Protocol: "tcp"}) // the paper's TCP-SACK baseline, same network
+//	if err != nil { ... }
 //	sim.Run(600) // virtual seconds
-//	fmt.Println(flow.Delivered(), sim.EnergyPerBit())
+//	fmt.Println(flow.Delivered(), base.Delivered(), sim.EnergyPerBit())
 //
 // The paper's full evaluation (every table and figure) lives in
 // internal/experiments and is runnable through cmd/jtpsim and the

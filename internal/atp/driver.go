@@ -1,0 +1,85 @@
+package atp
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/transport"
+)
+
+func init() {
+	transport.MustRegister("atp", func() transport.Driver { return &driver{} })
+}
+
+// driver adapts the explicit-rate ATP baseline to the transport layer.
+// Attach installs the per-node rate stampers; flows are end-to-end
+// reliable, so the FlowSpec reliability knobs are ignored.
+type driver struct {
+	nw *node.Network
+}
+
+func (d *driver) Name() string { return "atp" }
+
+func (d *driver) Attach(nw *node.Network, _ transport.NetConfig) error {
+	if d.nw != nil {
+		return fmt.Errorf("atp: driver already attached")
+	}
+	d.nw = nw
+	InstallStampers(nw)
+	return nil
+}
+
+func (d *driver) OpenFlow(spec transport.FlowSpec) (transport.Flow, error) {
+	if d.nw == nil {
+		return nil, fmt.Errorf("atp: driver not attached")
+	}
+	cfg := Defaults(spec.Flow, spec.Src, spec.Dst)
+	cfg.TotalPackets = spec.TotalPackets
+	if spec.Tune != nil {
+		spec.Tune(&cfg)
+	}
+	return &flow{spec: spec, conn: Dial(d.nw, cfg), nw: d.nw}, nil
+}
+
+// flow adapts an atp.Connection to the transport.Flow interface.
+type flow struct {
+	spec transport.FlowSpec
+	conn *Connection
+	nw   *node.Network
+}
+
+func (f *flow) Start()     { f.conn.Start() }
+func (f *flow) Stop()      { f.conn.Stop() }
+func (f *flow) Done() bool { return f.conn.Done() }
+
+func (f *flow) Delivered() uint64 { return f.conn.Receiver.Stats().UniqueReceived }
+func (f *flow) SourceRtx() uint64 { return f.conn.Sender.Stats().Retransmissions }
+
+func (f *flow) Goodput() float64 {
+	return transport.GoodputNow(f.Stats(), f.nw.Engine().Now().Seconds())
+}
+
+func (f *flow) Stats() *metrics.FlowRecord {
+	ss := f.conn.Sender.Stats()
+	rs := f.conn.Receiver.Stats()
+	fr := &metrics.FlowRecord{
+		Proto:                 "atp",
+		Flow:                  uint16(f.spec.Flow),
+		Src:                   uint16(f.spec.Src),
+		Dst:                   uint16(f.spec.Dst),
+		StartAt:               f.spec.StartAt,
+		DataSent:              ss.DataSent,
+		SourceRetransmissions: ss.Retransmissions,
+		AcksSent:              rs.FeedbackSent,
+		UniqueDelivered:       rs.UniqueReceived,
+		DeliveredBytes:        rs.DeliveredBytes,
+		Duplicates:            rs.Duplicates,
+		Completed:             rs.Completed,
+		Reception:             f.conn.Receiver.Reception(),
+	}
+	if rs.Completed {
+		fr.CompletedAt = rs.CompletedAt.Seconds()
+	}
+	return fr
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"github.com/javelen/jtp/internal/cache"
 	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/transport"
 )
 
 // BatchSpec is the JSON schema behind `jtpsim batch -matrix <file>`: a
@@ -29,7 +31,8 @@ import (
 type BatchSpec struct {
 	// Name labels the campaign (default "batch").
 	Name string `json:"name"`
-	// Protocols axis: "jtp", "jnc", "tcp", "atp" (default ["jtp"]).
+	// Protocols axis: any registered transport driver name — see
+	// RegisteredProtocols() (default ["jtp"]).
 	Protocols []string `json:"protocols"`
 	// Topology pins the layout: "linear" (default) or "random".
 	Topology string `json:"topology"`
@@ -128,10 +131,9 @@ func (b *BatchSpec) validate() error {
 		return fmt.Errorf("batch: negative warmup %g", *b.Warmup)
 	}
 	for _, p := range b.Protocols {
-		switch Protocol(p) {
-		case JTP, JNC, TCP, ATP:
-		default:
-			return fmt.Errorf("batch: unknown protocol %q (want jtp/jnc/tcp/atp)", p)
+		if !transport.Registered(p) {
+			return fmt.Errorf("batch: unknown protocol %q (registered: %s)",
+				p, strings.Join(transport.Names(), "/"))
 		}
 	}
 	switch b.Topology {
@@ -280,7 +282,10 @@ func (b *BatchSpec) Execute(ctx context.Context, par int, onResult func(campaign
 	}
 	return campaign.Execute(ctx, b.Matrix(), campaign.Options{Workers: par, OnResult: onResult},
 		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
-			rec := Run(b.scenario(spec.Cell, spec.Seed))
+			rec, err := Run(b.scenario(spec.Cell, spec.Seed))
+			if err != nil {
+				return nil, err
+			}
 			return runRecordSample(rec), nil
 		})
 }

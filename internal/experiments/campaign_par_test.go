@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// campaignPars returns the worker counts the invariance tests exercise.
+// CI's par-matrix smoke pins a worker count per invocation via
+// JTPSIM_PAR: 1 runs the serial assembly alone under -race, n > 1
+// compares n workers against the serial baseline, so every pinned run
+// still asserts invariance. The default covers 1 vs 4 in one run.
+func campaignPars(t *testing.T) []int {
+	if v := os.Getenv("JTPSIM_PAR"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("JTPSIM_PAR=%q is not a positive integer", v)
+		}
+		if n == 1 {
+			return []int{1}
+		}
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
+
+// TestFig10WorkerCountInvarianceCampaign runs the refactored
+// driver-based assembly under the campaign engine at each worker count
+// and requires identical aggregates: the transport-layer refactor must
+// not introduce any worker-count-dependent state.
+func TestFig10WorkerCountInvarianceCampaign(t *testing.T) {
+	cfg := Fig10Config{
+		Sizes: []int{8}, Flows: 2, Runs: 2,
+		Seconds: 200, Warmup: 30,
+		Protocols: []Protocol{JTP, TCP, ATP}, Seed: 77,
+	}
+	var base []*Fig10Point
+	for _, par := range campaignPars(t) {
+		cfg.Par = par
+		got := Fig10(cfg)
+		if base == nil {
+			base = got
+			continue
+		}
+		requireFig10Equal(t, par, got, base)
+	}
+}
+
+func requireFig10Equal(t *testing.T, par int, got, want []*Fig10Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("par=%d: %d points, want %d", par, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Proto != w.Proto || g.Nodes != w.Nodes {
+			t.Fatalf("par=%d: point %d is (%s,%d), want (%s,%d)",
+				par, i, g.Proto, g.Nodes, w.Proto, w.Nodes)
+		}
+		requireRunningEqual(t, string(g.Proto), g.EnergyPerBit, w.EnergyPerBit)
+		requireRunningEqual(t, string(g.Proto), g.GoodputBps, w.GoodputBps)
+	}
+}
+
+// TestFig11WorkerCountInvarianceCampaign covers the mobility path
+// (random topology + random waypoint + random endpoints), the heaviest
+// consumer of engine-seeded randomness.
+func TestFig11WorkerCountInvarianceCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mobility campaign")
+	}
+	cfg := Fig11Config{
+		Nodes: 10, Speeds: []float64{1}, Flows: 2, Runs: 2,
+		Seconds: 150, Warmup: 30,
+		Protocols: []Protocol{JTP, TCP}, Seed: 55,
+	}
+	var base []*Fig11Point
+	for _, par := range campaignPars(t) {
+		cfg.Par = par
+		got := Fig11(cfg)
+		if base == nil {
+			base = got
+			continue
+		}
+		if len(got) != len(base) {
+			t.Fatalf("par=%d: %d points, want %d", par, len(got), len(base))
+		}
+		for i := range base {
+			requireRunningEqual(t, string(base[i].Proto), got[i].EnergyPerBit, base[i].EnergyPerBit)
+			requireRunningEqual(t, string(base[i].Proto), got[i].GoodputBps, base[i].GoodputBps)
+			requireRunningEqual(t, string(base[i].Proto), got[i].SourceRtxPerKB, base[i].SourceRtxPerKB)
+			requireRunningEqual(t, string(base[i].Proto), got[i].CacheHitsPerKB, base[i].CacheHitsPerKB)
+		}
+	}
+}

@@ -7,7 +7,7 @@ func TestDiagTCPLongRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("diagnostic")
 	}
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name:    "diag-tcp",
 		Proto:   TCP,
 		Topo:    Linear,
@@ -18,7 +18,7 @@ func TestDiagTCPLongRun(t *testing.T) {
 			{Src: 0, Dst: 9, StartAt: 100},
 			{Src: 9, Dst: 0, StartAt: 130},
 		},
-	})
+	}))
 	for i, f := range rec.Flows {
 		t.Logf("flow%d: sent=%d rtx=%d acks=%d uniq=%d dup=%d goodput=%.3fkbps",
 			i+1, f.DataSent, f.SourceRetransmissions, f.AcksSent, f.UniqueDelivered,
@@ -27,10 +27,10 @@ func TestDiagTCPLongRun(t *testing.T) {
 	t.Logf("tcp: e/bit=%.3guJ energy=%.2fJ qdrops=%d retryDrops=%d",
 		rec.EnergyPerBit()*1e6, rec.TotalEnergy, rec.QueueDrops, rec.RetryDrops)
 
-	recJ := Run(Scenario{
+	recJ := must(Run(Scenario{
 		Name: "diag-jtp10", Proto: JTP, Topo: Linear, Nodes: 10, Seconds: 900, Seed: 7,
 		Flows: []FlowSpec{{Src: 0, Dst: 9, StartAt: 100}, {Src: 9, Dst: 0, StartAt: 130}},
-	})
+	}))
 	t.Logf("jtp: e/bit=%.3guJ goodput=%.3fkbps", recJ.EnergyPerBit()*1e6, recJ.MeanGoodputBps()/1e3)
 	t.Logf("ratio tcp/jtp e/bit = %.2f", rec.EnergyPerBit()/recJ.EnergyPerBit())
 }

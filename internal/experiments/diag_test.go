@@ -17,7 +17,7 @@ func TestDiagJTPLongRun(t *testing.T) {
 	}
 	var conns []*core.Connection
 	var plugins []*ijtp.Plugin
-	rec := RunWithHooks(Scenario{
+	rec := must(RunWithHooks(Scenario{
 		Name:    "diag",
 		Proto:   JTP,
 		Topo:    Linear,
@@ -31,7 +31,7 @@ func TestDiagJTPLongRun(t *testing.T) {
 	}, Hooks{
 		JTPConn: func(i int, c *core.Connection) { conns = append(conns, c) },
 		Plugin:  func(id packet.NodeID, pl *ijtp.Plugin) { plugins = append(plugins, pl) },
-	})
+	}))
 
 	for i, c := range conns {
 		ss := c.Sender.Stats()

@@ -99,7 +99,7 @@ func runFig10Once(proto Protocol, n int, seed int64, cfg Fig10Config) *metrics.R
 			StartAt: cfg.Warmup + float64(i)*10,
 		}
 	}
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:    "fig10",
 		Proto:   proto,
 		Topo:    Random,
@@ -107,7 +107,7 @@ func runFig10Once(proto Protocol, n int, seed int64, cfg Fig10Config) *metrics.R
 		Seconds: cfg.Seconds,
 		Seed:    seed,
 		Flows:   flows,
-	})
+	}))
 }
 
 // Fig10Tables renders both panels.

@@ -108,7 +108,7 @@ func runFig11Once(proto Protocol, speed float64, seed int64, cfg Fig11Config) *m
 	for i := range flows {
 		flows[i] = FlowSpec{Src: -1, Dst: -1, StartAt: cfg.Warmup + float64(i)*10}
 	}
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:          "fig11",
 		Proto:         proto,
 		Topo:          Random,
@@ -117,7 +117,7 @@ func runFig11Once(proto Protocol, speed float64, seed int64, cfg Fig11Config) *m
 		Seconds:       cfg.Seconds,
 		Seed:          seed,
 		Flows:         flows,
-	})
+	}))
 }
 
 // Fig11Tables renders all three panels.

@@ -74,7 +74,7 @@ func Fig3(cfg Fig3Config) []*Fig3Point {
 		for _, n := range cfg.Sizes {
 			pt := &Fig3Point{LossTolerance: lt, Nodes: n, Runs: cfg.Runs}
 			for run := 0; run < cfg.Runs; run++ {
-				rec := Run(Scenario{
+				rec := must(Run(Scenario{
 					Name:    "fig3",
 					Proto:   JTP,
 					Topo:    Linear,
@@ -86,7 +86,7 @@ func Fig3(cfg Fig3Config) []*Fig3Point {
 						TotalPackets:  cfg.TransferPackets,
 						LossTolerance: lt,
 					}},
-				})
+				}))
 				f := rec.Flows[0]
 				pt.EnergyJ.Add(rec.TotalEnergy)
 				pt.DeliveredKB.Add(float64(f.DeliveredBytes) / 1e3)
@@ -123,7 +123,7 @@ func Fig3c(transferPackets int, seed int64) []*Fig3cResult {
 	const nodeIdx = 2 // third node on the path (0-based), as in the paper
 	for _, lt := range []float64{0.10, 0.20} {
 		res := &Fig3cResult{LossTolerance: lt, NodeIndex: nodeIdx}
-		RunWithHooks(Scenario{
+		must(RunWithHooks(Scenario{
 			Name:    "fig3c",
 			Proto:   JTP,
 			Topo:    Linear,
@@ -151,7 +151,7 @@ func Fig3c(transferPackets int, seed int64) []*Fig3cResult {
 					})
 				}
 			},
-		})
+		}))
 		out = append(out, res)
 	}
 	return out

@@ -73,7 +73,7 @@ func Fig4(cfg Fig4Config) []*Fig4Point {
 }
 
 func runFig4Once(proto Protocol, n int, cfg Fig4Config, seed int64) *metrics.RunRecord {
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:    "fig4",
 		Proto:   proto,
 		Topo:    Linear,
@@ -84,7 +84,7 @@ func runFig4Once(proto Protocol, n int, cfg Fig4Config, seed int64) *metrics.Run
 			Src: 0, Dst: n - 1, StartAt: 50,
 			TotalPackets: cfg.TransferPackets,
 		}},
-	})
+	}))
 }
 
 // Fig4b reproduces Fig 4(b): per-node energy in a linear chain

@@ -43,7 +43,7 @@ func Fig5(cfg Fig5Config) []*Fig5Result {
 	for _, backoff := range []bool{true, false} {
 		res := &Fig5Result{Backoff: backoff}
 		var recs [2]*stats.Series
-		RunWithHooks(Scenario{
+		must(RunWithHooks(Scenario{
 			Name:    "fig5",
 			Proto:   JTP,
 			Topo:    Linear,
@@ -67,7 +67,7 @@ func Fig5(cfg Fig5Config) []*Fig5Result {
 			JTPConn: func(i int, conn *core.Connection) {
 				recs[i] = conn.Receiver.Reception()
 			},
-		})
+		}))
 		for i := 0; i < 2; i++ {
 			series := recs[i]
 			res.ShortTerm[i] = rateBin(series, cfg.BinSeconds)

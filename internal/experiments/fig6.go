@@ -73,7 +73,7 @@ func Fig6(cfg Fig6Config) []*Fig6Point {
 			for _, cs := range cfg.CacheSizes {
 				pt := &Fig6Point{Nodes: n, FeedbackLabel: reg.label, CacheSize: cs}
 				for run := 0; run < cfg.Runs; run++ {
-					rec := Run(Scenario{
+					rec := must(Run(Scenario{
 						Name:          "fig6",
 						Proto:         JTP,
 						Topo:          Linear,
@@ -86,7 +86,7 @@ func Fig6(cfg Fig6Config) []*Fig6Point {
 							TotalPackets:         cfg.TransferPackets,
 							ConstantFeedbackRate: reg.rate,
 						}},
-					})
+					}))
 					pt.SourceRtx.Add(float64(rec.Flows[0].SourceRetransmissions))
 					pt.CacheHits.Add(float64(rec.CacheHits))
 				}

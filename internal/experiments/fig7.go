@@ -134,7 +134,7 @@ func runFig7Once(cfg Fig7Config, fbRate float64, seed int64) *metrics.RunRecord 
 	if cfg.QueueCap > 0 {
 		macCfg.QueueCap = cfg.QueueCap
 	}
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:    "fig7",
 		Proto:   JTP,
 		Topo:    Linear,
@@ -150,7 +150,7 @@ func runFig7Once(cfg Fig7Config, fbRate float64, seed int64) *metrics.RunRecord 
 			c.MaxRate = 1.6
 			c.InitialRate = 1.6
 		},
-	})
+	}))
 }
 
 // Fig7Tables renders both panels; the variable-feedback row is the

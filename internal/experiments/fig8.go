@@ -62,7 +62,7 @@ func Fig8(cfg Fig8Config) *Fig8Result {
 		Flow2End:   cfg.Flow2End,
 	}
 	var recs [2]*stats.Series
-	RunWithHooks(Scenario{
+	must(RunWithHooks(Scenario{
 		Name:    "fig8",
 		Proto:   JTP,
 		Topo:    Linear,
@@ -88,7 +88,7 @@ func Fig8(cfg Fig8Config) *Fig8Result {
 				}
 			}
 		},
-	})
+	}))
 	for i := 0; i < 2; i++ {
 		res.Throughput[i] = rateBin(recs[i], cfg.BinSeconds)
 	}

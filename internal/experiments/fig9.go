@@ -107,7 +107,7 @@ func Fig9(cfg Fig9Config) []*Fig9Point {
 func runFig9Once(proto Protocol, n int, seed int64, cfg Fig9Config) *metrics.RunRecord {
 	jitter1 := float64(seed%97) / 97.0 * 100
 	jitter2 := float64(seed%89) / 89.0 * 100
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:    "fig9",
 		Proto:   proto,
 		Topo:    Linear,
@@ -118,7 +118,7 @@ func runFig9Once(proto Protocol, n int, seed int64, cfg Fig9Config) *metrics.Run
 			{Src: 0, Dst: n - 1, StartAt: cfg.Warmup + jitter1},
 			{Src: n - 1, Dst: 0, StartAt: cfg.Warmup + jitter2},
 		},
-	})
+	}))
 }
 
 // Fig9Table renders the points as two paper-style tables.

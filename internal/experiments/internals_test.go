@@ -69,10 +69,10 @@ func TestCumulativeRate(t *testing.T) {
 
 func TestScenarioDeterminism(t *testing.T) {
 	run := func() (float64, uint64) {
-		rec := Run(Scenario{
+		rec := must(Run(Scenario{
 			Name: "det", Proto: JTP, Topo: Linear, Nodes: 5, Seconds: 300, Seed: 11,
 			Flows: []FlowSpec{{Src: 0, Dst: 4, StartAt: 10, TotalPackets: 40}},
-		})
+		}))
 		return rec.TotalEnergy, rec.Flows[0].UniqueDelivered
 	}
 	e1, d1 := run()
@@ -84,13 +84,13 @@ func TestScenarioDeterminism(t *testing.T) {
 
 func TestScenarioFlowOverrides(t *testing.T) {
 	// InitialRate/MaxRate overrides must reach the JTP config.
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name: "override", Proto: JTP, Topo: Linear, Nodes: 3, Seconds: 120, Seed: 5,
 		Flows: []FlowSpec{{
 			Src: 0, Dst: 2, StartAt: 1,
 			InitialRate: 4, MaxRate: 4,
 		}},
-	})
+	}))
 	f := rec.Flows[0]
 	// At 4 pps for ~119 s on a clean-ish path, far more than the default
 	// 1 pps start would deliver before the first feedback.
@@ -100,10 +100,10 @@ func TestScenarioFlowOverrides(t *testing.T) {
 }
 
 func TestScenarioStopAt(t *testing.T) {
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name: "stopat", Proto: JTP, Topo: Linear, Nodes: 4, Seconds: 600, Seed: 6,
 		Flows: []FlowSpec{{Src: 0, Dst: 3, StartAt: 10, StopAt: 100}},
-	})
+	}))
 	f := rec.Flows[0]
 	if f.Reception.Len() == 0 {
 		t.Fatal("flow never delivered")

@@ -3,12 +3,17 @@
 // paper describes, runs it on the simulated JAVeLEN substrate, and
 // returns paper-style rows/series. The cmd/jtpsim CLI and the repository
 // benchmarks are thin wrappers over this package.
+//
+// Transports are never named in the assembly code: every protocol under
+// test reaches the harness through the internal/transport driver
+// registry, so adding a protocol package (and listing it in
+// internal/transport/drivers) makes it available to every figure
+// campaign and batch matrix here.
 package experiments
 
 import (
 	"fmt"
 
-	"github.com/javelen/jtp/internal/atp"
 	"github.com/javelen/jtp/internal/cache"
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/core"
@@ -21,14 +26,16 @@ import (
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/routing"
 	"github.com/javelen/jtp/internal/sim"
-	"github.com/javelen/jtp/internal/tcpsack"
 	"github.com/javelen/jtp/internal/topology"
+	"github.com/javelen/jtp/internal/transport"
+	_ "github.com/javelen/jtp/internal/transport/drivers" // register built-in protocols
 )
 
-// Protocol selects the transport under test.
+// Protocol selects the transport under test by its registered driver
+// name. Any name in transport.Names() is valid.
 type Protocol string
 
-// Protocols compared in §6.
+// Protocols compared in §6 (the built-in drivers).
 const (
 	// JTP is the paper's protocol with all mechanisms on.
 	JTP Protocol = "jtp"
@@ -39,6 +46,11 @@ const (
 	// ATP is the explicit-rate, constant-feedback baseline.
 	ATP Protocol = "atp"
 )
+
+// RegisteredProtocols returns the registered driver names, sorted. CLI
+// listings and validation errors derive from it, so they never drift
+// from the actual driver set.
+func RegisteredProtocols() []string { return transport.Names() }
 
 // TopoKind selects the layout.
 type TopoKind int
@@ -133,21 +145,66 @@ type Hooks struct {
 	Plugin func(id packet.NodeID, pl *ijtp.Plugin)
 }
 
-// flowHandle adapts the per-protocol connection objects.
-type flowHandle struct {
-	spec    FlowSpec
-	proto   Protocol
-	jtp     *core.Connection
-	tcp     *tcpsack.Connection
-	atp     *atp.Connection
+// scheduledFlow guards a dialed transport flow against double-start
+// (a StopAt flow may be re-scheduled by figure code).
+type scheduledFlow struct {
+	flow    transport.Flow
 	started bool
 }
 
-// Run executes the scenario and aggregates a RunRecord.
-func Run(sc Scenario) *metrics.RunRecord { return RunWithHooks(sc, Hooks{}) }
+func (s *scheduledFlow) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.flow.Start()
+}
+
+// BuiltScenario is a fully assembled run: substrate started, driver
+// attached, flows dialed and scheduled. Run advances time and collects.
+type BuiltScenario struct {
+	sc    Scenario
+	eng   *sim.Engine
+	nw    *node.Network
+	drv   transport.Driver
+	flows []*scheduledFlow
+}
+
+// Run executes the scenario and aggregates a RunRecord. It returns an
+// error for invalid scenarios — notably a protocol with no registered
+// driver — instead of panicking.
+func Run(sc Scenario) (*metrics.RunRecord, error) { return RunWithHooks(sc, Hooks{}) }
 
 // RunWithHooks executes the scenario with probes attached.
-func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
+func RunWithHooks(sc Scenario, hooks Hooks) (*metrics.RunRecord, error) {
+	b, err := BuildScenario(sc, hooks)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(), nil
+}
+
+// must unwraps a Run/RunWithHooks result for scenarios whose validity
+// is static — figure code with compile-time protocol constants. Any
+// error there is a programming bug, so it panics.
+func must(rec *metrics.RunRecord, err error) *metrics.RunRecord {
+	if err != nil {
+		panic(err.Error()) // already "experiments:"-prefixed
+	}
+	return rec
+}
+
+// BuildScenario assembles the substrate, attaches the protocol driver
+// from the transport registry, and dials + schedules every flow. The
+// returned BuiltScenario is ready to Run.
+func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
+	// The driver is resolved first so an unknown protocol fails before
+	// any simulation state exists.
+	drv, err := transport.New(string(sc.Proto))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+	}
+
 	eng := sim.NewEngine(sc.Seed)
 
 	// ---- Substrate -------------------------------------------------
@@ -174,11 +231,11 @@ func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
 	case Random:
 		t, ok := topology.Random(sc.Nodes, chCfg.Range, eng.Rand(), 200)
 		if !ok {
-			panic(fmt.Sprintf("experiments: could not build connected random topology n=%d", sc.Nodes))
+			return nil, fmt.Errorf("experiments: could not build connected random topology n=%d", sc.Nodes)
 		}
 		topo = t
 	default:
-		panic("experiments: unknown topology kind")
+		return nil, fmt.Errorf("experiments: unknown topology kind %d", sc.Topo)
 	}
 
 	rtCfg := routing.Config{}
@@ -195,41 +252,28 @@ func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
 	})
 
 	// ---- Protocol plumbing -----------------------------------------
-	var plugins []*ijtp.Plugin
-	switch sc.Proto {
-	case JTP, JNC:
-		iCfg := ijtp.Defaults()
-		iCfg.MaxAttempts = macCfg.MaxAttempts
-		if sc.Proto == JNC {
-			iCfg.CacheEnabled = false
-		}
-		if sc.CacheCapacity > 0 {
-			iCfg.CacheCapacity = sc.CacheCapacity
-		} else if sc.CacheCapacity < 0 {
-			iCfg.CacheEnabled = false
-		}
-		iCfg.CachePolicy = sc.CachePolicy
-		if sc.IJTPTune != nil {
-			sc.IJTPTune(&iCfg)
-		}
-		for _, nd := range nw.Nodes() {
-			id := nd.ID
-			pl := ijtp.New(id, iCfg, nd.Router, func(p *packet.Packet) bool {
-				return nw.SendFromFront(id, p)
-			})
-			pl.Clock = func() float64 { return eng.Now().Seconds() }
-			nd.MAC.AddPlugin(pl)
-			plugins = append(plugins, pl)
-			if hooks.Plugin != nil {
-				hooks.Plugin(id, pl)
+	netCfg := transport.NetConfig{
+		MaxAttempts:   macCfg.MaxAttempts,
+		CacheCapacity: sc.CacheCapacity,
+		CachePolicy:   sc.CachePolicy,
+		TLowerBound:   sc.TLowerBound,
+	}
+	if tune := sc.IJTPTune; tune != nil {
+		netCfg.Tune = func(cfg any) {
+			if c, ok := cfg.(*ijtp.Config); ok {
+				tune(c)
 			}
 		}
-	case ATP:
-		atp.InstallStampers(nw)
-	case TCP:
-		// no in-network machinery
-	default:
-		panic("experiments: unknown protocol " + string(sc.Proto))
+	}
+	if err := drv.Attach(nw, netCfg); err != nil {
+		return nil, fmt.Errorf("experiments: scenario %q: attaching %s: %w", sc.Name, drv.Name(), err)
+	}
+	if hooks.Plugin != nil {
+		if pp, ok := drv.(interface{ Plugins() []*ijtp.Plugin }); ok {
+			for _, pl := range pp.Plugins() {
+				hooks.Plugin(pl.ID(), pl)
+			}
+		}
 	}
 
 	var mob *mobility.Model
@@ -246,85 +290,88 @@ func RunWithHooks(sc Scenario, hooks Hooks) *metrics.RunRecord {
 	}
 
 	// ---- Flows -------------------------------------------------------
-	handles := make([]*flowHandle, len(sc.Flows))
+	b := &BuiltScenario{sc: sc, eng: eng, nw: nw, drv: drv}
 	for i, spec := range sc.Flows {
 		src, dst := pickEndpoints(spec, sc, eng, topo, chCfg.Range)
 		spec.Src, spec.Dst = src, dst
-		h := &flowHandle{spec: spec, proto: sc.Proto}
-		flow := packet.FlowID(i + 1)
 
-		switch sc.Proto {
-		case JTP, JNC:
-			cfg := core.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
-			cfg.TotalPackets = spec.TotalPackets
-			cfg.LossTolerance = spec.LossTolerance
-			cfg.DisableBackoff = spec.DisableBackoff
-			cfg.DisableRetransmissions = spec.DisableRetransmissions
-			cfg.ConstantFeedbackRate = spec.ConstantFeedbackRate
-			if sc.TLowerBound > 0 {
-				cfg.TLowerBound = sc.TLowerBound
-			}
-			if sc.JTPTune != nil {
-				sc.JTPTune(&cfg)
-			}
-			if spec.InitialRate > 0 {
-				cfg.InitialRate = spec.InitialRate
-			}
-			if spec.MaxRate > 0 {
-				cfg.MaxRate = spec.MaxRate
-			}
-			h.jtp = core.Dial(nw, cfg)
-			if hooks.JTPConn != nil {
-				hooks.JTPConn(i, h.jtp)
-			}
-		case TCP:
-			cfg := tcpsack.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
-			cfg.TotalPackets = spec.TotalPackets
-			h.tcp = tcpsack.Dial(nw, cfg)
-		case ATP:
-			cfg := atp.Defaults(flow, packet.NodeID(src), packet.NodeID(dst))
-			cfg.TotalPackets = spec.TotalPackets
-			h.atp = atp.Dial(nw, cfg)
+		tSpec := transport.FlowSpec{
+			Flow:                   packet.FlowID(i + 1),
+			Src:                    packet.NodeID(src),
+			Dst:                    packet.NodeID(dst),
+			StartAt:                spec.StartAt,
+			TotalPackets:           spec.TotalPackets,
+			LossTolerance:          spec.LossTolerance,
+			DisableBackoff:         spec.DisableBackoff,
+			DisableRetransmissions: spec.DisableRetransmissions,
+			ConstantFeedbackRate:   spec.ConstantFeedbackRate,
+			InitialRate:            spec.InitialRate,
+			MaxRate:                spec.MaxRate,
 		}
-		handles[i] = h
+		if tune := sc.JTPTune; tune != nil {
+			tSpec.Tune = func(cfg any) {
+				if c, ok := cfg.(*core.Config); ok {
+					tune(c)
+				}
+			}
+		}
 
-		startAt := sim.DurationOf(spec.StartAt)
-		hh := h
-		eng.Schedule(startAt, func() {
-			hh.start()
-		})
+		fl, err := drv.OpenFlow(tSpec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: flow %d (%s): %w", sc.Name, i, drv.Name(), err)
+		}
+		if hooks.JTPConn != nil {
+			if cc, ok := fl.(interface{ Conn() *core.Connection }); ok {
+				hooks.JTPConn(i, cc.Conn())
+			}
+		}
+		sf := &scheduledFlow{flow: fl}
+		b.flows = append(b.flows, sf)
+
+		eng.Schedule(sim.DurationOf(spec.StartAt), sf.start)
 		if spec.StopAt > spec.StartAt && spec.StopAt > 0 {
-			eng.Schedule(sim.DurationOf(spec.StopAt), func() {
-				hh.stop()
-			})
+			eng.Schedule(sim.DurationOf(spec.StopAt), fl.Stop)
 		}
 	}
+	return b, nil
+}
 
-	// ---- Run ----------------------------------------------------------
-	eng.RunUntil(sim.Time(sim.DurationOf(sc.Seconds)))
-
-	// ---- Collect ------------------------------------------------------
-	rec := &metrics.RunRecord{
-		Name:          sc.Name,
-		Proto:         string(sc.Proto),
-		Nodes:         sc.Nodes,
-		Seconds:       sc.Seconds,
-		TotalEnergy:   nw.TotalEnergy(),
-		PerNodeEnergy: nw.PerNodeEnergy(),
-		QueueDrops:    nw.QueueDrops(),
+// Flows returns the dialed transport flows in scenario order.
+func (b *BuiltScenario) Flows() []transport.Flow {
+	out := make([]transport.Flow, len(b.flows))
+	for i, sf := range b.flows {
+		out[i] = sf.flow
 	}
-	for _, nd := range nw.Nodes() {
+	return out
+}
+
+// Run advances virtual time to the scenario's end and aggregates the
+// RunRecord from the network, the driver's in-network counters, and the
+// per-flow records.
+func (b *BuiltScenario) Run() *metrics.RunRecord {
+	b.eng.RunUntil(sim.Time(sim.DurationOf(b.sc.Seconds)))
+
+	rec := &metrics.RunRecord{
+		Name:          b.sc.Name,
+		Proto:         string(b.sc.Proto),
+		Nodes:         b.sc.Nodes,
+		Seconds:       b.sc.Seconds,
+		TotalEnergy:   b.nw.TotalEnergy(),
+		PerNodeEnergy: b.nw.PerNodeEnergy(),
+		QueueDrops:    b.nw.QueueDrops(),
+	}
+	for _, nd := range b.nw.Nodes() {
 		_, _, _, _, retryDrops, _ := nd.MAC.Counters()
 		rec.RetryDrops += retryDrops
 	}
-	for _, pl := range plugins {
-		c := pl.Counters()
-		rec.EnergyBudgetDrops += c.EnergyDrops
-		rec.CacheHits += c.CacheServed
-		rec.CacheInserts += pl.Cache().Stats().Inserts
+	if nr, ok := b.drv.(transport.NetReporter); ok {
+		ns := nr.NetStats()
+		rec.EnergyBudgetDrops = ns.EnergyBudgetDrops
+		rec.CacheHits = ns.CacheHits
+		rec.CacheInserts = ns.CacheInserts
 	}
-	for _, h := range handles {
-		rec.Flows = append(rec.Flows, h.record())
+	for _, sf := range b.flows {
+		rec.Flows = append(rec.Flows, sf.flow.Stats())
 	}
 	return rec
 }
@@ -347,86 +394,4 @@ func pickEndpoints(spec FlowSpec, sc Scenario, eng *sim.Engine, topo *topology.T
 		}
 	}
 	return 0, sc.Nodes - 1
-}
-
-func (h *flowHandle) start() {
-	if h.started {
-		return
-	}
-	h.started = true
-	switch {
-	case h.jtp != nil:
-		h.jtp.Start()
-	case h.tcp != nil:
-		h.tcp.Start()
-	case h.atp != nil:
-		h.atp.Start()
-	}
-}
-
-func (h *flowHandle) stop() {
-	switch {
-	case h.jtp != nil:
-		h.jtp.Stop()
-	case h.tcp != nil:
-		h.tcp.Stop()
-	case h.atp != nil:
-		h.atp.Stop()
-	}
-}
-
-// record converts protocol-specific stats into a FlowRecord.
-func (h *flowHandle) record() *metrics.FlowRecord {
-	fr := &metrics.FlowRecord{
-		Proto:   string(h.proto),
-		Src:     uint16(h.spec.Src),
-		Dst:     uint16(h.spec.Dst),
-		StartAt: h.spec.StartAt,
-	}
-	switch {
-	case h.jtp != nil:
-		ss := h.jtp.Sender.Stats()
-		rs := h.jtp.Receiver.Stats()
-		fr.DataSent = ss.DataSent
-		fr.SourceRetransmissions = ss.SourceRetransmissions
-		fr.CacheRecovered = rs.CacheRecoveredSeen
-		fr.AcksSent = rs.AcksSent
-		fr.UniqueDelivered = rs.UniqueReceived
-		fr.DeliveredBytes = rs.DeliveredBytes
-		fr.Duplicates = rs.Duplicates
-		fr.Completed = rs.Completed
-		if rs.Completed {
-			fr.CompletedAt = rs.CompletedAt.Seconds()
-		}
-		fr.Reception = h.jtp.Receiver.Reception()
-	case h.tcp != nil:
-		ss := h.tcp.Sender.Stats()
-		rs := h.tcp.Receiver.Stats()
-		fr.DataSent = ss.DataSent
-		fr.SourceRetransmissions = ss.Retransmissions
-		fr.AcksSent = rs.AcksSent
-		fr.UniqueDelivered = rs.UniqueReceived
-		fr.DeliveredBytes = rs.DeliveredBytes
-		fr.Duplicates = rs.Duplicates
-		fr.Completed = rs.Completed
-		if rs.Completed {
-			fr.CompletedAt = rs.CompletedAt.Seconds()
-		}
-		fr.Reception = h.tcp.Receiver.Reception()
-	case h.atp != nil:
-		ss := h.atp.Sender.Stats()
-		rs := h.atp.Receiver.Stats()
-		fr.DataSent = ss.DataSent
-		fr.SourceRetransmissions = ss.Retransmissions
-		fr.AcksSent = rs.FeedbackSent
-		fr.UniqueDelivered = rs.UniqueReceived
-		fr.DeliveredBytes = rs.DeliveredBytes
-		fr.Duplicates = rs.Duplicates
-		fr.Completed = rs.Completed
-		if rs.Completed {
-			fr.CompletedAt = rs.CompletedAt.Seconds()
-		}
-		fr.Reception = h.atp.Receiver.Reception()
-	}
-	return fr
 }

@@ -7,7 +7,7 @@ import (
 // TestSmokeJTPLinearTransfer runs one fixed-size JTP transfer over a
 // 5-node chain and checks it completes with full reliability.
 func TestSmokeJTPLinearTransfer(t *testing.T) {
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name:    "smoke-jtp",
 		Proto:   JTP,
 		Topo:    Linear,
@@ -17,7 +17,7 @@ func TestSmokeJTPLinearTransfer(t *testing.T) {
 		Flows: []FlowSpec{
 			{Src: 0, Dst: 4, StartAt: 10, TotalPackets: 50},
 		},
-	})
+	}))
 	f := rec.Flows[0]
 	if !f.Completed {
 		t.Fatalf("transfer did not complete: delivered=%d/50 sent=%d srcRtx=%d acks=%d energy=%.4fJ qdrops=%d",
@@ -41,7 +41,7 @@ func TestSmokeJTPLinearTransfer(t *testing.T) {
 // transfer over 4 lossy hops takes on the order of an hour of virtual
 // time — the goodput collapse of Fig 9(b).
 func TestSmokeTCPLinearTransfer(t *testing.T) {
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name:    "smoke-tcp",
 		Proto:   TCP,
 		Topo:    Linear,
@@ -49,7 +49,7 @@ func TestSmokeTCPLinearTransfer(t *testing.T) {
 		Seconds: 8000,
 		Seed:    1,
 		Flows:   []FlowSpec{{Src: 0, Dst: 4, StartAt: 10, TotalPackets: 50}},
-	})
+	}))
 	f := rec.Flows[0]
 	if !f.Completed {
 		t.Fatalf("tcp transfer did not complete: delivered=%d/50 sent=%d rtx=%d acks=%d",
@@ -61,7 +61,7 @@ func TestSmokeTCPLinearTransfer(t *testing.T) {
 
 // TestSmokeATPLinearTransfer checks the ATP baseline completes.
 func TestSmokeATPLinearTransfer(t *testing.T) {
-	rec := Run(Scenario{
+	rec := must(Run(Scenario{
 		Name:    "smoke-atp",
 		Proto:   ATP,
 		Topo:    Linear,
@@ -69,7 +69,7 @@ func TestSmokeATPLinearTransfer(t *testing.T) {
 		Seconds: 600,
 		Seed:    1,
 		Flows:   []FlowSpec{{Src: 0, Dst: 4, StartAt: 10, TotalPackets: 50}},
-	})
+	}))
 	f := rec.Flows[0]
 	if !f.Completed {
 		t.Fatalf("atp transfer did not complete: delivered=%d/50 sent=%d rtx=%d fb=%d",

@@ -93,7 +93,7 @@ func runTable2Once(proto Protocol, cfg Table2Config, seed int64) *metrics.RunRec
 			TotalPackets: pkts,
 		}
 	}
-	return Run(Scenario{
+	return must(Run(Scenario{
 		Name:    "table2",
 		Proto:   proto,
 		Topo:    Random,
@@ -102,7 +102,7 @@ func runTable2Once(proto Protocol, cfg Table2Config, seed int64) *metrics.RunRec
 		Seed:    seed,
 		Channel: &ch,
 		Flows:   flows,
-	})
+	}))
 }
 
 // Table2Table renders the paper-style rows (mJ/bit is the paper's unit;

@@ -3,9 +3,12 @@
 // link-state routers, the wireless channel, per-node energy meters, and
 // the dispatch of received segments to registered transport endpoints.
 //
-// The package is transport-agnostic: JTP, TCP-SACK and ATP all attach via
-// the Transport interface and originate traffic through SendFrom, exactly
+// The package is transport-agnostic: protocols deliver segments via the
+// Transport interface and originate traffic through SendFrom, exactly
 // the "shared substrate, different transport" comparison setup of §6.1.
+// Which protocols exist is not known here — each registers a driver with
+// internal/transport, and the driver's Attach installs any per-node
+// machinery (MAC plugins) it needs.
 package node
 
 import (

@@ -1,0 +1,85 @@
+package tcpsack
+
+import (
+	"fmt"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/transport"
+)
+
+func init() {
+	transport.MustRegister("tcp", func() transport.Driver { return &driver{} })
+}
+
+// driver adapts the rate-paced TCP-SACK baseline to the transport
+// layer. TCP is purely end-to-end: Attach installs no in-network
+// machinery, and the reliability knobs of a FlowSpec are ignored (the
+// baseline is always fully reliable).
+type driver struct {
+	nw *node.Network
+}
+
+func (d *driver) Name() string { return "tcp" }
+
+func (d *driver) Attach(nw *node.Network, _ transport.NetConfig) error {
+	if d.nw != nil {
+		return fmt.Errorf("tcpsack: driver already attached")
+	}
+	d.nw = nw
+	return nil
+}
+
+func (d *driver) OpenFlow(spec transport.FlowSpec) (transport.Flow, error) {
+	if d.nw == nil {
+		return nil, fmt.Errorf("tcpsack: driver not attached")
+	}
+	cfg := Defaults(spec.Flow, spec.Src, spec.Dst)
+	cfg.TotalPackets = spec.TotalPackets
+	if spec.Tune != nil {
+		spec.Tune(&cfg)
+	}
+	return &flow{spec: spec, conn: Dial(d.nw, cfg), nw: d.nw}, nil
+}
+
+// flow adapts a tcpsack.Connection to the transport.Flow interface.
+type flow struct {
+	spec transport.FlowSpec
+	conn *Connection
+	nw   *node.Network
+}
+
+func (f *flow) Start()     { f.conn.Start() }
+func (f *flow) Stop()      { f.conn.Stop() }
+func (f *flow) Done() bool { return f.conn.Done() }
+
+func (f *flow) Delivered() uint64 { return f.conn.Receiver.Stats().UniqueReceived }
+func (f *flow) SourceRtx() uint64 { return f.conn.Sender.Stats().Retransmissions }
+
+func (f *flow) Goodput() float64 {
+	return transport.GoodputNow(f.Stats(), f.nw.Engine().Now().Seconds())
+}
+
+func (f *flow) Stats() *metrics.FlowRecord {
+	ss := f.conn.Sender.Stats()
+	rs := f.conn.Receiver.Stats()
+	fr := &metrics.FlowRecord{
+		Proto:                 "tcp",
+		Flow:                  uint16(f.spec.Flow),
+		Src:                   uint16(f.spec.Src),
+		Dst:                   uint16(f.spec.Dst),
+		StartAt:               f.spec.StartAt,
+		DataSent:              ss.DataSent,
+		SourceRetransmissions: ss.Retransmissions,
+		AcksSent:              rs.AcksSent,
+		UniqueDelivered:       rs.UniqueReceived,
+		DeliveredBytes:        rs.DeliveredBytes,
+		Duplicates:            rs.Duplicates,
+		Completed:             rs.Completed,
+		Reception:             f.conn.Receiver.Reception(),
+	}
+	if rs.Completed {
+		fr.CompletedAt = rs.CompletedAt.Seconds()
+	}
+	return fr
+}

@@ -1,0 +1,16 @@
+// Package drivers registers every built-in transport driver by linking
+// in the protocol packages. Import it (blank) wherever the full
+// registered protocol set must be available — the experiment harness,
+// the public jtp API, and any future tool that enumerates protocols.
+//
+// Adding a protocol is: implement transport.Driver in its package,
+// MustRegister it from init, and add the import here. Every figure
+// campaign, batch matrix and CLI listing picks it up with no further
+// changes.
+package drivers
+
+import (
+	_ "github.com/javelen/jtp/internal/atp"     // registers "atp"
+	_ "github.com/javelen/jtp/internal/core"    // registers "jtp", "jnc"
+	_ "github.com/javelen/jtp/internal/tcpsack" // registers "tcp"
+)

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory creates a fresh Driver for one simulation run.
+type Factory func() Driver
+
+// Registry errors. Callers match with errors.Is.
+var (
+	// ErrUnknownProtocol is wrapped by lookups of unregistered names.
+	ErrUnknownProtocol = errors.New("transport: unknown protocol")
+	// ErrDuplicateProtocol is wrapped when a name is registered twice.
+	ErrDuplicateProtocol = errors.New("transport: duplicate protocol")
+)
+
+// registry is the process-wide name→factory table. It is populated from
+// protocol-package init functions and read-only afterwards, so runs stay
+// deterministic: no run mutates it, and lookup order never matters.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register adds a protocol under the given name. It fails on an empty
+// name, a nil factory, or a name already taken.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return errors.New("transport: empty protocol name")
+	}
+	if f == nil {
+		return fmt.Errorf("transport: nil factory for protocol %q", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("%w: %q already registered", ErrDuplicateProtocol, name)
+	}
+	registry.m[name] = f
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the factory registered under name. The error names the
+// registered set so CLI messages stay correct as drivers are added.
+func Lookup(name string) (Factory, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownProtocol, name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// New instantiates a fresh driver for one run.
+func New(name string) (Driver, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	registry.RLock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	registry.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Registered reports whether name has a driver.
+func Registered(name string) bool {
+	registry.RLock()
+	_, ok := registry.m[name]
+	registry.RUnlock()
+	return ok
+}

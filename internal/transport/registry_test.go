@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	if err := Register("", func() Driver { return nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("x-nilfactory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestDuplicateRegistrationError(t *testing.T) {
+	name := "x-dup-test"
+	if err := Register(name, func() Driver { return nil }); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := Register(name, func() Driver { return nil })
+	if !errors.Is(err, ErrDuplicateProtocol) {
+		t.Fatalf("second registration: got %v, want ErrDuplicateProtocol", err)
+	}
+	if !strings.Contains(err.Error(), name) {
+		t.Errorf("duplicate error %q does not name the protocol", err)
+	}
+}
+
+func TestLookupMissError(t *testing.T) {
+	_, err := Lookup("no-such-protocol")
+	if !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("got %v, want ErrUnknownProtocol", err)
+	}
+	if !strings.Contains(err.Error(), `"no-such-protocol"`) {
+		t.Errorf("error %q does not name the missing protocol", err)
+	}
+	if _, err := New("no-such-protocol"); !errors.Is(err, ErrUnknownProtocol) {
+		t.Fatalf("New: got %v, want ErrUnknownProtocol", err)
+	}
+}
+
+func TestLookupErrorListsRegisteredSet(t *testing.T) {
+	name := "x-listed-test"
+	MustRegister(name, func() Driver { return nil })
+	_, err := Lookup("missing")
+	if err == nil || !strings.Contains(err.Error(), name) {
+		t.Errorf("lookup-miss error %v does not list registered protocol %q", err, name)
+	}
+}
+
+func TestNamesSortedAndRegistered(t *testing.T) {
+	MustRegister("x-names-b", func() Driver { return nil })
+	MustRegister("x-names-a", func() Driver { return nil })
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted/unique: %v", names)
+		}
+	}
+	if !Registered("x-names-a") || Registered("x-never-registered") {
+		t.Error("Registered() misreports membership")
+	}
+}

@@ -9,8 +9,8 @@ import (
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/core"
 	"github.com/javelen/jtp/internal/energy"
-	"github.com/javelen/jtp/internal/ijtp"
 	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/mobility"
 	"github.com/javelen/jtp/internal/node"
 	"github.com/javelen/jtp/internal/packet"
@@ -18,6 +18,8 @@ import (
 	"github.com/javelen/jtp/internal/sim"
 	"github.com/javelen/jtp/internal/topology"
 	"github.com/javelen/jtp/internal/trace"
+	"github.com/javelen/jtp/internal/transport"
+	_ "github.com/javelen/jtp/internal/transport/drivers" // register built-in protocols
 )
 
 // TopologyKind selects how nodes are laid out.
@@ -87,7 +89,16 @@ type SimConfig struct {
 	MaxAttempts int
 	// CachePolicy selects the cache replacement strategy (default LRU).
 	CachePolicy CachePolicy
+	// Protocol selects the default transport driver for flows opened on
+	// this network (default "jtp"). Any registered driver name works:
+	// "jtp", "jnc", "tcp", "atp", or protocols added by future driver
+	// packages; see Protocols for the full set. Per-flow overrides go
+	// through FlowConfig.Protocol.
+	Protocol string
 }
+
+// Protocols returns the registered transport driver names, sorted.
+func Protocols() []string { return transport.Names() }
 
 // FlowConfig opens one JTP connection.
 type FlowConfig struct {
@@ -116,24 +127,38 @@ type FlowConfig struct {
 	// further energy. Combine with LossTolerance and
 	// DisableRetransmissions for streaming.
 	DeadlineSeconds float64
+	// Protocol overrides the Sim's default transport driver for this
+	// flow (default: SimConfig.Protocol). Running a baseline flow (e.g.
+	// "tcp") next to JTP flows on the same network reproduces the
+	// paper's comparative setup in two OpenFlow calls. Reliability
+	// knobs a protocol does not support are ignored — the baselines
+	// are always fully reliable. Protocols sharing exclusive in-network
+	// machinery cannot mix on one Sim: "jtp" and "jnc" each install the
+	// full iJTP plugin set, so opening one after the other returns
+	// ErrBadConfig.
+	Protocol string
 }
 
-// Sim is a simulated JAVeLEN network running JTP.
+// Sim is a simulated JAVeLEN network; flows of any registered transport
+// protocol run on it (JTP by default).
 type Sim struct {
 	eng      *sim.Engine
 	nw       *node.Network
 	mob      *mobility.Model
-	plugins  []*ijtp.Plugin
+	netCfg   transport.NetConfig
+	proto    string                      // default flow protocol
+	drivers  map[string]transport.Driver // attached drivers by name
 	flows    []*Flow
 	nextFlow packet.FlowID
 	started  bool
 }
 
-// Flow is one JTP connection opened on a Sim.
+// Flow is one transport connection opened on a Sim.
 type Flow struct {
-	conn *core.Connection
-	cfg  FlowConfig
-	sim  *Sim
+	tf    transport.Flow
+	proto string
+	cfg   FlowConfig
+	sim   *Sim
 }
 
 // Errors returned by the facade.
@@ -192,37 +217,68 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		Energy:  energy.JAVeLEN(),
 	})
 
-	s := &Sim{eng: eng, nw: nw, nextFlow: 1}
-
-	iCfg := ijtp.Defaults()
-	iCfg.MaxAttempts = macCfg.MaxAttempts
-	if cfg.CacheCapacity > 0 {
-		iCfg.CacheCapacity = cfg.CacheCapacity
-	} else if cfg.CacheCapacity < 0 {
-		iCfg.CacheEnabled = false
+	proto := cfg.Protocol
+	if proto == "" {
+		proto = "jtp"
 	}
+	policy := cache.LRU
 	switch cfg.CachePolicy {
 	case CacheFIFO:
-		iCfg.CachePolicy = cache.FIFO
+		policy = cache.FIFO
 	case CacheRandom:
-		iCfg.CachePolicy = cache.Random
+		policy = cache.Random
 	case CacheEnergyAware:
-		iCfg.CachePolicy = cache.EnergyAware
+		policy = cache.EnergyAware
 	}
-	for _, nd := range nw.Nodes() {
-		id := nd.ID
-		pl := ijtp.New(id, iCfg, nd.Router, func(p *packet.Packet) bool {
-			return nw.SendFromFront(id, p)
-		})
-		pl.Clock = func() float64 { return eng.Now().Seconds() }
-		nd.MAC.AddPlugin(pl)
-		s.plugins = append(s.plugins, pl)
+	s := &Sim{
+		eng:   eng,
+		nw:    nw,
+		proto: proto,
+		netCfg: transport.NetConfig{
+			MaxAttempts:   macCfg.MaxAttempts,
+			CacheCapacity: cfg.CacheCapacity,
+			CachePolicy:   policy,
+		},
+		drivers:  make(map[string]transport.Driver),
+		nextFlow: 1,
+	}
+	if _, err := s.driver(proto); err != nil {
+		return nil, err
 	}
 
 	if cfg.MobilitySpeed > 0 {
 		s.mob = mobility.New(eng, topo, topo.Field, mobility.Defaults(cfg.MobilitySpeed))
 	}
 	return s, nil
+}
+
+// driver returns the attached driver for a protocol, instantiating and
+// attaching it from the registry on first use. Every attached driver
+// shares the Sim's network and scenario-level knobs. Drivers whose
+// in-network machinery is exclusive (jtp vs jnc: both would install a
+// full iJTP plugin set that double-processes every JTP packet) are
+// refused when a conflicting driver is already attached.
+func (s *Sim) driver(name string) (transport.Driver, error) {
+	if d, ok := s.drivers[name]; ok {
+		return d, nil
+	}
+	d, err := transport.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if ex, ok := d.(transport.Exclusive); ok {
+		for prev, pd := range s.drivers {
+			if pex, ok := pd.(transport.Exclusive); ok && pex.ExclusiveKey() == ex.ExclusiveKey() {
+				return nil, fmt.Errorf("%w: protocol %q conflicts with already-attached %q (both install %s in-network machinery)",
+					ErrBadConfig, name, prev, ex.ExclusiveKey())
+			}
+		}
+	}
+	if err := d.Attach(s.nw, s.netCfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	s.drivers[name] = d
+	return d, nil
 }
 
 // start launches the substrate lazily on first Run or OpenFlow.
@@ -237,7 +293,10 @@ func (s *Sim) start() {
 	}
 }
 
-// OpenFlow opens a JTP connection and schedules its start.
+// OpenFlow opens a transport connection — the Sim's default protocol,
+// or cfg.Protocol's — and schedules its start. A protocol used for the
+// first time has its driver attached on demand, so a JTP network and a
+// TCP-SACK baseline flow coexist on one substrate.
 func (s *Sim) OpenFlow(cfg FlowConfig) (*Flow, error) {
 	n := s.nw.N()
 	if cfg.Src < 0 || cfg.Src >= n || cfg.Dst < 0 || cfg.Dst >= n || cfg.Src == cfg.Dst {
@@ -246,26 +305,43 @@ func (s *Sim) OpenFlow(cfg FlowConfig) (*Flow, error) {
 	if cfg.LossTolerance < 0 || cfg.LossTolerance >= 1 {
 		return nil, fmt.Errorf("%w: loss tolerance %.2f outside [0,1)", ErrBadConfig, cfg.LossTolerance)
 	}
+	proto := cfg.Protocol
+	if proto == "" {
+		proto = s.proto
+	}
+	drv, err := s.driver(proto)
+	if err != nil {
+		return nil, err
+	}
 	s.start()
 	if _, ok := s.nw.Node(packet.NodeID(cfg.Src)).Router.NextHop(packet.NodeID(cfg.Dst)); !ok {
 		return nil, fmt.Errorf("%w: no route %d->%d", ErrUnreachable, cfg.Src, cfg.Dst)
 	}
 
-	ccfg := core.Defaults(s.nextFlow, packet.NodeID(cfg.Src), packet.NodeID(cfg.Dst))
+	spec := transport.FlowSpec{
+		Flow:                   s.nextFlow,
+		Src:                    packet.NodeID(cfg.Src),
+		Dst:                    packet.NodeID(cfg.Dst),
+		StartAt:                s.eng.Now().Seconds() + cfg.StartAt,
+		TotalPackets:           cfg.TotalPackets,
+		LossTolerance:          cfg.LossTolerance,
+		DisableBackoff:         cfg.DisableBackoff,
+		DisableRetransmissions: cfg.DisableRetransmissions,
+		ConstantFeedbackRate:   cfg.ConstantFeedbackRate,
+		DeadlineAfter:          cfg.DeadlineSeconds,
+	}
 	s.nextFlow++
-	ccfg.TotalPackets = cfg.TotalPackets
-	ccfg.LossTolerance = cfg.LossTolerance
-	ccfg.DisableBackoff = cfg.DisableBackoff
-	ccfg.DisableRetransmissions = cfg.DisableRetransmissions
-	ccfg.ConstantFeedbackRate = cfg.ConstantFeedbackRate
-	ccfg.DeadlineAfter = cfg.DeadlineSeconds
+	tf, err := drv.OpenFlow(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 
-	f := &Flow{conn: core.Dial(s.nw, ccfg), cfg: cfg, sim: s}
+	f := &Flow{tf: tf, proto: proto, cfg: cfg, sim: s}
 	s.flows = append(s.flows, f)
 	if cfg.StartAt > 0 {
-		s.eng.Schedule(sim.DurationOf(cfg.StartAt), f.conn.Start)
+		s.eng.Schedule(sim.DurationOf(cfg.StartAt), tf.Start)
 	} else {
-		f.conn.Start()
+		tf.Start()
 	}
 	return f, nil
 }
@@ -294,7 +370,7 @@ func (s *Sim) RunUntilDone(maxSeconds float64) bool {
 
 func (s *Sim) allDone() bool {
 	for _, f := range s.flows {
-		if f.cfg.TotalPackets > 0 && !f.conn.Done() {
+		if f.cfg.TotalPackets > 0 && !f.tf.Done() {
 			return false
 		}
 	}
@@ -377,14 +453,19 @@ func (s *Sim) EnergyPerBit() float64 {
 	return s.TotalEnergy() / float64(bytes*8)
 }
 
+// Protocol returns the Sim's default transport protocol.
+func (s *Sim) Protocol() string { return s.proto }
+
 // QueueDrops returns MAC queue overflow drops across the network.
 func (s *Sim) QueueDrops() uint64 { return s.nw.QueueDrops() }
 
 // CacheHits returns in-network cache recoveries across the network.
 func (s *Sim) CacheHits() uint64 {
 	var sum uint64
-	for _, pl := range s.plugins {
-		sum += pl.Counters().CacheServed
+	for _, d := range s.drivers {
+		if nr, ok := d.(transport.NetReporter); ok {
+			sum += nr.NetStats().CacheHits
+		}
 	}
 	return sum
 }
@@ -392,54 +473,46 @@ func (s *Sim) CacheHits() uint64 {
 // Flows returns the opened flows in creation order.
 func (s *Sim) Flows() []*Flow { return s.flows }
 
+// Protocol returns the transport protocol this flow runs.
+func (f *Flow) Protocol() string { return f.proto }
+
+// Stats snapshots the flow as a protocol-independent record.
+func (f *Flow) Stats() *metrics.FlowRecord { return f.tf.Stats() }
+
 // Delivered returns the number of unique packets delivered to the
 // application.
-func (f *Flow) Delivered() uint64 { return f.conn.Receiver.Stats().UniqueReceived }
+func (f *Flow) Delivered() uint64 { return f.tf.Delivered() }
 
 // DeliveredBytes returns unique application payload bytes delivered.
-func (f *Flow) DeliveredBytes() uint64 { return f.conn.Receiver.Stats().DeliveredBytes }
+func (f *Flow) DeliveredBytes() uint64 { return f.Stats().DeliveredBytes }
 
 // Completed reports whether a fixed-size transfer finished.
-func (f *Flow) Completed() bool { return f.conn.Done() }
+func (f *Flow) Completed() bool { return f.tf.Done() }
 
 // CompletedAt returns the completion time in virtual seconds (0 if not
 // completed).
-func (f *Flow) CompletedAt() float64 {
-	st := f.conn.Receiver.Stats()
-	if !st.Completed {
-		return 0
-	}
-	return st.CompletedAt.Seconds()
-}
+func (f *Flow) CompletedAt() float64 { return f.Stats().CompletedAt }
 
 // GoodputBps returns delivered bits per second of active time.
-func (f *Flow) GoodputBps() float64 {
-	st := f.conn.Receiver.Stats()
-	end := f.sim.Now()
-	if st.Completed {
-		end = st.CompletedAt.Seconds()
-	}
-	active := end - f.cfg.StartAt
-	if active <= 0 {
-		return 0
-	}
-	return float64(st.DeliveredBytes*8) / active
-}
+func (f *Flow) GoodputBps() float64 { return f.tf.Goodput() }
 
 // SourceRetransmissions returns end-to-end retransmissions performed by
 // the source.
-func (f *Flow) SourceRetransmissions() uint64 {
-	return f.conn.Sender.Stats().SourceRetransmissions
-}
+func (f *Flow) SourceRetransmissions() uint64 { return f.tf.SourceRtx() }
 
 // CacheRecovered returns packets recovered by in-network caches on this
-// flow's behalf, as observed at the receiver.
-func (f *Flow) CacheRecovered() uint64 {
-	return f.conn.Receiver.Stats().CacheRecoveredSeen
-}
+// flow's behalf, as observed at the receiver. Zero for protocols
+// without in-network recovery.
+func (f *Flow) CacheRecovered() uint64 { return f.Stats().CacheRecovered }
 
 // AcksSent returns feedback packets the receiver transmitted.
-func (f *Flow) AcksSent() uint64 { return f.conn.Receiver.Stats().AcksSent }
+func (f *Flow) AcksSent() uint64 { return f.Stats().AcksSent }
 
-// Rate returns the receiver-mandated sending rate in packets/s.
-func (f *Flow) Rate() float64 { return f.conn.Receiver.Rate() }
+// Rate returns the receiver-mandated sending rate in packets/s. It is
+// JTP-specific and returns 0 for baseline protocols.
+func (f *Flow) Rate() float64 {
+	if cc, ok := f.tf.(interface{ Conn() *core.Connection }); ok {
+		return cc.Conn().Receiver.Rate()
+	}
+	return 0
+}
