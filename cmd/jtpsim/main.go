@@ -8,6 +8,8 @@
 //	jtpsim -exp all -scale 0.2         # everything, scaled down 5x
 //	jtpsim -list                       # enumerate experiment ids
 //	jtpsim batch -matrix sweep.json    # user-declared scenario matrix
+//	jtpsim gen -family rgg -nodes 20   # dump a generated workload scenario
+//	jtpsim gen -replay dump.json       # replay a dumped scenario exactly
 //
 // Scale multiplies run counts, durations and transfer sizes relative to
 // the paper's full setup (scale 1 reproduces the paper's run counts:
@@ -65,8 +67,13 @@ type experiment struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "batch" {
-		os.Exit(batchMain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "batch":
+			os.Exit(batchMain(os.Args[2:]))
+		case "gen":
+			os.Exit(genMain(os.Args[2:]))
+		}
 	}
 	os.Exit(expMain())
 }
@@ -90,6 +97,7 @@ func expMain() int {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.desc)
 		}
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P]")
 		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
 			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {

@@ -317,7 +317,12 @@ func (s *Sender) Deliver(seg mac.Segment, _ packet.NodeID) {
 	}
 	for _, r := range fb.Snack {
 		for q := r.First; ; q++ {
-			if q >= s.cumAck && !s.inPend[q] {
+			// Only sequences actually transmitted (q < nextSeq) are
+			// retransmissions. A stalled receiver also SNACKs the unseen
+			// tail it has never been sent; those stay with the normal
+			// first-transmission path so DataSent counts every unique
+			// packet exactly once (delivered ≤ sent stays an invariant).
+			if q >= s.cumAck && q < s.nextSeq && !s.inPend[q] {
 				s.pending = append(s.pending, q)
 				s.inPend[q] = true
 			}

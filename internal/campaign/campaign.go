@@ -183,8 +183,12 @@ func (m *Matrix) AddAxis(name string, values ...any) *Matrix {
 }
 
 // Validate reports structural problems: empty axes, duplicate axis
-// names, or a non-positive cell count.
+// names, or a negative run count — the malformed matrices that would
+// otherwise expand to a silently empty (or wrong-sized) campaign.
 func (m *Matrix) Validate() error {
+	if m.Runs < 0 {
+		return fmt.Errorf("campaign: negative runs %d", m.Runs)
+	}
 	seen := map[string]bool{}
 	for _, ax := range m.Axes {
 		if ax.Name == "" {

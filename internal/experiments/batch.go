@@ -10,6 +10,7 @@ import (
 	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/transport"
+	"github.com/javelen/jtp/internal/workload"
 )
 
 // BatchSpec is the JSON schema behind `jtpsim batch -matrix <file>`: a
@@ -35,9 +36,20 @@ type BatchSpec struct {
 	// RegisteredProtocols() (default ["jtp"]).
 	Protocols []string `json:"protocols"`
 	// Topology pins the layout: "linear" (default) or "random".
+	// Ignored when Workloads is set.
 	Topology string `json:"topology"`
-	// Nodes axis: network sizes (default [6]).
+	// Nodes axis: network sizes (default [6]). Ignored when Workloads
+	// is set (each workload defines its own node count).
 	Nodes []int `json:"nodes"`
+	// Workloads axis: generated-scenario specs (internal/workload).
+	// When non-empty it replaces the Topology/Nodes/Flows description:
+	// the matrix gains a "workload" axis whose values are the spec
+	// names, each run regenerates its workload from the run's derived
+	// seed, and the run length, flows, transfer sizes and churn all
+	// come from the generated scenario (batch Seconds/Flows/
+	// TotalPackets do not apply). A non-zero lossTolerances axis value
+	// overrides the workload's per-flow tolerance; 0 keeps it.
+	Workloads []workload.Spec `json:"workloads"`
 	// MobilitySpeeds axis in m/s; 0 = static (default [0]).
 	MobilitySpeeds []float64 `json:"mobilitySpeeds"`
 	// LossTolerances axis: JTP application loss tolerance in [0,1)
@@ -123,6 +135,9 @@ func (b *BatchSpec) applyDefaults() {
 	if b.Seed == 0 {
 		b.Seed = 1
 	}
+	for i := range b.Workloads {
+		b.Workloads[i].ApplyDefaults()
+	}
 }
 
 // validate rejects axis values that would panic deep inside a run.
@@ -166,6 +181,31 @@ func (b *BatchSpec) validate() error {
 			return err
 		}
 	}
+	if b.TotalPackets < 0 {
+		return fmt.Errorf("batch: negative totalPackets %d", b.TotalPackets)
+	}
+	seen := map[string]bool{}
+	for i := range b.Workloads {
+		w := &b.Workloads[i]
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("batch: workloads[%d]: %w", i, err)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("batch: workloads[%d]: duplicate name %q", i, w.Name)
+		}
+		seen[w.Name] = true
+	}
+	return nil
+}
+
+// workloadByName returns the named workload spec (validate guarantees
+// names are unique and cells only carry known names).
+func (b *BatchSpec) workloadByName(name string) *workload.Spec {
+	for i := range b.Workloads {
+		if b.Workloads[i].Name == name {
+			return &b.Workloads[i]
+		}
+	}
 	return nil
 }
 
@@ -204,13 +244,23 @@ func channelProfile(s string) (channel.Config, error) {
 
 // Matrix expands the spec into a campaign matrix. Axis order (and hence
 // report column order) is fixed: proto, netSize, speed, lossTol,
+// cachePolicy, channel. With a workloads axis the netSize axis is
+// replaced by the workload-name axis: proto, workload, speed, lossTol,
 // cachePolicy, channel.
 func (b *BatchSpec) Matrix() campaign.Matrix {
+	second := campaign.Axis{Name: "netSize", Values: campaign.Ints(b.Nodes...)}
+	if len(b.Workloads) > 0 {
+		names := make([]string, len(b.Workloads))
+		for i := range b.Workloads {
+			names[i] = b.Workloads[i].Name
+		}
+		second = campaign.Axis{Name: "workload", Values: campaign.Strings(names...)}
+	}
 	return campaign.Matrix{
 		Name: b.Name,
 		Axes: []campaign.Axis{
 			{Name: "proto", Values: campaign.Strings(b.Protocols...)},
-			{Name: "netSize", Values: campaign.Ints(b.Nodes...)},
+			second,
 			{Name: "speed", Values: campaign.Floats(b.MobilitySpeeds...)},
 			{Name: "lossTol", Values: campaign.Floats(b.LossTolerances...)},
 			{Name: "cachePolicy", Values: campaign.Strings(b.CachePolicies...)},
@@ -222,11 +272,36 @@ func (b *BatchSpec) Matrix() campaign.Matrix {
 }
 
 // scenario builds the simulation scenario for one cell and seed.
-func (b *BatchSpec) scenario(cell campaign.Cell, seed int64) Scenario {
-	n := cell.Int("netSize")
+func (b *BatchSpec) scenario(cell campaign.Cell, seed int64) (Scenario, error) {
 	policy, cacheOn, _ := parseCachePolicy(cell.String("cachePolicy"))
 	chCfg, _ := channelProfile(cell.String("channel"))
 
+	if wlName := cell.String("workload"); wlName != "" {
+		wl := b.workloadByName(wlName)
+		if wl == nil {
+			return Scenario{}, fmt.Errorf("batch: unknown workload %q in cell", wlName)
+		}
+		g, err := workload.Generate(wl, seed)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc := FromWorkload(g, Protocol(cell.String("proto")))
+		sc.MobilitySpeed = cell.Float("speed")
+		sc.Channel = &chCfg
+		sc.CacheCapacity = b.CacheCapacity
+		sc.CachePolicy = policy
+		if !cacheOn {
+			sc.CacheCapacity = -1
+		}
+		if lt := cell.Float("lossTol"); lt > 0 {
+			for i := range sc.Flows {
+				sc.Flows[i].LossTolerance = lt
+			}
+		}
+		return sc, nil
+	}
+
+	n := cell.Int("netSize")
 	topo := Linear
 	if b.Topology == "random" {
 		topo = Random
@@ -266,7 +341,7 @@ func (b *BatchSpec) scenario(cell campaign.Cell, seed int64) Scenario {
 	if !cacheOn {
 		sc.CacheCapacity = -1
 	}
-	return sc
+	return sc, nil
 }
 
 // Execute runs the campaign on par workers (0 = GOMAXPROCS), honoring
@@ -282,7 +357,11 @@ func (b *BatchSpec) Execute(ctx context.Context, par int, onResult func(campaign
 	}
 	return campaign.Execute(ctx, b.Matrix(), campaign.Options{Workers: par, OnResult: onResult},
 		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
-			rec, err := Run(b.scenario(spec.Cell, spec.Seed))
+			sc, err := b.scenario(spec.Cell, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rec, err := Run(sc)
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,7 @@ const (
 	obsCacheHits      = "cache_hits"        // cache-served retransmissions
 	obsQueueDrops     = "queue_drops"       // MAC queue overflows
 	obsRetryDrops     = "retry_drops"       // link-layer retry exhaustion
+	obsBudgetDead     = "budget_dead_nodes" // nodes whose energy budget ran out
 )
 
 // protocolValues converts a protocol list into campaign axis values.
@@ -50,7 +51,7 @@ func mustExecute(m campaign.Matrix, par int, run func(spec campaign.RunSpec) cam
 // run record. Batch campaigns report them for every cell so arbitrary
 // user matrices and the paper figures speak the same metric names.
 func runRecordSample(rec *metrics.RunRecord) campaign.Sample {
-	return campaign.Sample{
+	s := campaign.Sample{
 		obsEnergyPerBit: rec.EnergyPerBit(),
 		obsGoodputBps:   rec.MeanGoodputBps(),
 		obsDeliveredKB:  float64(rec.DeliveredBytes()) / 1e3,
@@ -59,4 +60,11 @@ func runRecordSample(rec *metrics.RunRecord) campaign.Sample {
 		obsQueueDrops:   float64(rec.QueueDrops),
 		obsRetryDrops:   float64(rec.RetryDrops),
 	}
+	// Budget-constrained runs additionally report battery deaths; the
+	// observable only appears for scenarios that set budgets, so
+	// unconstrained campaign tables keep their historical columns.
+	if rec.EnergyBudgets != nil {
+		s[obsBudgetDead] = float64(rec.BudgetDeadNodes)
+	}
+	return s
 }

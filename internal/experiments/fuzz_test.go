@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// FuzzParseBatchSpec throws arbitrary bytes at the batch-matrix parser:
+// it must never panic, and any spec it accepts must expand to a
+// structurally valid, non-empty campaign matrix — the "malformed axes
+// silently producing empty campaigns" class of bug stays dead.
+func FuzzParseBatchSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"s","protocols":["jtp","tcp"],"nodes":[4,6],"runs":2,"seconds":300,"seed":5}`))
+	f.Add([]byte(`{"protocols":["carrierpigeon"]}`))
+	f.Add([]byte(`{"topology":"random","mobilitySpeeds":[0.1,1],"lossTolerances":[0,0.1]}`))
+	f.Add([]byte(`{"cachePolicies":["lru","off"],"channels":["default","testbed","clean"]}`))
+	f.Add([]byte(`{"workloads":[{"family":"chain","nodes":6},{"family":"rgg","nodes":12,"traffic":"sink"}]}`))
+	f.Add([]byte(`{"workloads":[{"family":"torus"}]}`))
+	f.Add([]byte(`{"nodes":[1]}`))
+	f.Add([]byte(`{"lossTolerances":[2]}`))
+	f.Add([]byte(`{"warmup":-5}`))
+	f.Add([]byte(`{"runs":-3,"totalPackets":-1}`))
+	f.Add([]byte(`{"nodes":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseBatchSpec(data)
+		if err != nil {
+			return
+		}
+		m := spec.Matrix()
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted spec expands to an invalid matrix: %v", verr)
+		}
+		if m.NumRuns() <= 0 {
+			t.Fatalf("accepted spec expands to an empty campaign (%d cells, %d runs/cell)",
+				m.NumCells(), spec.Runs)
+		}
+		// Every cell must build a scenario (or say why it can't) without
+		// panicking; workload cells may legitimately fail generation.
+		// Huge-but-valid matrices are skipped to keep fuzz rounds fast.
+		if m.NumCells() > 64 {
+			return
+		}
+		for i := range spec.Workloads {
+			if spec.Workloads[i].Nodes > 32 {
+				return
+			}
+		}
+		for _, cell := range m.Cells() {
+			if _, err := spec.scenario(cell, 1); err != nil {
+				t.Logf("cell %s: %v", cell.Key(), err)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/workload"
+)
+
+// update regenerates the golden files instead of comparing:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden trace files under testdata/golden")
+
+// goldenPath returns the canonical location of one golden trace.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name)
+}
+
+// checkGolden compares got against the committed golden file (or
+// rewrites it with -update). The files pin the exact CSV output of
+// small-scale canonical campaigns: any numeric drift — a changed seed
+// schedule, a modified protocol constant, a broken determinism
+// contract — fails CI with a diff-able artifact.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the committed golden output.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, regenerate with: go test ./internal/experiments -run TestGolden -update",
+			name, got, want)
+	}
+}
+
+// tablesCSV renders tables as one deterministic CSV document.
+func tablesCSV(tables ...*metrics.Table) []byte {
+	var b bytes.Buffer
+	for _, tbl := range tables {
+		if tbl.Title != "" {
+			fmt.Fprintf(&b, "# %s\n", tbl.Title)
+		}
+		b.WriteString(tbl.CSV())
+	}
+	return b.Bytes()
+}
+
+func TestGoldenFig9(t *testing.T) {
+	cfg := Fig9Config{
+		Sizes:     []int{2, 4},
+		Runs:      2,
+		Seconds:   300,
+		Warmup:    60,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      42,
+	}
+	a, b := Fig9Table(Fig9(cfg))
+	checkGolden(t, "fig9.csv", tablesCSV(a, b))
+}
+
+func TestGoldenFig10(t *testing.T) {
+	cfg := Fig10Config{
+		Sizes:     []int{10},
+		Flows:     3,
+		Runs:      2,
+		Seconds:   400,
+		Warmup:    100,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      101,
+	}
+	a, b := Fig10Tables(Fig10(cfg))
+	checkGolden(t, "fig10.csv", tablesCSV(a, b))
+}
+
+func TestGoldenFig11(t *testing.T) {
+	cfg := Fig11Config{
+		Nodes:     10,
+		Speeds:    []float64{1},
+		Flows:     3,
+		Runs:      2,
+		Seconds:   400,
+		Warmup:    100,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      111,
+	}
+	a, b, c := Fig11Tables(Fig11(cfg))
+	checkGolden(t, "fig11.csv", tablesCSV(a, b, c))
+}
+
+// TestGoldenWorkloadCampaign pins a full generated-workload campaign:
+// every registered driver over all four topology families, including a
+// budget-constrained churning star. The CSV must be byte-identical at
+// any worker count (campaign determinism) and across PRs (workload
+// generation determinism).
+func TestGoldenWorkloadCampaign(t *testing.T) {
+	spec := &BatchSpec{
+		Name:      "golden-workloads",
+		Protocols: RegisteredProtocols(),
+		Workloads: []workload.Spec{
+			{Family: workload.Chain, Nodes: 6, Traffic: workload.Single, TotalPackets: 40, Seconds: 250},
+			{Family: workload.Grid, Nodes: 9, Traffic: workload.Sink, Flows: 3, TotalPackets: 30, Seconds: 250},
+			{Family: workload.RGG, Nodes: 12, Traffic: workload.Pairs, Flows: 3, TotalPackets: 30, Seconds: 250},
+			{Family: workload.Star, Nodes: 8, Traffic: workload.Staggered, Flows: 3, TotalPackets: 30, Seconds: 250,
+				EnergyClasses: []workload.EnergyClass{{Weight: 2, BudgetJ: 0}, {Weight: 1, BudgetJ: 0.8}},
+				Churn:         &workload.ChurnSpec{Failures: 1, MeanDowntime: 40}},
+		},
+		Runs: 2,
+		Seed: 9,
+	}
+	rep, err := spec.Execute(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "workload-campaign.csv", []byte(rep.CSV()))
+}

@@ -112,6 +112,18 @@ type Scenario struct {
 	// Flows to create.
 	Flows []FlowSpec
 
+	// Explicit, when non-nil, overrides Topo/Nodes/LinearSpacing with a
+	// pre-built layout — generated workloads (internal/workload) and
+	// replayed scenario dumps use it. The topology is cloned before
+	// use, so mobility never mutates the caller's copy.
+	Explicit *topology.Topology
+	// EnergyBudgets, when non-empty, gives each node an initial energy
+	// budget in joules (0 = unlimited); a node that can no longer
+	// afford a link event has a dead battery and drops out.
+	EnergyBudgets []float64
+	// Events schedules node failures and revivals (churn).
+	Events []NodeEvent
+
 	// Channel overrides the default Gilbert-Elliott channel when non-nil.
 	Channel *channel.Config
 	// MAC overrides the default MAC parameters when non-nil.
@@ -132,6 +144,16 @@ type Scenario struct {
 	// IJTPTune applies scenario-specific settings to the per-node iJTP
 	// plugin configuration (ablation knobs).
 	IJTPTune func(cfg *ijtp.Config)
+}
+
+// NodeEvent is one scheduled node state change (churn schedules).
+type NodeEvent struct {
+	// At is the event time in virtual seconds.
+	At float64
+	// Node is the affected node index.
+	Node int
+	// Down fails the node when true, revives it when false.
+	Down bool
 }
 
 // Hooks lets figure code attach probes before the run starts.
@@ -204,6 +226,12 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
 	}
+	if sc.Explicit != nil {
+		sc.Nodes = sc.Explicit.N()
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
 
 	eng := sim.NewEngine(sc.Seed)
 
@@ -225,10 +253,12 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 		spacing = 80
 	}
 	var topo *topology.Topology
-	switch sc.Topo {
-	case Linear:
+	switch {
+	case sc.Explicit != nil:
+		topo = sc.Explicit.Clone()
+	case sc.Topo == Linear:
 		topo = topology.Linear(sc.Nodes, spacing)
-	case Random:
+	case sc.Topo == Random:
 		t, ok := topology.Random(sc.Nodes, chCfg.Range, eng.Rand(), 200)
 		if !ok {
 			return nil, fmt.Errorf("experiments: could not build connected random topology n=%d", sc.Nodes)
@@ -249,6 +279,7 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 		MAC:     macCfg,
 		Routing: rtCfg,
 		Energy:  energy.JAVeLEN(),
+		Budgets: sc.EnergyBudgets,
 	})
 
 	// ---- Protocol plumbing -----------------------------------------
@@ -284,6 +315,12 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	nw.Start()
 	if mob != nil {
 		mob.Start()
+	}
+	for _, ev := range sc.Events {
+		ev := ev
+		eng.Schedule(sim.DurationOf(ev.At), func() {
+			nw.SetDown(packet.NodeID(ev.Node), ev.Down)
+		})
 	}
 	if hooks.Network != nil {
 		hooks.Network(nw)
@@ -336,6 +373,61 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	return b, nil
 }
 
+// validate rejects scenario values that would otherwise fail deep
+// inside the substrate — as an index panic, or worse, as a silently
+// empty run. Every error names the offending field. It runs after the
+// Explicit-topology override, so Nodes is always the real node count.
+func (sc *Scenario) validate() error {
+	if sc.Nodes < 2 {
+		return fmt.Errorf("experiments: scenario %q: nodes: %d too small (min 2)", sc.Name, sc.Nodes)
+	}
+	if sc.Seconds <= 0 {
+		return fmt.Errorf("experiments: scenario %q: seconds: %g not positive (the run would be empty)", sc.Name, sc.Seconds)
+	}
+	if sc.MobilitySpeed < 0 {
+		return fmt.Errorf("experiments: scenario %q: mobilitySpeed: negative %g", sc.Name, sc.MobilitySpeed)
+	}
+	if n := len(sc.EnergyBudgets); n != 0 && n != sc.Nodes {
+		return fmt.Errorf("experiments: scenario %q: energyBudgets: %d entries for %d nodes", sc.Name, n, sc.Nodes)
+	}
+	for i, b := range sc.EnergyBudgets {
+		if b < 0 {
+			return fmt.Errorf("experiments: scenario %q: energyBudgets[%d]: negative %g", sc.Name, i, b)
+		}
+	}
+	for i, f := range sc.Flows {
+		if f.Src < -1 || f.Src >= sc.Nodes || f.Dst < -1 || f.Dst >= sc.Nodes {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: endpoints %d->%d outside [0,%d) (-1 = random)",
+				sc.Name, i, f.Src, f.Dst, sc.Nodes)
+		}
+		if f.Src >= 0 && f.Src == f.Dst {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: src == dst == %d", sc.Name, i, f.Src)
+		}
+		if f.LossTolerance < 0 || f.LossTolerance >= 1 {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: lossTolerance %g outside [0,1)", sc.Name, i, f.LossTolerance)
+		}
+		if f.StartAt < 0 {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: startAt: negative %g", sc.Name, i, f.StartAt)
+		}
+		if f.StartAt >= sc.Seconds {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: startAt %g not before end of run %g (the flow would never run)",
+				sc.Name, i, f.StartAt, sc.Seconds)
+		}
+		if f.TotalPackets < 0 {
+			return fmt.Errorf("experiments: scenario %q: flows[%d]: totalPackets: negative %d", sc.Name, i, f.TotalPackets)
+		}
+	}
+	for i, ev := range sc.Events {
+		if ev.Node < 0 || ev.Node >= sc.Nodes {
+			return fmt.Errorf("experiments: scenario %q: events[%d]: node %d outside [0,%d)", sc.Name, i, ev.Node, sc.Nodes)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("experiments: scenario %q: events[%d]: at: negative %g", sc.Name, i, ev.At)
+		}
+	}
+	return nil
+}
+
 // Flows returns the dialed transport flows in scenario order.
 func (b *BuiltScenario) Flows() []transport.Flow {
 	out := make([]transport.Flow, len(b.flows))
@@ -359,6 +451,10 @@ func (b *BuiltScenario) Run() *metrics.RunRecord {
 		TotalEnergy:   b.nw.TotalEnergy(),
 		PerNodeEnergy: b.nw.PerNodeEnergy(),
 		QueueDrops:    b.nw.QueueDrops(),
+	}
+	if len(b.sc.EnergyBudgets) > 0 {
+		rec.EnergyBudgets = b.sc.EnergyBudgets
+		rec.BudgetDeadNodes = b.nw.ExhaustedNodes()
 	}
 	for _, nd := range b.nw.Nodes() {
 		_, _, _, _, retryDrops, _ := nd.MAC.Counters()

@@ -74,6 +74,12 @@ type RunRecord struct {
 	TotalEnergy float64
 	// PerNodeEnergy is joules by node id.
 	PerNodeEnergy []float64
+	// EnergyBudgets is the per-node initial budgets in joules when the
+	// scenario constrained them (nil otherwise; 0 = unlimited node).
+	EnergyBudgets []float64
+	// BudgetDeadNodes counts nodes whose energy budget was exhausted by
+	// the end of the run.
+	BudgetDeadNodes int
 	// QueueDrops counts MAC queue overflows across the system.
 	QueueDrops uint64
 	// EnergyBudgetDrops counts packets dropped for exceeding budget.

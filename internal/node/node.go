@@ -60,10 +60,21 @@ type Config struct {
 	Routing routing.Config
 	// Energy is the radio energy model.
 	Energy energy.Model
+	// Budgets, when non-empty, gives each node an initial energy budget
+	// in joules (one entry per node; 0 = unlimited). A node that can no
+	// longer afford a worst-case packet transmission or reception has a
+	// dead battery: it stops transmitting, receiving and routing, like a
+	// failed node. Spent energy therefore never exceeds the budget.
+	Budgets []float64
 	// MaxHops drops segments that traversed more than this many hops
 	// (loop backstop). Zero defaults to 4×N.
 	MaxHops int
 }
+
+// maxEventBytes bounds a single segment's airtime for budget headroom
+// checks: data header + payload + worst-case feedback blocks, rounded
+// far up. Overestimating only retires a node marginally early.
+const maxEventBytes = 2048
 
 // Counters aggregates node-level drop accounting.
 type Counters struct {
@@ -100,6 +111,10 @@ type Network struct {
 	sched   *mac.Scheduler
 	started bool
 	down    map[packet.NodeID]bool
+	// budgets mirrors Config.Budgets; maxEvent is the worst-case energy
+	// of one link event, the headroom required to stay operational.
+	budgets  []float64
+	maxEvent float64
 
 	// DropHook, when non-nil, observes every MAC-level frame drop.
 	DropHook func(at packet.NodeID, fr *mac.Frame, reason mac.DropReason)
@@ -136,12 +151,17 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.MaxHops < 8 {
 		cfg.MaxHops = 8
 	}
+	if len(cfg.Budgets) > 0 && len(cfg.Budgets) != cfg.Topo.N() {
+		panic(fmt.Sprintf("node: Config.Budgets has %d entries for %d nodes", len(cfg.Budgets), cfg.Topo.N()))
+	}
 	nw := &Network{
-		eng:   eng,
-		cfg:   cfg,
-		topo:  cfg.Topo,
-		chann: channel.New(eng, cfg.Channel),
-		down:  make(map[packet.NodeID]bool),
+		eng:      eng,
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		chann:    channel.New(eng, cfg.Channel),
+		down:     make(map[packet.NodeID]bool),
+		budgets:  cfg.Budgets,
+		maxEvent: cfg.Energy.TxCost(maxEventBytes),
 	}
 	n := cfg.Topo.N()
 	macs := make([]*mac.MAC, n)
@@ -186,13 +206,40 @@ func (nw *Network) Nodes() []*Node { return nw.nodes }
 func (nw *Network) N() int { return nw.topo.N() }
 
 // Linked reports current radio-range adjacency (routing.Directory).
-// A failed node has no links.
+// A failed or battery-dead node has no links.
 func (nw *Network) Linked(a, b packet.NodeID) bool {
-	if a == b || nw.down[a] || nw.down[b] {
+	if a == b || nw.down[a] || nw.down[b] || nw.BudgetExhausted(a) || nw.BudgetExhausted(b) {
 		return false
 	}
 	return nw.chann.InRange(nw.topo.Position(a).Dist2(nw.topo.Position(b)))
 }
+
+// BudgetExhausted reports whether a node's battery can no longer afford
+// a worst-case link event. The headroom check runs before every
+// transmission and reception, so a budgeted node's spent energy never
+// exceeds its initial budget.
+func (nw *Network) BudgetExhausted(id packet.NodeID) bool {
+	if len(nw.budgets) == 0 {
+		return false
+	}
+	b := nw.budgets[int(id)]
+	return b > 0 && nw.nodes[int(id)].Meter.Total()+nw.maxEvent > b
+}
+
+// ExhaustedNodes counts nodes whose energy budget is exhausted.
+func (nw *Network) ExhaustedNodes() int {
+	dead := 0
+	for _, nd := range nw.nodes {
+		if nw.BudgetExhausted(nd.ID) {
+			dead++
+		}
+	}
+	return dead
+}
+
+// Budgets returns the configured per-node energy budgets (nil when the
+// network is unconstrained).
+func (nw *Network) Budgets() []float64 { return nw.budgets }
 
 // SetDown fails or revives a node. A failed node stops receiving,
 // transmitting and routing; routers notice at their next view refresh —
@@ -221,9 +268,9 @@ func (nw *Network) Reachable(from, to packet.NodeID) bool {
 }
 
 // TransmitsAllowed reports whether a node's radio is operational
-// (mac.Env); a failed node's owned slots do nothing.
+// (mac.Env); a failed or battery-dead node's owned slots do nothing.
 func (nw *Network) TransmitsAllowed(id packet.NodeID) bool {
-	return !nw.down[id]
+	return !nw.down[id] && !nw.BudgetExhausted(id)
 }
 
 // DeliverUp completes a successful hop: runs the receiving MAC (energy,

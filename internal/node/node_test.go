@@ -231,3 +231,61 @@ func TestStringAndAccessors(t *testing.T) {
 		t.Fatal("fresh node has endpoints")
 	}
 }
+
+func TestEnergyBudgetKillsNode(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Give relay 1 a budget of a few packet events; nodes 0 and 2 are
+	// unconstrained (budget 0 = unlimited).
+	budget := 0.01
+	nw := New(eng, Config{
+		Topo:    topology.Linear(3, 80),
+		Channel: perfectChannel(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Config{},
+		Energy:  energy.JAVeLEN(),
+		Budgets: []float64{0, budget, 0},
+	})
+	nw.Start()
+	var s sink
+	nw.Bind(2, 1, &s)
+	for seq := uint32(0); seq < 200; seq++ {
+		nw.SendFrom(0, dataSeg(0, 2, 1, seq))
+	}
+	eng.RunFor(120 * sim.Second)
+
+	if !nw.BudgetExhausted(1) {
+		t.Fatalf("relay spent %g J of a %g J budget without exhausting", nw.PerNodeEnergy()[1], budget)
+	}
+	if got := nw.PerNodeEnergy()[1]; got > budget {
+		t.Fatalf("relay spent %g J, over its %g J budget", got, budget)
+	}
+	if nw.ExhaustedNodes() != 1 {
+		t.Fatalf("ExhaustedNodes = %d, want 1", nw.ExhaustedNodes())
+	}
+	// A dead relay has no links and transmits nothing.
+	if nw.Linked(0, 1) || nw.TransmitsAllowed(1) {
+		t.Fatal("battery-dead node still participates")
+	}
+	// Unconstrained nodes never exhaust.
+	if nw.BudgetExhausted(0) || nw.BudgetExhausted(2) {
+		t.Fatal("unlimited-budget node reported exhausted")
+	}
+	if len(nw.Budgets()) != 3 {
+		t.Fatalf("Budgets() = %v", nw.Budgets())
+	}
+}
+
+func TestBudgetsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Budgets length did not panic")
+		}
+	}()
+	New(sim.NewEngine(1), Config{
+		Topo:    topology.Linear(3, 80),
+		Channel: perfectChannel(),
+		MAC:     mac.Defaults(),
+		Energy:  energy.JAVeLEN(),
+		Budgets: []float64{1},
+	})
+}

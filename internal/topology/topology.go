@@ -88,6 +88,77 @@ func Grid(rows, cols int, spacing float64) *Topology {
 	return t
 }
 
+// GridN places exactly n nodes on a near-square lattice with the given
+// spacing, filling row-major: ceil(sqrt(n)) columns, the last row
+// possibly partial. With spacing below the radio range the lattice is
+// connected (every node has a neighbor one row up or one column over).
+func GridN(n int, spacing float64) *Topology {
+	if n < 1 {
+		panic("topology: GridN needs n >= 1")
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	t := &Topology{
+		Field: geom.Rect{Min: geom.Point{},
+			Max: geom.Point{X: spacing * float64(cols), Y: spacing * float64(rows)}},
+		Pos: make([]geom.Point, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		t.Pos = append(t.Pos, geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+	}
+	return t
+}
+
+// Star places node 0 at the center of a square field and the remaining
+// n−1 nodes evenly on a circle of the given radius around it. With the
+// radius inside the radio range every leaf reaches the hub directly, so
+// all leaf-to-leaf traffic crosses the hub — the cross-traffic hotspot
+// layout.
+func Star(n int, radius float64) *Topology {
+	if n < 1 {
+		panic("topology: Star needs n >= 1")
+	}
+	side := 2 * radius * 1.1
+	center := geom.Point{X: side / 2, Y: side / 2}
+	t := &Topology{
+		Field: geom.Rect{Min: geom.Point{}, Max: geom.Point{X: side, Y: side}},
+		Pos:   make([]geom.Point, n),
+	}
+	t.Pos[0] = center
+	for i := 1; i < n; i++ {
+		theta := 2 * math.Pi * float64(i-1) / float64(n-1)
+		t.Pos[i] = geom.Point{
+			X: center.X + radius*math.Cos(theta),
+			Y: center.Y + radius*math.Sin(theta),
+		}
+	}
+	return t
+}
+
+// FromPositions builds a topology from explicit node positions; the
+// field is the positions' bounding box padded by pad meters on every
+// side (generated and user-supplied layouts).
+func FromPositions(pos []geom.Point, pad float64) *Topology {
+	if len(pos) == 0 {
+		panic("topology: FromPositions needs at least one position")
+	}
+	min, max := pos[0], pos[0]
+	for _, p := range pos {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return &Topology{
+		Field: geom.Rect{
+			Min: geom.Point{X: min.X - pad, Y: min.Y - pad},
+			Max: geom.Point{X: max.X + pad, Y: max.Y + pad},
+		},
+		Pos: append([]geom.Point(nil), pos...),
+	}
+}
+
 // FieldSideFor returns the side of a square field in which n nodes with
 // the given radio range are connected with high probability. It uses the
 // critical-connectivity scaling for random geometric graphs,

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/javelen/jtp/internal/geom"
 	"github.com/javelen/jtp/internal/packet"
 )
 
@@ -118,5 +119,46 @@ func TestIDs(t *testing.T) {
 	}
 	if tp.String() == "" {
 		t.Fatal("String empty")
+	}
+}
+
+func TestGridNExactCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9, 10, 16, 17} {
+		tp := GridN(n, 80)
+		if tp.N() != n {
+			t.Fatalf("GridN(%d) placed %d nodes", n, tp.N())
+		}
+		if !Connected(tp, 100) {
+			t.Fatalf("GridN(%d) at spacing 80 disconnected at range 100", n)
+		}
+	}
+}
+
+func TestStarHubAdjacency(t *testing.T) {
+	tp := Star(8, 80)
+	if tp.N() != 8 {
+		t.Fatalf("Star(8) placed %d nodes", tp.N())
+	}
+	adj := Adjacency(tp, 100)
+	if len(adj[0]) != 7 {
+		t.Fatalf("hub has %d neighbors, want all 7 leaves", len(adj[0]))
+	}
+	if !Connected(tp, 100) {
+		t.Fatal("star disconnected")
+	}
+}
+
+func TestFromPositionsBoundsAndCopy(t *testing.T) {
+	pts := []geom.Point{{X: 10, Y: 20}, {X: 110, Y: 20}}
+	tp := FromPositions(pts, 5)
+	if tp.N() != 2 {
+		t.Fatalf("N = %d", tp.N())
+	}
+	if tp.Field.Min.X != 5 || tp.Field.Max.X != 115 {
+		t.Fatalf("field not padded bounding box: %+v", tp.Field)
+	}
+	tp.SetPosition(0, geom.Point{X: 0, Y: 0})
+	if pts[0].X != 10 {
+		t.Fatal("FromPositions shares the caller's slice")
 	}
 }

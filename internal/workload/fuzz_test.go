@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the workload-spec parser: it
+// must never panic, and any spec it accepts must be valid, generate
+// without panicking, and generate deterministically.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"family":"chain","nodes":6,"traffic":"single"}`))
+	f.Add([]byte(`{"family":"grid","nodes":9,"traffic":"sink","flows":3,"totalPackets":40}`))
+	f.Add([]byte(`{"family":"rgg","nodes":12,"traffic":"pairs","lossTolerance":0.1}`))
+	f.Add([]byte(`{"family":"star","nodes":8,"traffic":"staggered","stagger":15,
+		"energyClasses":[{"weight":2,"budgetJ":0},{"weight":1,"budgetJ":3}],
+		"churn":{"failures":2,"meanDowntime":30}}`))
+	f.Add([]byte(`{"family":"torus"}`))
+	f.Add([]byte(`{"nodes":-4}`))
+	f.Add([]byte(`{"seconds":1e308,"warmup":1e308}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"family":"chain"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted a spec its own Validate rejects: %v", verr)
+		}
+		// Generation must not panic and must be deterministic. Large
+		// networks are valid but too slow to generate per fuzz input.
+		if s.Nodes > 32 {
+			return
+		}
+		a, err := Generate(s, 1)
+		if err != nil {
+			return // e.g. no connected RGG layout at an odd range
+		}
+		b, err := Generate(s, 1)
+		if err != nil {
+			t.Fatalf("second generation failed after first succeeded: %v", err)
+		}
+		ja, _ := a.JSON()
+		jb, _ := b.JSON()
+		if !bytes.Equal(ja, jb) {
+			t.Fatal("generation not deterministic")
+		}
+		if _, err := ParseGenerated(ja); err != nil {
+			t.Fatalf("generated scenario does not re-parse: %v", err)
+		}
+	})
+}
+
+// FuzzParseGenerated throws arbitrary bytes at the scenario-dump
+// parser: no panics, and accepted dumps have in-range indices.
+func FuzzParseGenerated(f *testing.F) {
+	f.Add([]byte(`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,"flows":[{"src":0,"dst":1}]}`))
+	f.Add([]byte(`{"positions":[],"flows":[]}`))
+	f.Add([]byte(`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,
+		"flows":[{"src":0,"dst":1,"startAt":5,"totalPackets":10,"lossTolerance":0.2}],
+		"budgets":[1,2],"events":[{"at":3,"node":1,"down":true}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGenerated(data)
+		if err != nil {
+			return
+		}
+		n := len(g.Positions)
+		for _, fl := range g.Flows {
+			if fl.Src < 0 || fl.Src >= n || fl.Dst < 0 || fl.Dst >= n {
+				t.Fatalf("accepted out-of-range flow %d->%d for %d nodes", fl.Src, fl.Dst, n)
+			}
+		}
+		for _, e := range g.Events {
+			if e.Node < 0 || e.Node >= n {
+				t.Fatalf("accepted out-of-range event node %d for %d nodes", e.Node, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/javelen/jtp/internal/geom"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+// Generate expands a spec into a concrete scenario using the given
+// seed. Generation is deterministic: every random draw comes from one
+// seeded stream consumed in a fixed order (layout, endpoints, budgets,
+// churn), so the same (spec, seed) pair always yields a byte-identical
+// Generated. The spec must have defaults applied (ParseSpec does; code
+// callers use ApplyDefaults) and be valid.
+func Generate(s *Spec, seed int64) (*Generated, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	topo, err := s.layout(rng)
+	if err != nil {
+		return nil, err
+	}
+	if !topology.Connected(topo, s.Range) {
+		return nil, fmt.Errorf("workload: %s: generated %s layout disconnected at range %g", s.Name, s.Family, s.Range)
+	}
+
+	g := &Generated{
+		Name:      fmt.Sprintf("%s/s%d", s.Name, seed),
+		Family:    s.Family,
+		Traffic:   s.Traffic,
+		Seed:      seed,
+		Seconds:   s.Seconds,
+		Range:     s.Range,
+		Positions: make([]Position, topo.N()),
+	}
+	for i, p := range topo.Pos {
+		g.Positions[i] = Position{X: p.X, Y: p.Y}
+	}
+
+	g.Flows = s.flows(rng, topo)
+	g.Budgets = s.budgets(rng, topo.N())
+	events, err := s.churn(rng, g.Flows, topo.N())
+	if err != nil {
+		return nil, err
+	}
+	g.Events = events
+	return g, nil
+}
+
+// layout builds the family's topology.
+func (s *Spec) layout(rng *rand.Rand) (*topology.Topology, error) {
+	switch s.Family {
+	case Chain:
+		return topology.Linear(s.Nodes, s.Spacing), nil
+	case Grid:
+		return topology.GridN(s.Nodes, s.Spacing), nil
+	case Star:
+		return topology.Star(s.Nodes, 0.8*s.Range), nil
+	case RGG:
+		t, ok := topology.Random(s.Nodes, s.Range, rng, 200)
+		if !ok {
+			return nil, fmt.Errorf("workload: %s: no connected random layout for %d nodes in 200 tries", s.Name, s.Nodes)
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("workload: family: unknown %q", s.Family)
+}
+
+// flows draws the traffic pattern's flow list.
+func (s *Spec) flows(rng *rand.Rand, topo *topology.Topology) []Flow {
+	mk := func(src, dst int, start float64) Flow {
+		return Flow{
+			Src: src, Dst: dst,
+			StartAt:       start,
+			TotalPackets:  s.TotalPackets,
+			LossTolerance: s.LossTolerance,
+		}
+	}
+	warmup := *s.Warmup
+	switch s.Traffic {
+	case Single:
+		a, b := farthestPair(topo)
+		return []Flow{mk(a, b, warmup)}
+	case Sink:
+		// Every flow targets node 0 (the hub on a star). Sources cycle
+		// through a seeded permutation of the other nodes.
+		perm := rng.Perm(topo.N() - 1)
+		out := make([]Flow, s.Flows)
+		for i := range out {
+			src := perm[i%len(perm)] + 1
+			out[i] = mk(src, 0, warmup+rng.Float64()*20+float64(i)*s.Stagger)
+		}
+		return out
+	default: // Pairs, Staggered
+		out := make([]Flow, s.Flows)
+		for i := range out {
+			src := rng.Intn(topo.N())
+			dst := rng.Intn(topo.N())
+			for dst == src {
+				dst = rng.Intn(topo.N())
+			}
+			start := warmup + rng.Float64()*20
+			if s.Traffic == Staggered {
+				start = warmup + float64(i)*s.Stagger + rng.Float64()*5
+			}
+			out[i] = mk(src, dst, start)
+		}
+		return out
+	}
+}
+
+// farthestPair returns the Euclidean-farthest node pair, lowest indices
+// on ties — the "endpoints at the two ends of the network" placement.
+func farthestPair(topo *topology.Topology) (int, int) {
+	a, b, best := 0, 1, -1.0
+	for i := 0; i < topo.N(); i++ {
+		for j := i + 1; j < topo.N(); j++ {
+			if d := topo.Pos[i].Dist2(topo.Pos[j]); d > best {
+				a, b, best = i, j, d
+			}
+		}
+	}
+	return a, b
+}
+
+// budgets assigns heterogeneous energy classes to nodes: class sizes by
+// largest-remainder apportionment of the weights, placement by a seeded
+// shuffle. Returns nil when the spec has no classes.
+func (s *Spec) budgets(rng *rand.Rand, n int) []float64 {
+	if len(s.EnergyClasses) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, c := range s.EnergyClasses {
+		total += c.Weight
+	}
+	type share struct {
+		idx   int
+		count int
+		frac  float64
+	}
+	shares := make([]share, len(s.EnergyClasses))
+	assigned := 0
+	for i, c := range s.EnergyClasses {
+		exact := c.Weight / total * float64(n)
+		whole := int(exact)
+		shares[i] = share{idx: i, count: whole, frac: exact - float64(whole)}
+		assigned += whole
+	}
+	// Hand out the remainder to the largest fractional parts, index
+	// order on ties.
+	sort.SliceStable(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+	for k := 0; assigned < n; k++ {
+		shares[k%len(shares)].count++
+		assigned++
+	}
+	sort.SliceStable(shares, func(i, j int) bool { return shares[i].idx < shares[j].idx })
+
+	// Class labels in node order, then shuffled into place.
+	labels := make([]int, 0, n)
+	for _, sh := range shares {
+		for k := 0; k < sh.count; k++ {
+			labels = append(labels, sh.idx)
+		}
+	}
+	perm := rng.Perm(n)
+	out := make([]float64, n)
+	for k, node := range perm {
+		out[node] = s.EnergyClasses[labels[k]].BudgetJ
+	}
+	return out
+}
+
+// churn draws the outage schedule: distinct victims at seeded times,
+// each reviving after roughly MeanDowntime. Endpoints of generated
+// flows are spared unless the spec says otherwise.
+func (s *Spec) churn(rng *rand.Rand, flows []Flow, n int) ([]Event, error) {
+	c := s.Churn
+	if c == nil || c.Failures == 0 {
+		return nil, nil
+	}
+	endpoint := make(map[int]bool)
+	if !c.FailEndpoints {
+		for _, f := range flows {
+			endpoint[f.Src] = true
+			endpoint[f.Dst] = true
+		}
+	}
+	var candidates []int
+	for id := 0; id < n; id++ {
+		if !endpoint[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) < c.Failures {
+		return nil, fmt.Errorf("workload: churn.failures: %d exceeds the %d non-endpoint nodes (set failEndpoints to allow endpoint outages)",
+			c.Failures, len(candidates))
+	}
+	perm := rng.Perm(len(candidates))
+	window := s.Seconds - c.Start
+	var events []Event
+	for i := 0; i < c.Failures; i++ {
+		node := candidates[perm[i]]
+		at := c.Start + rng.Float64()*window
+		events = append(events, Event{At: at, Node: node, Down: true})
+		up := at + c.MeanDowntime*(0.5+rng.Float64())
+		if up < s.Seconds {
+			events = append(events, Event{At: up, Node: node, Down: false})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Node < events[j].Node
+	})
+	return events, nil
+}
+
+// Topology rebuilds the generated layout as a topology value; the field
+// is the bounding box padded by half the radio range (room for random
+// waypoint motion when a campaign crosses a workload with mobility).
+func (g *Generated) Topology() *topology.Topology {
+	pts := make([]geom.Point, len(g.Positions))
+	for i, p := range g.Positions {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	pad := g.Range / 2
+	if pad <= 0 {
+		pad = 50
+	}
+	return topology.FromPositions(pts, pad)
+}

@@ -1,0 +1,417 @@
+// Package workload is the seeded scenario generator: it turns a small
+// declarative Spec — topology family, traffic pattern, heterogeneous
+// energy classes, churn — into a fully concrete Generated scenario
+// (node positions, flow list, per-node energy budgets, failure
+// schedule) using nothing but the spec and a seed. The same (spec,
+// seed) pair always produces a byte-identical Generated value, so
+// campaigns crossing workloads with transport drivers are reproducible
+// at any worker count, and a dumped scenario can be replayed exactly.
+//
+// The package sits below internal/experiments: experiments converts a
+// Generated into a runnable Scenario, and the batch matrix exposes
+// named specs as a campaign axis.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Topology families.
+const (
+	// Chain is a linear chain with the endpoints at the two ends.
+	Chain = "chain"
+	// Grid is a near-square lattice, row-major.
+	Grid = "grid"
+	// RGG is a random geometric graph in a field sized for
+	// connectivity, regenerated until connected.
+	RGG = "rgg"
+	// Star is a hub with leaves on a circle; leaf-to-leaf traffic
+	// crosses the hub.
+	Star = "star"
+)
+
+// Families returns the topology family names, in canonical order.
+func Families() []string { return []string{Chain, Grid, RGG, Star} }
+
+// Traffic patterns.
+const (
+	// Single is one flow between the two most distant nodes.
+	Single = "single"
+	// Sink is many-to-one: every flow targets the sink (node 0; the
+	// hub on a star).
+	Sink = "sink"
+	// Pairs is random distinct source/destination pairs.
+	Pairs = "pairs"
+	// Staggered is random pairs with flow starts spread Stagger
+	// seconds apart.
+	Staggered = "staggered"
+)
+
+// Patterns returns the traffic pattern names, in canonical order.
+func Patterns() []string { return []string{Single, Sink, Pairs, Staggered} }
+
+// EnergyClass is one heterogeneous node class: Weight is the class's
+// relative share of nodes, BudgetJ the initial energy budget in joules
+// for nodes of the class (0 = unlimited). The paper's evaluation uses
+// homogeneous nodes; the related energy-aware-routing literature sweeps
+// exactly this kind of class mix.
+type EnergyClass struct {
+	Weight  float64 `json:"weight"`
+	BudgetJ float64 `json:"budgetJ"`
+}
+
+// ChurnSpec schedules node outages. Failures nodes go down at seeded
+// times in [Start, Seconds) and revive after roughly MeanDowntime
+// seconds, modelling link churn and intermediate-node failure (§2 of
+// the paper). A revival landing past the end of the run is dropped —
+// a node failing late may stay down, like a real battery or hardware
+// death.
+type ChurnSpec struct {
+	// Failures is the number of down events.
+	Failures int `json:"failures"`
+	// MeanDowntime is the mean outage length in seconds (default 60).
+	MeanDowntime float64 `json:"meanDowntime"`
+	// Start is the earliest failure time (default: after warmup).
+	Start float64 `json:"start"`
+	// FailEndpoints permits failing flow endpoints too; by default only
+	// relay nodes fail, so transfers can still complete through
+	// recovery.
+	FailEndpoints bool `json:"failEndpoints"`
+}
+
+// Spec declares one workload family member. The zero value of every
+// field means "use the documented default"; ApplyDefaults fills them.
+type Spec struct {
+	// Name labels the workload (campaign axis value; default
+	// "<family>-<nodes>").
+	Name string `json:"name"`
+	// Family selects the topology: chain, grid, rgg, or star.
+	Family string `json:"family"`
+	// Nodes is the network size (default 8, max 4096).
+	Nodes int `json:"nodes"`
+	// Spacing is the chain/grid spacing in meters (default 80; the
+	// radio range is 100).
+	Spacing float64 `json:"spacing"`
+	// Range is the radio range used for connectivity checks and the
+	// star radius (default 100, matching the channel default).
+	Range float64 `json:"range"`
+	// Traffic selects the flow pattern: single, sink, pairs, or
+	// staggered (default pairs).
+	Traffic string `json:"traffic"`
+	// Flows is the number of flows (default 3; forced to 1 by single).
+	Flows int `json:"flows"`
+	// TotalPackets bounds each flow's transfer; 0 = unbounded stream.
+	TotalPackets int `json:"totalPackets"`
+	// LossTolerance is the per-flow application tolerance in [0,1).
+	LossTolerance float64 `json:"lossTolerance"`
+	// Warmup is the earliest flow start in virtual seconds (default 50;
+	// 0 is meaningful and means flows start immediately, hence the
+	// pointer — same convention as BatchSpec.Warmup).
+	Warmup *float64 `json:"warmup,omitempty"`
+	// Stagger is the gap between successive flow starts in seconds
+	// (default 0; the staggered pattern defaults it to 20).
+	Stagger float64 `json:"stagger"`
+	// Seconds is the run length in virtual seconds (default 400).
+	Seconds float64 `json:"seconds"`
+	// EnergyClasses assigns heterogeneous initial budgets; empty means
+	// every node is unconstrained.
+	EnergyClasses []EnergyClass `json:"energyClasses,omitempty"`
+	// Churn schedules node outages; nil means none.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON workload spec. Unknown fields
+// are rejected so typos fail loudly instead of silently running the
+// default workload.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	// Trailing garbage after the object is a malformed file, not a spec.
+	if dec.More() {
+		return nil, fmt.Errorf("workload: parsing spec: trailing data after JSON object")
+	}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ApplyDefaults fills unset fields with the documented defaults.
+func (s *Spec) ApplyDefaults() {
+	if s.Family == "" {
+		s.Family = Chain
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 8
+	}
+	if s.Spacing == 0 {
+		s.Spacing = 80
+	}
+	if s.Range == 0 {
+		s.Range = 100
+	}
+	if s.Traffic == "" {
+		s.Traffic = Pairs
+	}
+	if s.Flows == 0 {
+		s.Flows = 3
+	}
+	if s.Traffic == Single {
+		s.Flows = 1
+	}
+	if s.Warmup == nil {
+		w := 50.0
+		s.Warmup = &w
+	}
+	if s.Stagger == 0 && s.Traffic == Staggered {
+		s.Stagger = 20
+	}
+	if s.Seconds == 0 {
+		s.Seconds = 400
+	}
+	if s.Churn != nil {
+		if s.Churn.MeanDowntime == 0 {
+			s.Churn.MeanDowntime = 60
+		}
+		if s.Churn.Start == 0 {
+			s.Churn.Start = *s.Warmup + 50
+		}
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("%s-%d", s.Family, s.Nodes)
+	}
+}
+
+// MaxNodes bounds generated network sizes; beyond it a spec is almost
+// certainly a typo (and RGG generation would thrash).
+const MaxNodes = 4096
+
+// Validate rejects specs that cannot generate a meaningful scenario.
+// Every error names the offending field.
+func (s *Spec) Validate() error {
+	switch s.Family {
+	case Chain, Grid, RGG, Star:
+	default:
+		return fmt.Errorf("workload: family: unknown %q (want %s)", s.Family, strings.Join(Families(), "/"))
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("workload: nodes: %d too small (min 2)", s.Nodes)
+	}
+	if s.Nodes > MaxNodes {
+		return fmt.Errorf("workload: nodes: %d too large (max %d)", s.Nodes, MaxNodes)
+	}
+	if s.Spacing < 0 {
+		return fmt.Errorf("workload: spacing: negative %g", s.Spacing)
+	}
+	if s.Range <= 0 {
+		return fmt.Errorf("workload: range: %g not positive", s.Range)
+	}
+	if (s.Family == Chain || s.Family == Grid) && s.Spacing > s.Range {
+		return fmt.Errorf("workload: spacing: %g exceeds radio range %g (network would be disconnected)", s.Spacing, s.Range)
+	}
+	switch s.Traffic {
+	case Single, Sink, Pairs, Staggered:
+	default:
+		return fmt.Errorf("workload: traffic: unknown %q (want %s)", s.Traffic, strings.Join(Patterns(), "/"))
+	}
+	if s.Flows < 1 {
+		return fmt.Errorf("workload: flows: %d too small (min 1)", s.Flows)
+	}
+	if s.Flows > 4*s.Nodes {
+		return fmt.Errorf("workload: flows: %d too large for %d nodes (max %d)", s.Flows, s.Nodes, 4*s.Nodes)
+	}
+	if s.TotalPackets < 0 {
+		return fmt.Errorf("workload: totalPackets: negative %d", s.TotalPackets)
+	}
+	if s.LossTolerance < 0 || s.LossTolerance >= 1 {
+		return fmt.Errorf("workload: lossTolerance: %g outside [0,1)", s.LossTolerance)
+	}
+	if s.Warmup == nil {
+		return fmt.Errorf("workload: warmup: unset (call ApplyDefaults first)")
+	}
+	warmup := *s.Warmup
+	if warmup < 0 {
+		return fmt.Errorf("workload: warmup: negative %g", warmup)
+	}
+	if s.Stagger < 0 {
+		return fmt.Errorf("workload: stagger: negative %g", s.Stagger)
+	}
+	if s.Seconds <= 0 {
+		return fmt.Errorf("workload: seconds: %g not positive", s.Seconds)
+	}
+	// Every flow must be able to start strictly before the run ends;
+	// otherwise Generate would emit a scenario the harness rejects.
+	// maxFlowStart mirrors the start-time draws in flows().
+	if ms := s.maxFlowStart(); ms >= s.Seconds {
+		return fmt.Errorf("workload: seconds: %g not after the last possible flow start %g (warmup %g, stagger %g, %d flows)",
+			s.Seconds, ms, warmup, s.Stagger, s.Flows)
+	}
+	for i, c := range s.EnergyClasses {
+		if c.Weight <= 0 {
+			return fmt.Errorf("workload: energyClasses[%d].weight: %g not positive", i, c.Weight)
+		}
+		if c.BudgetJ < 0 {
+			return fmt.Errorf("workload: energyClasses[%d].budgetJ: negative %g", i, c.BudgetJ)
+		}
+	}
+	if c := s.Churn; c != nil {
+		if c.Failures < 0 {
+			return fmt.Errorf("workload: churn.failures: negative %d", c.Failures)
+		}
+		if c.Failures > s.Nodes {
+			return fmt.Errorf("workload: churn.failures: %d exceeds node count %d", c.Failures, s.Nodes)
+		}
+		if c.MeanDowntime < 0 {
+			return fmt.Errorf("workload: churn.meanDowntime: negative %g", c.MeanDowntime)
+		}
+		if c.Start < 0 {
+			return fmt.Errorf("workload: churn.start: negative %g", c.Start)
+		}
+		if c.Failures > 0 && c.Start >= s.Seconds {
+			return fmt.Errorf("workload: churn.start: %g not before end of run %g", c.Start, s.Seconds)
+		}
+	}
+	return nil
+}
+
+// maxFlowStart returns the supremum of the start times flows() can
+// draw for this spec — the bound Validate holds against Seconds.
+func (s *Spec) maxFlowStart() float64 {
+	warmup := 0.0
+	if s.Warmup != nil {
+		warmup = *s.Warmup
+	}
+	switch s.Traffic {
+	case Single:
+		return warmup
+	case Sink:
+		return warmup + 20 + float64(s.Flows-1)*s.Stagger
+	case Staggered:
+		return warmup + float64(s.Flows-1)*s.Stagger + 5
+	default: // Pairs
+		return warmup + 20
+	}
+}
+
+// Position is one node's coordinates in meters.
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Flow is one concrete generated flow.
+type Flow struct {
+	// Src and Dst are node indices.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// StartAt is the flow start in virtual seconds.
+	StartAt float64 `json:"startAt"`
+	// TotalPackets bounds the transfer; 0 = unbounded stream.
+	TotalPackets int `json:"totalPackets"`
+	// LossTolerance is the application tolerance.
+	LossTolerance float64 `json:"lossTolerance"`
+}
+
+// Event is one scheduled node state change.
+type Event struct {
+	// At is the event time in virtual seconds.
+	At float64 `json:"at"`
+	// Node is the affected node index.
+	Node int `json:"node"`
+	// Down fails the node when true, revives it when false.
+	Down bool `json:"down"`
+}
+
+// Generated is one fully concrete scenario: everything a run needs,
+// with no randomness left. It marshals to deterministic JSON for
+// inspection (`jtpsim gen`) and byte-exact replay.
+type Generated struct {
+	// Name is "<spec name>/s<seed>".
+	Name string `json:"name"`
+	// Family is the topology family that produced the layout.
+	Family string `json:"family"`
+	// Traffic is the pattern that produced the flows.
+	Traffic string `json:"traffic"`
+	// Seed is the generation seed (and the replay run seed).
+	Seed int64 `json:"seed"`
+	// Seconds is the run length in virtual seconds.
+	Seconds float64 `json:"seconds"`
+	// Range is the radio range the layout was generated for.
+	Range float64 `json:"range"`
+	// Positions are the node coordinates; the index is the node id.
+	Positions []Position `json:"positions"`
+	// Budgets are per-node initial energy budgets in joules (0 =
+	// unlimited); empty means every node is unconstrained.
+	Budgets []float64 `json:"budgets,omitempty"`
+	// Flows are the generated flows in start order.
+	Flows []Flow `json:"flows"`
+	// Events is the churn schedule, ascending in time.
+	Events []Event `json:"events,omitempty"`
+}
+
+// JSON renders the scenario as deterministic, indented JSON.
+func (g *Generated) JSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// ParseGenerated decodes a scenario previously dumped with JSON and
+// sanity-checks the node/flow/event indices so a hand-edited file fails
+// loudly.
+func ParseGenerated(data []byte) (*Generated, error) {
+	var g Generated
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("workload: parsing generated scenario: %w", err)
+	}
+	n := len(g.Positions)
+	if n < 2 {
+		return nil, fmt.Errorf("workload: positions: %d nodes too few (min 2)", n)
+	}
+	if n > MaxNodes {
+		return nil, fmt.Errorf("workload: positions: %d nodes too many (max %d)", n, MaxNodes)
+	}
+	if len(g.Budgets) != 0 && len(g.Budgets) != n {
+		return nil, fmt.Errorf("workload: budgets: %d entries for %d nodes", len(g.Budgets), n)
+	}
+	for i, b := range g.Budgets {
+		if b < 0 {
+			return nil, fmt.Errorf("workload: budgets[%d]: negative %g", i, b)
+		}
+	}
+	if g.Seconds <= 0 {
+		return nil, fmt.Errorf("workload: seconds: %g not positive", g.Seconds)
+	}
+	if len(g.Flows) == 0 {
+		return nil, fmt.Errorf("workload: flows: none")
+	}
+	for i, f := range g.Flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n || f.Src == f.Dst {
+			return nil, fmt.Errorf("workload: flows[%d]: endpoints %d->%d invalid for %d nodes", i, f.Src, f.Dst, n)
+		}
+		if f.StartAt < 0 {
+			return nil, fmt.Errorf("workload: flows[%d].startAt: negative %g", i, f.StartAt)
+		}
+		if f.TotalPackets < 0 {
+			return nil, fmt.Errorf("workload: flows[%d].totalPackets: negative %d", i, f.TotalPackets)
+		}
+		if f.LossTolerance < 0 || f.LossTolerance >= 1 {
+			return nil, fmt.Errorf("workload: flows[%d].lossTolerance: %g outside [0,1)", i, f.LossTolerance)
+		}
+	}
+	for i, e := range g.Events {
+		if e.Node < 0 || e.Node >= n {
+			return nil, fmt.Errorf("workload: events[%d].node: %d outside [0,%d)", i, e.Node, n)
+		}
+		if e.At < 0 {
+			return nil, fmt.Errorf("workload: events[%d].at: negative %g", i, e.At)
+		}
+	}
+	return &g, nil
+}

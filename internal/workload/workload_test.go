@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/javelen/jtp/internal/topology"
+)
+
+// specFor returns a defaulted spec of the given family and traffic.
+func specFor(t *testing.T, family, traffic string, nodes int) *Spec {
+	t.Helper()
+	s := &Spec{Family: family, Traffic: traffic, Nodes: nodes}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec %s/%s invalid: %v", family, traffic, err)
+	}
+	return s
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, family := range Families() {
+		for _, traffic := range Patterns() {
+			s := specFor(t, family, traffic, 10)
+			s.EnergyClasses = []EnergyClass{{Weight: 2, BudgetJ: 0}, {Weight: 1, BudgetJ: 3}}
+			s.Churn = &ChurnSpec{Failures: 2}
+			s.ApplyDefaults()
+			a, err := Generate(s, 77)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", family, traffic, err)
+			}
+			b, err := Generate(s, 77)
+			if err != nil {
+				t.Fatalf("%s/%s: second generation: %v", family, traffic, err)
+			}
+			ja, _ := a.JSON()
+			jb, _ := b.JSON()
+			if !bytes.Equal(ja, jb) {
+				t.Errorf("%s/%s: same (spec, seed) produced different scenarios", family, traffic)
+			}
+			c, err := Generate(s, 78)
+			if err != nil {
+				t.Fatalf("%s/%s: third generation: %v", family, traffic, err)
+			}
+			jc, _ := c.JSON()
+			if family != Chain && family != Grid && family != Star && bytes.Equal(ja, jc) {
+				t.Errorf("%s/%s: different seeds produced identical scenarios", family, traffic)
+			}
+		}
+	}
+}
+
+func TestGeneratedLayoutsConnected(t *testing.T) {
+	for _, family := range Families() {
+		for seed := int64(1); seed <= 5; seed++ {
+			s := specFor(t, family, Pairs, 12)
+			g, err := Generate(s, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", family, seed, err)
+			}
+			if got := len(g.Positions); got != 12 {
+				t.Fatalf("%s seed %d: %d nodes, want 12", family, seed, got)
+			}
+			if !topology.Connected(g.Topology(), s.Range) {
+				t.Errorf("%s seed %d: disconnected layout", family, seed)
+			}
+		}
+	}
+}
+
+func TestTrafficPatterns(t *testing.T) {
+	// single: one flow between the farthest pair (chain ends).
+	g, err := Generate(specFor(t, Chain, Single, 8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Flows) != 1 {
+		t.Fatalf("single: %d flows, want 1", len(g.Flows))
+	}
+	f := g.Flows[0]
+	if !(f.Src == 0 && f.Dst == 7) && !(f.Src == 7 && f.Dst == 0) {
+		t.Errorf("single on a chain: endpoints %d->%d, want the two ends", f.Src, f.Dst)
+	}
+
+	// sink: every flow targets node 0, sources distinct while possible.
+	s := specFor(t, Grid, Sink, 9)
+	s.Flows = 4
+	g, err = Generate(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[int]bool{}
+	for _, f := range g.Flows {
+		if f.Dst != 0 {
+			t.Errorf("sink: flow %d->%d does not target the sink", f.Src, f.Dst)
+		}
+		if f.Src == 0 {
+			t.Errorf("sink: the sink sources a flow to itself")
+		}
+		srcs[f.Src] = true
+	}
+	if len(srcs) != 4 {
+		t.Errorf("sink: %d distinct sources for 4 flows on 9 nodes", len(srcs))
+	}
+
+	// staggered: starts spread by the stagger interval.
+	s = specFor(t, RGG, Staggered, 12)
+	s.Flows = 3
+	g, err = Generate(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(g.Flows); i++ {
+		gap := g.Flows[i].StartAt - g.Flows[i-1].StartAt
+		if gap < s.Stagger-5 {
+			t.Errorf("staggered: gap %g between flows %d and %d below stagger %g", gap, i-1, i, s.Stagger)
+		}
+	}
+}
+
+func TestEnergyClassApportionment(t *testing.T) {
+	s := specFor(t, Chain, Single, 10)
+	s.EnergyClasses = []EnergyClass{{Weight: 3, BudgetJ: 1}, {Weight: 1, BudgetJ: 4}}
+	g, err := Generate(s, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Budgets) != 10 {
+		t.Fatalf("%d budgets for 10 nodes", len(g.Budgets))
+	}
+	count := map[float64]int{}
+	for _, b := range g.Budgets {
+		count[b]++
+	}
+	// 3:1 weights over 10 nodes -> 7 or 8 of class one.
+	if count[1] < 7 || count[1] > 8 || count[1]+count[4] != 10 {
+		t.Errorf("class counts %v, want ~{1J:7-8, 4J:2-3}", count)
+	}
+}
+
+func TestChurnSchedule(t *testing.T) {
+	s := specFor(t, Grid, Pairs, 12)
+	s.Churn = &ChurnSpec{Failures: 3}
+	s.ApplyDefaults()
+	g, err := Generate(s, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Events) < 3 {
+		t.Fatalf("%d events for 3 failures", len(g.Events))
+	}
+	endpoint := map[int]bool{}
+	for _, f := range g.Flows {
+		endpoint[f.Src], endpoint[f.Dst] = true, true
+	}
+	last := 0.0
+	downs := 0
+	for _, e := range g.Events {
+		if e.At < last {
+			t.Errorf("events not sorted: %g after %g", e.At, last)
+		}
+		last = e.At
+		if e.At >= s.Seconds {
+			t.Errorf("event at %g beyond run end %g", e.At, s.Seconds)
+		}
+		if endpoint[e.Node] {
+			t.Errorf("churn failed flow endpoint %d without failEndpoints", e.Node)
+		}
+		if e.Down {
+			downs++
+		}
+	}
+	if downs != 3 {
+		t.Errorf("%d down events, want 3", downs)
+	}
+}
+
+func TestParseSpecErrorsNameTheField(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`{"family":"torus"}`, "family"},
+		{`{"nodes":1}`, "nodes"},
+		{`{"nodes":100000}`, "nodes"},
+		{`{"traffic":"flood"}`, "traffic"},
+		{`{"lossTolerance":1.5}`, "lossTolerance"},
+		{`{"flows":-1}`, "flows"},
+		{`{"seconds":-3}`, "seconds"},
+		{`{"spacing":200}`, "spacing"},
+		{`{"energyClasses":[{"weight":-1}]}`, "weight"},
+		{`{"churn":{"failures":-2}}`, "churn.failures"},
+		{`{"nosuchfield":1}`, "nosuchfield"},
+		// 24 staggered flows cannot all start before a 400 s run ends.
+		{`{"family":"chain","nodes":6,"traffic":"staggered","flows":24}`, "seconds"},
+		{`{"warmup":500}`, "seconds"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec([]byte(c.in))
+		if err == nil {
+			t.Errorf("ParseSpec(%s): no error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%s): error %q does not name %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestZeroWarmupMeansImmediateStart(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"family":"chain","nodes":4,"traffic":"single","warmup":0}`))
+	if err != nil {
+		t.Fatalf("explicit zero warmup rejected: %v", err)
+	}
+	if *s.Warmup != 0 {
+		t.Fatalf("warmup 0 overridden to %g", *s.Warmup)
+	}
+	g, err := Generate(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Flows[0].StartAt != 0 {
+		t.Fatalf("flow starts at %g, want 0", g.Flows[0].StartAt)
+	}
+}
+
+func TestGeneratedRoundTrip(t *testing.T) {
+	s := specFor(t, Star, Staggered, 9)
+	s.EnergyClasses = []EnergyClass{{Weight: 1, BudgetJ: 2}}
+	s.Churn = &ChurnSpec{Failures: 1}
+	s.ApplyDefaults()
+	g, err := Generate(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGenerated(js)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	js2, _ := back.JSON()
+	if !bytes.Equal(js, js2) {
+		t.Error("JSON round trip not byte-identical")
+	}
+}
+
+func TestParseGeneratedRejectsBadIndices(t *testing.T) {
+	bad := []string{
+		`{"positions":[{"x":0,"y":0}],"seconds":10,"flows":[{"src":0,"dst":1}]}`,
+		`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,"flows":[{"src":0,"dst":5}]}`,
+		`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,"flows":[]}`,
+		`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,"flows":[{"src":0,"dst":1}],"events":[{"at":5,"node":9,"down":true}]}`,
+		`{"positions":[{"x":0,"y":0},{"x":50,"y":0}],"seconds":10,"flows":[{"src":0,"dst":1}],"budgets":[1]}`,
+	}
+	for _, in := range bad {
+		if _, err := ParseGenerated([]byte(in)); err == nil {
+			t.Errorf("ParseGenerated accepted %s", in)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/core"
 	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/geom"
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/mobility"
@@ -65,12 +66,24 @@ const (
 	CacheEnergyAware
 )
 
+// Position is one node's coordinates in meters, for explicitly placed
+// (e.g. generated) topologies.
+type Position struct {
+	X, Y float64
+}
+
 // SimConfig assembles a simulated JAVeLEN network.
 type SimConfig struct {
-	// Nodes is the network size (required, >= 2).
+	// Nodes is the network size (required unless Positions is set,
+	// >= 2).
 	Nodes int
 	// Topology selects the layout (default LinearTopology).
 	Topology TopologyKind
+	// Positions, when non-empty, places nodes explicitly and overrides
+	// Nodes/Topology/Spacing — the replay path for layouts produced by
+	// the workload generator (`jtpsim gen`) or by the caller. The
+	// layout must be connected at the radio range (100 m).
+	Positions []Position
 	// Spacing is the chain spacing in meters for LinearTopology
 	// (default 80; radio range is 100).
 	Spacing float64
@@ -170,6 +183,9 @@ var (
 // NewSim builds a network per the configuration. The returned Sim is
 // idle; open flows and call Run.
 func NewSim(cfg SimConfig) (*Sim, error) {
+	if len(cfg.Positions) > 0 {
+		cfg.Nodes = len(cfg.Positions)
+	}
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 nodes, got %d", ErrBadConfig, cfg.Nodes)
 	}
@@ -188,10 +204,19 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 		spacing = 80
 	}
 	var topo *topology.Topology
-	switch cfg.Topology {
-	case LinearTopology:
+	switch {
+	case len(cfg.Positions) > 0:
+		pts := make([]geom.Point, len(cfg.Positions))
+		for i, p := range cfg.Positions {
+			pts[i] = geom.Point{X: p.X, Y: p.Y}
+		}
+		topo = topology.FromPositions(pts, chCfg.Range/2)
+		if !topology.Connected(topo, chCfg.Range) {
+			return nil, fmt.Errorf("%w: explicit positions are not connected at radio range %g m", ErrBadConfig, chCfg.Range)
+		}
+	case cfg.Topology == LinearTopology:
 		topo = topology.Linear(cfg.Nodes, spacing)
-	case RandomTopology:
+	case cfg.Topology == RandomTopology:
 		t, ok := topology.Random(cfg.Nodes, chCfg.Range, eng.Rand(), 200)
 		if !ok {
 			return nil, fmt.Errorf("%w: could not place %d connected nodes", ErrBadConfig, cfg.Nodes)

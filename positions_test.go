@@ -1,0 +1,77 @@
+package jtp
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSimWithExplicitPositions: a generated (or hand-placed) layout
+// runs through the public API via SimConfig.Positions — the replay
+// path for `jtpsim gen` dumps.
+func TestSimWithExplicitPositions(t *testing.T) {
+	// A 5-node star: hub plus 4 leaves within radio range of the hub
+	// but not of each other (except adjacent ones).
+	pos := []Position{
+		{X: 100, Y: 100},
+		{X: 180, Y: 100},
+		{X: 100, Y: 180},
+		{X: 20, Y: 100},
+		{X: 100, Y: 20},
+	}
+	s, err := NewSim(SimConfig{Positions: pos, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewSim with positions: %v", err)
+	}
+	f, err := s.OpenFlow(FlowConfig{Src: 1, Dst: 3, TotalPackets: 30})
+	if err != nil {
+		t.Fatalf("OpenFlow across the hub: %v", err)
+	}
+	if !s.RunUntilDone(600) {
+		t.Fatalf("transfer did not complete: delivered %d/30", f.Delivered())
+	}
+	if f.Delivered() != 30 {
+		t.Fatalf("delivered %d packets, want 30", f.Delivered())
+	}
+	if s.TotalEnergy() <= 0 {
+		t.Fatal("no energy metered")
+	}
+}
+
+// TestSimPositionsOverrideNodes: Positions wins over Nodes/Topology.
+func TestSimPositionsOverrideNodes(t *testing.T) {
+	s, err := NewSim(SimConfig{
+		Nodes:     50,
+		Topology:  RandomTopology,
+		Positions: []Position{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 100, Y: 0}},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints beyond the 3 placed nodes must be rejected.
+	if _, err := s.OpenFlow(FlowConfig{Src: 0, Dst: 10}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("flow to node 10 of 3: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := s.OpenFlow(FlowConfig{Src: 0, Dst: 2, TotalPackets: 5}); err != nil {
+		t.Fatalf("flow within the placed nodes: %v", err)
+	}
+}
+
+// TestSimDisconnectedPositionsRejected: a layout with unreachable
+// islands fails construction, not silently mid-run.
+func TestSimDisconnectedPositionsRejected(t *testing.T) {
+	_, err := NewSim(SimConfig{
+		Positions: []Position{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 500, Y: 0}},
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("disconnected positions: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestSimSinglePositionRejected: one node is not a network.
+func TestSimSinglePositionRejected(t *testing.T) {
+	_, err := NewSim(SimConfig{Positions: []Position{{X: 0, Y: 0}}})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("single position: err = %v, want ErrBadConfig", err)
+	}
+}
