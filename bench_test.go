@@ -495,7 +495,8 @@ func BenchmarkFlipflopObserve(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineEvents measures raw discrete-event throughput.
+// BenchmarkEngineEvents measures raw discrete-event throughput
+// (steady-state: 0 allocs/op on the slab kernel).
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := sim.NewEngine(1)
 	var fn func()
@@ -506,9 +507,48 @@ func BenchmarkEngineEvents(b *testing.B) {
 			eng.Schedule(sim.Microsecond, fn)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Schedule(sim.Microsecond, fn)
 	eng.Drain()
+}
+
+// BenchmarkEngineStopChurn measures the cancel/re-arm path every pacing
+// timer exercises per packet (eager removal, 0 allocs/op).
+func BenchmarkEngineStopChurn(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	ref := eng.Schedule(sim.Second, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Stop()
+		ref = eng.Schedule(sim.Second, fn)
+	}
+}
+
+// BenchmarkPacketDecodeInto measures the pooled decode path with a
+// reused packet (0 allocs/op, vs Decode which allocates per call).
+func BenchmarkPacketDecodeInto(b *testing.B) {
+	p := &packet.Packet{
+		Type: packet.Ack, Src: 1, Dst: 2, Flow: 3,
+		Ack: &packet.AckInfo{
+			CumAck: 100, Rate: 3.5,
+			Snack: []packet.SeqRange{{First: 101, Last: 105}},
+		},
+	}
+	buf, err := p.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst packet.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dst.DecodeInto(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSimulatedSecond measures how fast the full stack simulates

@@ -1,0 +1,185 @@
+package main
+
+// jtpsim bench: the reproducible perf harness. It executes the Fig 9
+// campaign (the paper's heaviest sweep shape) on the campaign engine,
+// measures wall-clock, runs/sec and kernel events/sec, re-checks the
+// allocation-free guarantees of the guarded hot paths with
+// testing.AllocsPerRun, and emits a machine-readable JSON report
+// (BENCH_PR4.json by default) so perf trajectories can be compared
+// across PRs and machines:
+//
+//	jtpsim bench                      # default reduced campaign
+//	jtpsim bench -scale 0.5 -par 8    # heavier sweep, 8 workers
+//	jtpsim bench -out BENCH_PR4.json  # where to write the report
+//
+// The guarded hot paths (steady-state kernel scheduling, packet codec
+// round-trip, per-slot MAC tick via an idle chain) must report 0
+// allocs/op; the report records them and `bench -check` exits non-zero
+// on any regression, which is what the CI bench job runs.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/sim"
+)
+
+// BenchReport is the schema of BENCH_PR4.json.
+type BenchReport struct {
+	// Campaign identifies the measured workload.
+	Campaign string `json:"campaign"`
+	// Scale, Par mirror the CLI knobs for reproducibility.
+	Scale  float64 `json:"scale"`
+	Par    int     `json:"par"`
+	GoOS   string  `json:"goos"`
+	NumCPU int     `json:"num_cpu"`
+
+	Runs         int     `json:"runs"`
+	Cells        int     `json:"cells"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// AllocsPerOp are the guarded hot paths; all must be 0.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// benchMain implements `jtpsim bench`.
+func benchMain(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		scale = fs.Float64("scale", 0.15, "fraction of the paper's full Fig 9 sweep (0..1]")
+		out   = fs.String("out", "BENCH_PR4.json", "report path ('-' for stdout only)")
+		check = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates")
+	)
+	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
+	addProfileFlags(fs)
+	fs.Parse(args)
+	defer stopProfiles()
+	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+		return 1
+	}
+
+	cfg := experiments.Fig9Defaults(*scale)
+	cfg.Par = par
+
+	fmt.Fprintf(os.Stderr, "jtpsim bench: fig9 campaign %d sizes × %d protocols × %d runs, par=%d\n",
+		len(cfg.Sizes), len(cfg.Protocols), cfg.Runs, par)
+	start := time.Now()
+	res := experiments.Fig9CampaignBench(cfg)
+	wall := time.Since(start).Seconds()
+
+	rep := &BenchReport{
+		Campaign:     "fig9",
+		Scale:        *scale,
+		Par:          par,
+		GoOS:         runtime.GOOS,
+		NumCPU:       runtime.NumCPU(),
+		Runs:         res.Runs,
+		Cells:        res.Cells,
+		WallSeconds:  wall,
+		RunsPerSec:   float64(res.Runs) / wall,
+		Events:       res.Events,
+		EventsPerSec: float64(res.Events) / wall,
+		AllocsPerOp: map[string]float64{
+			"kernel_schedule_rununtil": benchKernelAllocs(),
+			"packet_codec_roundtrip":   benchCodecAllocs(),
+			"mac_slot":                 benchMACSlotAllocs(),
+		},
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+		return 1
+	}
+	js = append(js, '\n')
+	fmt.Printf("%s", js)
+	if *out != "-" {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "jtpsim bench: wrote %s\n", *out)
+	}
+	if *check {
+		for name, allocs := range rep.AllocsPerOp {
+			if allocs != 0 {
+				fmt.Fprintf(os.Stderr, "jtpsim bench: guarded hot path %s regressed to %.1f allocs/op (want 0)\n",
+					name, allocs)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// benchKernelAllocs measures steady-state Engine.Schedule/RunUntil.
+func benchKernelAllocs() float64 {
+	eng := sim.NewEngine(1)
+	var fn sim.Handler
+	fn = func() { eng.Schedule(sim.Millisecond, fn) }
+	for i := 0; i < 64; i++ {
+		eng.Schedule(sim.Millisecond, fn)
+	}
+	eng.RunFor(sim.Second) // reach the slab's high-water mark
+	return testing.AllocsPerRun(200, func() { eng.RunFor(10 * sim.Millisecond) })
+}
+
+// benchCodecAllocs measures an AppendEncode/DecodeInto round trip of a
+// worst-case feedback packet with reused buffers.
+func benchCodecAllocs() float64 {
+	src := &packet.Packet{
+		Type: packet.Ack, Src: 1, Dst: 2, Flow: 3, PayloadLen: 64,
+		AvailRate: 2.5, LossTol: 0.1,
+		Ack: &packet.AckInfo{
+			CumAck: 100, Rate: 3.5, EnergyBudget: 0.02, SenderTimeout: 10,
+			Snack:     []packet.SeqRange{{First: 101, Last: 105}, {First: 110, Last: 112}},
+			Recovered: []packet.SeqRange{{First: 107, Last: 108}},
+		},
+	}
+	src.Quantize()
+	buf := make([]byte, 0, 512)
+	var dst packet.Packet
+	b, _ := src.AppendEncode(buf)
+	dst.DecodeInto(b)
+	return testing.AllocsPerRun(1000, func() {
+		b, err := src.AppendEncode(buf[:0])
+		if err != nil {
+			panic(err)
+		}
+		if _, err := dst.DecodeInto(b); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// benchMACSlotAllocs measures per-slot TDMA processing on a warm idle
+// chain: the scheduler tick, slot ownership and idle accounting must not
+// allocate.
+func benchMACSlotAllocs() float64 {
+	b, err := experiments.BuildScenario(experiments.Scenario{
+		Name:    "bench-mac-slot",
+		Proto:   experiments.JTP,
+		Topo:    experiments.Linear,
+		Nodes:   8,
+		Seconds: 3600,
+		Seed:    1,
+		Flows:   []experiments.FlowSpec{{Src: 0, Dst: 7, StartAt: 3000}},
+	}, experiments.Hooks{})
+	if err != nil {
+		panic(err)
+	}
+	eng := b.Engine()
+	eng.RunUntil(sim.Time(10 * sim.Second)) // warm slabs, frames, link stats
+	return testing.AllocsPerRun(100, func() { eng.RunFor(sim.Second) })
+}

@@ -36,7 +36,13 @@ func genMain(args []string) int {
 		run      = fs.Bool("run", false, "run the generated scenario instead of dumping JSON")
 		proto    = fs.String("proto", "jtp", "transport driver for -run/-replay (see -list)")
 	)
+	addProfileFlags(fs)
 	fs.Parse(args)
+	defer stopProfiles()
+	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim gen: %v\n", err)
+		return 1
+	}
 
 	var g *workload.Generated
 	switch {

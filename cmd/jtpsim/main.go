@@ -10,6 +10,10 @@
 //	jtpsim batch -matrix sweep.json    # user-declared scenario matrix
 //	jtpsim gen -family rgg -nodes 20   # dump a generated workload scenario
 //	jtpsim gen -replay dump.json       # replay a dumped scenario exactly
+//	jtpsim bench -out BENCH_PR4.json   # perf harness: fig 9 campaign + alloc guards
+//
+// Every mode accepts -cpuprofile/-memprofile to write pprof profiles of
+// the run.
 //
 // Scale multiplies run counts, durations and transfer sizes relative to
 // the paper's full setup (scale 1 reproduces the paper's run counts:
@@ -73,6 +77,8 @@ func main() {
 			os.Exit(batchMain(os.Args[2:]))
 		case "gen":
 			os.Exit(genMain(os.Args[2:]))
+		case "bench":
+			os.Exit(benchMain(os.Args[2:]))
 		}
 	}
 	os.Exit(expMain())
@@ -88,7 +94,13 @@ func expMain() int {
 	)
 	flag.BoolVar(&asCSV, "csv", false, "emit tables as CSV (for plotting)")
 	flag.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
+	addProfileFlags(flag.CommandLine)
 	flag.Parse()
+	defer stopProfiles()
+	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
+		return 1
+	}
 
 	exps := registry()
 	if *list || *expID == "" {
@@ -98,6 +110,7 @@ func expMain() int {
 		}
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
 		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-scale S] [-par N] [-out BENCH_PR4.json] [-check]")
 		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
 			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {
@@ -140,7 +153,13 @@ func batchMain(args []string) int {
 	)
 	fs.BoolVar(&asCSV, "csv", false, "emit the aggregate report as CSV")
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
+	addProfileFlags(fs)
 	fs.Parse(args)
+	defer stopProfiles()
+	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 1
+	}
 
 	if *matrixPath == "" {
 		fmt.Fprintln(os.Stderr, "jtpsim batch: -matrix <file.json> is required")

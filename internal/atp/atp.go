@@ -20,6 +20,7 @@ import (
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/node"
 	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/pool"
 	"github.com/javelen/jtp/internal/sim"
 	"github.com/javelen/jtp/internal/stats"
 )
@@ -98,6 +99,22 @@ func (s *Segment) String() string {
 }
 
 var _ mac.Segment = (*Segment)(nil)
+
+// segPool is a per-connection segment free-list. ATP segments have
+// exactly one terminal consumer — DATA at the receiver, feedback at the
+// sender; nothing in the network retains them — so each endpoint recycles
+// what it is delivered and both ends draw from the shared pool. A nil
+// pool (endpoints built without Dial) degrades to heap allocation.
+type segPool = pool.FreeList[Segment]
+
+func newSegPool() *segPool {
+	return pool.New(func(s *Segment) {
+		// Snack capacity is retained for a future in-place feedback
+		// builder; today sendFeedback overwrites it with snack()'s
+		// fresh ranges (feedback is a cold, per-epoch path).
+		*s = Segment{Snack: s.Snack[:0]}
+	})
+}
 
 // RateStamper is the MAC plugin intermediate nodes run for ATP: it stamps
 // the minimum effective available rate into traversing DATA segments.
@@ -203,6 +220,10 @@ type Sender struct {
 	done       bool
 	stats      SenderStats
 
+	segs      *segPool
+	paceFn    sim.Handler
+	timeoutFn sim.Handler
+
 	// OnComplete fires when a fixed transfer finishes.
 	OnComplete func(at sim.Time)
 }
@@ -210,13 +231,16 @@ type Sender struct {
 // NewSender builds the source.
 func NewSender(nw *node.Network, cfg Config) *Sender {
 	cfg = cfg.withDefaults()
-	return &Sender{
+	s := &Sender{
 		cfg:    cfg,
 		net:    nw,
 		eng:    nw.Engine(),
 		rate:   cfg.InitialRate,
 		inPend: make(map[uint32]bool),
 	}
+	s.paceFn = s.pace
+	s.timeoutFn = s.onTimeout
+	return s
 }
 
 // Stats returns a copy of the counters.
@@ -244,7 +268,7 @@ func (s *Sender) Stop() {
 
 func (s *Sender) schedulePace(d sim.Duration) {
 	s.paceRef.Stop()
-	s.paceRef = s.eng.Schedule(d, s.pace)
+	s.paceRef = s.eng.Schedule(d, s.paceFn)
 }
 
 func (s *Sender) pace() {
@@ -255,16 +279,15 @@ func (s *Sender) pace() {
 	if !ok {
 		return
 	}
-	seg := &Segment{
-		Kind:       Data,
-		Src:        s.cfg.Src,
-		Dst:        s.cfg.Dst,
-		Flow:       s.cfg.Flow,
-		Seq:        seq,
-		PayloadLen: s.cfg.PayloadLen,
-		RateStamp:  packet.InitialAvailRate,
-		Retx:       retx,
-	}
+	seg := s.segs.Get()
+	seg.Kind = Data
+	seg.Src = s.cfg.Src
+	seg.Dst = s.cfg.Dst
+	seg.Flow = s.cfg.Flow
+	seg.Seq = seq
+	seg.PayloadLen = s.cfg.PayloadLen
+	seg.RateStamp = packet.InitialAvailRate
+	seg.Retx = retx
 	s.net.SendFrom(s.cfg.Src, seg)
 	if retx {
 		s.stats.Retransmissions++
@@ -295,10 +318,19 @@ func (s *Sender) nextToSend() (uint32, bool, bool) {
 	return seq, false, true
 }
 
-// Deliver processes feedback (node.Transport).
+// Deliver processes feedback (node.Transport) and recycles the segment:
+// the source is a feedback segment's terminal consumer.
 func (s *Sender) Deliver(seg mac.Segment, _ packet.NodeID) {
 	fb, ok := seg.(*Segment)
-	if !ok || fb.Kind != Feedback || s.done {
+	if !ok || fb.Kind != Feedback {
+		return
+	}
+	s.processFeedback(fb)
+	s.segs.Put(fb)
+}
+
+func (s *Sender) processFeedback(fb *Segment) {
+	if s.done {
 		return
 	}
 	s.stats.FeedbackRecv++
@@ -338,7 +370,7 @@ func (s *Sender) Deliver(seg mac.Segment, _ packet.NodeID) {
 
 func (s *Sender) armTimeout() {
 	s.timeoutRef.Stop()
-	s.timeoutRef = s.eng.Schedule(sim.DurationOf(2.5*s.cfg.FeedbackPeriod), s.onTimeout)
+	s.timeoutRef = s.eng.Schedule(sim.DurationOf(2.5*s.cfg.FeedbackPeriod), s.timeoutFn)
 }
 
 func (s *Sender) onTimeout() {
@@ -403,6 +435,7 @@ type Receiver struct {
 	done    bool
 	stats   ReceiverStats
 	recSeri stats.Series
+	segs    *segPool
 
 	// OnComplete fires when the transfer is fully received.
 	OnComplete func(at sim.Time)
@@ -442,12 +475,18 @@ func (r *Receiver) Stop() {
 	r.net.Unbind(r.cfg.Dst, r.cfg.Flow)
 }
 
-// Deliver processes a DATA segment (node.Transport).
+// Deliver processes a DATA segment (node.Transport) and recycles it: the
+// sink is a DATA segment's terminal consumer.
 func (r *Receiver) Deliver(seg mac.Segment, _ packet.NodeID) {
 	d, ok := seg.(*Segment)
 	if !ok || d.Kind != Data {
 		return
 	}
+	r.processData(d)
+	r.segs.Put(d)
+}
+
+func (r *Receiver) processData(d *Segment) {
 	r.stats.DataReceived++
 	r.lastDataAt = r.eng.Now()
 	if d.RateStamp < packet.InitialAvailRate {
@@ -524,15 +563,14 @@ func (r *Receiver) sendFeedback() {
 		r.lastFb = rate
 		r.epoch = stats.Running{}
 	}
-	fb := &Segment{
-		Kind:   Feedback,
-		Src:    r.cfg.Dst,
-		Dst:    r.cfg.Src,
-		Flow:   r.cfg.Flow,
-		CumAck: r.cum,
-		Snack:  r.snack(),
-		FbRate: rate,
-	}
+	fb := r.segs.Get()
+	fb.Kind = Feedback
+	fb.Src = r.cfg.Dst
+	fb.Dst = r.cfg.Src
+	fb.Flow = r.cfg.Flow
+	fb.CumAck = r.cum
+	fb.Snack = r.snack()
+	fb.FbRate = rate
 	if r.done {
 		fb.CumAck = uint32(r.cfg.TotalPackets)
 	}
@@ -546,9 +584,15 @@ type Connection struct {
 	Receiver *Receiver
 }
 
-// Dial builds both endpoints.
+// Dial builds both endpoints, sharing one segment free-list between them
+// (the receiver recycles the sender's DATA, the sender the receiver's
+// feedback).
 func Dial(nw *node.Network, cfg Config) *Connection {
-	return &Connection{Sender: NewSender(nw, cfg), Receiver: NewReceiver(nw, cfg)}
+	c := &Connection{Sender: NewSender(nw, cfg), Receiver: NewReceiver(nw, cfg)}
+	pool := newSegPool()
+	c.Sender.segs = pool
+	c.Receiver.segs = pool
+	return c
 }
 
 // Start starts receiver then sender.

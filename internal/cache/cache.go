@@ -15,7 +15,6 @@
 package cache
 
 import (
-	"container/list"
 	"math/rand"
 
 	"github.com/javelen/jtp/internal/packet"
@@ -78,18 +77,29 @@ type Stats struct {
 // Cache is a fixed-capacity packet store. The zero value is unusable;
 // construct with New or NewWithPolicy. Capacity 0 disables the cache
 // entirely (the JNC configuration of §4.1).
+//
+// Storage is a slab of doubly-linked entries with a free-list (front =
+// most recently manipulated/inserted, exactly the order the previous
+// container/list implementation maintained). At capacity, every insert
+// recycles the evicted slot — and, when a packet pool is attached, the
+// evicted clone — so a warm cache inserts with zero allocations.
 type Cache struct {
 	capacity int
 	policy   Policy
-	ll       *list.List // front = most recently manipulated/inserted
-	items    map[Key]*list.Element
+	entries  []entry // slab; list links are slab indices
+	freeSlot []int32
+	head     int32 // most recently manipulated, -1 when empty
+	tail     int32 // least recently manipulated, -1 when empty
+	items    map[Key]int32
 	stats    Stats
-	rng      *rand.Rand // Random policy only
+	rng      *rand.Rand   // Random policy only
+	pool     *packet.Pool // optional clone free-list (nil = heap clones)
 }
 
 type entry struct {
-	key Key
-	pkt *packet.Packet
+	key        Key
+	pkt        *packet.Packet
+	prev, next int32 // -1 terminates
 }
 
 // New returns an LRU cache holding at most capacity packets.
@@ -101,10 +111,89 @@ func NewWithPolicy(capacity int, policy Policy, seed int64) *Cache {
 	return &Cache{
 		capacity: capacity,
 		policy:   policy,
-		ll:       list.New(),
-		items:    make(map[Key]*list.Element),
+		head:     -1,
+		tail:     -1,
+		items:    make(map[Key]int32),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+}
+
+// SetPool attaches a packet free-list: cached clones are drawn from and
+// recycled into it. The experiment harness passes the network's pool.
+func (c *Cache) SetPool(p *packet.Pool) { c.pool = p }
+
+// clone copies p for storage, through the pool when one is attached.
+func (c *Cache) clone(p *packet.Packet) *packet.Packet {
+	if c.pool == nil {
+		return p.Clone()
+	}
+	q := c.pool.Get()
+	p.CloneInto(q, c.pool)
+	return q
+}
+
+// ---- intrusive list over the slab ------------------------------------
+
+// alloc takes a slot from the free-list or grows the slab (bounded by
+// capacity, so growth stops once the cache has warmed).
+func (c *Cache) alloc() int32 {
+	if n := len(c.freeSlot); n > 0 {
+		i := c.freeSlot[n-1]
+		c.freeSlot = c.freeSlot[:n-1]
+		return i
+	}
+	c.entries = append(c.entries, entry{})
+	return int32(len(c.entries) - 1)
+}
+
+// unlink detaches slot i from the list without freeing it.
+func (c *Cache) unlink(i int32) {
+	e := &c.entries[i]
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// pushFront links slot i at the most-recent end.
+func (c *Cache) pushFront(i int32) {
+	e := &c.entries[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// moveToFront refreshes slot i's recency.
+func (c *Cache) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+// removeSlot unlinks slot i, recycles its packet clone and returns the
+// slot to the free-list.
+func (c *Cache) removeSlot(i int32) {
+	c.unlink(i)
+	e := &c.entries[i]
+	delete(c.items, e.key)
+	if c.pool != nil {
+		c.pool.Put(e.pkt)
+	}
+	e.pkt = nil
+	c.freeSlot = append(c.freeSlot, i)
 }
 
 // Policy returns the replacement policy in use.
@@ -114,7 +203,7 @@ func (c *Cache) Policy() Policy { return c.policy }
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len returns the number of cached packets.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache) Len() int { return len(c.items) }
 
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -127,19 +216,26 @@ func (c *Cache) Insert(p *packet.Packet) {
 		return
 	}
 	k := KeyOf(p)
-	if el, ok := c.items[k]; ok {
-		el.Value.(*entry).pkt = p.Clone()
+	if i, ok := c.items[k]; ok {
+		e := &c.entries[i]
+		if c.pool != nil {
+			c.pool.Put(e.pkt)
+		}
+		e.pkt = c.clone(p)
 		if c.policy == LRU {
-			c.ll.MoveToFront(el)
+			c.moveToFront(i)
 		}
 		c.stats.Updates++
 		return
 	}
-	for c.ll.Len() >= c.capacity {
+	for len(c.items) >= c.capacity {
 		c.evict()
 	}
-	el := c.ll.PushFront(&entry{key: k, pkt: p.Clone()})
-	c.items[k] = el
+	i := c.alloc()
+	c.entries[i].key = k
+	c.entries[i].pkt = c.clone(p)
+	c.pushFront(i)
+	c.items[k] = i
 	c.stats.Inserts++
 }
 
@@ -148,16 +244,16 @@ func (c *Cache) Insert(p *packet.Packet) {
 // packet just served for one SNACK is likely to be requested again if
 // the retransmission is lost.
 func (c *Cache) Lookup(k Key) (*packet.Packet, bool) {
-	el, ok := c.items[k]
+	i, ok := c.items[k]
 	if !ok {
 		c.stats.Misses++
 		return nil, false
 	}
 	if c.policy == LRU {
-		c.ll.MoveToFront(el)
+		c.moveToFront(i)
 	}
 	c.stats.Hits++
-	return el.Value.(*entry).pkt.Clone(), true
+	return c.clone(c.entries[i].pkt), true
 }
 
 // Contains reports whether the key is cached without touching recency or
@@ -169,12 +265,11 @@ func (c *Cache) Contains(k Key) bool {
 
 // Remove deletes an entry if present (e.g. on flow teardown).
 func (c *Cache) Remove(k Key) bool {
-	el, ok := c.items[k]
+	i, ok := c.items[k]
 	if !ok {
 		return false
 	}
-	c.ll.Remove(el)
-	delete(c.items, k)
+	c.removeSlot(i)
 	return true
 }
 
@@ -183,61 +278,61 @@ func (c *Cache) Remove(k Key) bool {
 // connection close.
 func (c *Cache) RemoveFlow(src, dst packet.NodeID, flow packet.FlowID) int {
 	n := 0
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		e := el.Value.(*entry)
-		if e.key.Src == src && e.key.Dst == dst && e.key.Flow == flow {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
+	for i := c.head; i >= 0; {
+		next := c.entries[i].next
+		k := c.entries[i].key
+		if k.Src == src && k.Dst == dst && k.Flow == flow {
+			c.removeSlot(i)
 			n++
 		}
-		el = next
+		i = next
 	}
 	return n
 }
 
 // Clear empties the cache.
 func (c *Cache) Clear() {
-	c.ll.Init()
-	c.items = make(map[Key]*list.Element)
+	for i := c.head; i >= 0; {
+		next := c.entries[i].next
+		c.removeSlot(i)
+		i = next
+	}
 }
 
 // evict removes one entry according to the policy.
 func (c *Cache) evict() {
-	var el *list.Element
+	victim := int32(-1)
 	switch c.policy {
 	case Random:
-		idx := c.rng.Intn(c.ll.Len())
-		el = c.ll.Front()
+		idx := c.rng.Intn(len(c.items))
+		victim = c.head
 		for i := 0; i < idx; i++ {
-			el = el.Next()
+			victim = c.entries[victim].next
 		}
 	case EnergyAware:
-		// Evict the cheapest-to-replace packet (least energy invested).
+		// Evict the cheapest-to-replace packet (least energy invested);
+		// front-to-back scan, first minimum wins, as before.
 		min := 0.0
-		for e := c.ll.Front(); e != nil; e = e.Next() {
-			used := e.Value.(*entry).pkt.EnergyUsed
-			if el == nil || used < min {
-				el, min = e, used
+		for i := c.head; i >= 0; i = c.entries[i].next {
+			used := c.entries[i].pkt.EnergyUsed
+			if victim < 0 || used < min {
+				victim, min = i, used
 			}
 		}
 	default: // LRU and FIFO both evict the back of the list
-		el = c.ll.Back()
+		victim = c.tail
 	}
-	if el == nil {
+	if victim < 0 {
 		return
 	}
-	e := el.Value.(*entry)
-	c.ll.Remove(el)
-	delete(c.items, e.key)
+	c.removeSlot(victim)
 	c.stats.Evictions++
 }
 
 // OldestKey returns the key that would be evicted next, for tests.
 func (c *Cache) OldestKey() (Key, bool) {
-	el := c.ll.Back()
-	if el == nil {
+	if c.tail < 0 {
 		return Key{}, false
 	}
-	return el.Value.(*entry).key, true
+	return c.entries[c.tail].key, true
 }

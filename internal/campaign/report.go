@@ -23,6 +23,10 @@ type CellResult struct {
 	FirstError string
 
 	obs map[string]*stats.Running
+	// block preallocates the cell's Running accumulators contiguously,
+	// sized from the first sample (late, never-before-seen observables
+	// fall back to individual allocations).
+	block []stats.Running
 }
 
 // Observables returns the observable names seen in this cell, sorted.
@@ -37,7 +41,10 @@ func (c *CellResult) Running(name string) stats.Running {
 	return stats.Running{}
 }
 
-// fold adds one run's sample to the aggregate.
+// fold adds one run's sample to the aggregate. Each observable has its
+// own independent accumulator, so iterating the sample map directly (in
+// whatever order) is deterministic — no per-run key sort or scratch
+// slice.
 func (c *CellResult) fold(s Sample, err error) {
 	c.Runs++
 	if err != nil {
@@ -47,13 +54,21 @@ func (c *CellResult) fold(s Sample, err error) {
 		}
 		return
 	}
-	for _, k := range sortedKeys(s) {
+	for k, v := range s {
 		r, ok := c.obs[k]
 		if !ok {
-			r = &stats.Running{}
+			if c.block == nil {
+				c.block = make([]stats.Running, 0, len(s))
+			}
+			if len(c.block) < cap(c.block) {
+				c.block = c.block[:len(c.block)+1]
+				r = &c.block[len(c.block)-1]
+			} else {
+				r = &stats.Running{}
+			}
 			c.obs[k] = r
 		}
-		r.Add(s[k])
+		r.Add(v)
 	}
 }
 

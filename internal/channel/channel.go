@@ -93,6 +93,14 @@ type Channel struct {
 	cfg Config
 	eng *sim.Engine
 	lk  map[linkKey]*linkState
+
+	// Precomputed Gilbert-Elliott parameters. The per-transmission fast
+	// path (TransmitOK) is one RNG draw compared against one of two
+	// thresholds; the sojourn means fold the bad-fraction algebra of
+	// drawSojourn so a state flip costs one ExpFloat64 and one multiply.
+	range2   float64 // Range² for InRange
+	meanGood float64 // mean good-state sojourn in seconds
+	meanBad  float64 // mean bad-state sojourn in seconds
 }
 
 // New returns a channel driven by the engine's clock and RNG.
@@ -100,7 +108,22 @@ func New(eng *sim.Engine, cfg Config) *Channel {
 	if cfg.Range <= 0 {
 		cfg.Range = Defaults().Range
 	}
-	return &Channel{cfg: cfg, eng: eng, lk: make(map[linkKey]*linkState)}
+	c := &Channel{cfg: cfg, eng: eng, lk: make(map[linkKey]*linkState)}
+	c.range2 = cfg.Range * cfg.Range
+	meanBad := cfg.MeanBadPeriod
+	if meanBad <= 0 {
+		meanBad = 3.0
+	}
+	f := cfg.BadFraction
+	if f <= 0 {
+		f = 0.10
+	}
+	if f >= 1 {
+		f = 0.99
+	}
+	c.meanBad = meanBad
+	c.meanGood = meanBad * (1 - f) / f
+	return c
 }
 
 // Config returns the channel configuration.
@@ -108,7 +131,7 @@ func (c *Channel) Config() Config { return c.cfg }
 
 // InRange reports whether two positions are within radio range.
 func (c *Channel) InRange(d2 float64) bool {
-	return d2 <= c.cfg.Range*c.cfg.Range
+	return d2 <= c.range2
 }
 
 // Range returns the radio range in meters.
@@ -140,25 +163,14 @@ func (c *Channel) state(a, b packet.NodeID) *linkState {
 	return st
 }
 
-// drawSojourn draws an exponential sojourn for the given state. Good-state
-// mean is derived from the bad fraction:
+// drawSojourn draws an exponential sojourn for the given state. The means
+// are precomputed at construction from the bad fraction:
 //
 //	badFrac = meanBad / (meanBad + meanGood)  ⇒  meanGood = meanBad·(1−f)/f
 func (c *Channel) drawSojourn(bad bool) sim.Duration {
-	meanBad := c.cfg.MeanBadPeriod
-	if meanBad <= 0 {
-		meanBad = 3.0
-	}
-	f := c.cfg.BadFraction
-	if f <= 0 {
-		f = 0.10
-	}
-	if f >= 1 {
-		f = 0.99
-	}
-	mean := meanBad
-	if !bad {
-		mean = meanBad * (1 - f) / f
+	mean := c.meanGood
+	if bad {
+		mean = c.meanBad
 	}
 	d := c.eng.Rand().ExpFloat64() * mean
 	if d < 1e-3 {
@@ -181,9 +193,21 @@ func (c *Channel) LossProb(a, b packet.NodeID) float64 {
 func (c *Channel) Bad(a, b packet.NodeID) bool { return c.state(a, b).bad }
 
 // TransmitOK draws one Bernoulli trial for a transmission on a→b,
-// reporting whether the frame was received.
+// reporting whether the frame was received. The steady-state cost is one
+// RNG draw and two compares: the per-state loss thresholds come straight
+// from the config and the link state advances only when a precomputed
+// flip time has passed.
 func (c *Channel) TransmitOK(a, b packet.NodeID) bool {
-	return c.eng.Rand().Float64() >= c.LossProb(a, b)
+	// The Bernoulli draw happens before the lazy state advance (which may
+	// itself consume sojourn draws) — the order the original
+	// `Float64() >= LossProb()` expression evaluated in, kept so seeded
+	// runs reproduce bit-for-bit.
+	u := c.eng.Rand().Float64()
+	thr := c.cfg.GoodLoss
+	if c.state(a, b).bad {
+		thr = c.cfg.BadLoss
+	}
+	return u >= thr
 }
 
 // ForceState pins the a↔b link to the given state until the next natural

@@ -62,6 +62,7 @@ func (d *driver) Attach(nw *node.Network, nc transport.NetConfig) error {
 			return nw.SendFromFront(id, p)
 		})
 		pl.Clock = func() float64 { return eng.Now().Seconds() }
+		pl.Cache().SetPool(nw.PacketPool())
 		nd.MAC.AddPlugin(pl)
 		d.plugins = append(d.plugins, pl)
 	}

@@ -82,6 +82,12 @@ type Receiver struct {
 	lastFeedback sim.Time
 	timerRunning bool
 
+	// pool is the network packet free-list (nil = unpooled); feedbackFn
+	// is the regular-feedback handler bound once so the feedback clock
+	// does not allocate a closure per cycle.
+	pool       *packet.Pool
+	feedbackFn sim.Handler
+
 	stats     ReceiverStats
 	reception stats.Series // one sample per unique delivery (V=1)
 
@@ -96,10 +102,11 @@ type Receiver struct {
 // NewReceiver builds (but does not start) the destination side.
 func NewReceiver(nw *node.Network, cfg Config) *Receiver {
 	cfg = cfg.withDefaults()
-	return &Receiver{
+	r := &Receiver{
 		cfg:          cfg,
 		net:          nw,
 		eng:          nw.Engine(),
+		pool:         nw.PacketPool(),
 		received:     make(map[uint32]bool),
 		missedAt:     make(map[uint32]sim.Time),
 		requestedAt:  make(map[uint32]sim.Time),
@@ -109,6 +116,8 @@ func NewReceiver(nw *node.Network, cfg Config) *Receiver {
 		rateMon:      flipflop.New(cfg.RateMonitor),
 		energyMon:    flipflop.New(cfg.EnergyMonitor),
 	}
+	r.feedbackFn = r.regularFeedback
+	return r
 }
 
 // Config returns the connection configuration (with defaults applied).
@@ -145,12 +154,20 @@ func (r *Receiver) Stop() {
 	r.net.Unbind(r.cfg.Dst, r.cfg.Flow)
 }
 
-// Deliver handles an arriving DATA packet (node.Transport).
+// Deliver handles an arriving DATA packet (node.Transport). The final
+// destination is the packet's terminal consumer — in-network caches hold
+// clones, never the traversing packet — so it is recycled onto the
+// network free-list once processed.
 func (r *Receiver) Deliver(seg mac.Segment, _ packet.NodeID) {
 	p, ok := seg.(*packet.Packet)
 	if !ok || p.Type != packet.Data {
 		return
 	}
+	r.processData(p)
+	r.pool.Put(p)
+}
+
+func (r *Receiver) processData(p *packet.Packet) {
 	now := r.eng.Now()
 	r.stats.DataReceived++
 	r.lastDataAt = now
@@ -386,7 +403,7 @@ func (r *Receiver) feedbackInterval() float64 {
 // scheduleFeedback arms the next regular feedback.
 func (r *Receiver) scheduleFeedback() {
 	r.feedbackRef.Stop()
-	r.feedbackRef = r.eng.Schedule(sim.DurationOf(r.feedbackInterval()), r.regularFeedback)
+	r.feedbackRef = r.eng.Schedule(sim.DurationOf(r.feedbackInterval()), r.feedbackFn)
 }
 
 func (r *Receiver) regularFeedback() {
@@ -443,23 +460,22 @@ func (r *Receiver) sendFeedback(early bool) {
 	}
 	t := r.feedbackInterval()
 
-	ack := &packet.Packet{
-		Type: packet.Ack,
-		Src:  r.cfg.Dst,
-		Dst:  r.cfg.Src,
-		Flow: r.cfg.Flow,
-		// ACKs are precious and rare: request full per-link effort.
-		LossTol:   0,
-		AvailRate: packet.InitialAvailRate,
-		Pad:       r.cfg.AckPad,
-		Ack: &packet.AckInfo{
-			CumAck:        r.cum,
-			Rate:          r.rate,
-			EnergyBudget:  r.energyBudget,
-			SenderTimeout: t,
-			Snack:         snack,
-		},
-	}
+	ack := r.pool.Get()
+	ack.Type = packet.Ack
+	ack.Src = r.cfg.Dst
+	ack.Dst = r.cfg.Src
+	ack.Flow = r.cfg.Flow
+	// ACKs are precious and rare: request full per-link effort
+	// (LossTol stays zero).
+	ack.AvailRate = packet.InitialAvailRate
+	ack.Pad = r.cfg.AckPad
+	info := r.pool.GetAck()
+	info.CumAck = r.cum
+	info.Rate = r.rate
+	info.EnergyBudget = r.energyBudget
+	info.SenderTimeout = t
+	info.Snack = snack
+	ack.Ack = info
 	if early {
 		ack.Flags |= packet.FlagEarlyFeedback
 	}

@@ -54,6 +54,13 @@ type Sender struct {
 	paceRef    sim.EventRef
 	timeoutRef sim.EventRef
 
+	// pool is the network packet free-list (nil = unpooled); paceFn and
+	// timeoutFn are the method-value handlers, bound once so re-arming a
+	// timer does not allocate a closure per packet.
+	pool      *packet.Pool
+	paceFn    sim.Handler
+	timeoutFn sim.Handler
+
 	stats SenderStats
 
 	// OnComplete, when non-nil, fires once when a fixed-size transfer
@@ -68,11 +75,14 @@ func NewSender(nw *node.Network, cfg Config) *Sender {
 		cfg:          cfg,
 		net:          nw,
 		eng:          nw.Engine(),
+		pool:         nw.PacketPool(),
 		rate:         cfg.InitialRate,
 		energyBudget: cfg.InitialEnergyBudget,
 		feedbackT:    cfg.TLowerBound,
 		inPending:    make(map[uint32]bool),
 	}
+	s.paceFn = s.pace
+	s.timeoutFn = s.onTimeout
 	return s
 }
 
@@ -110,7 +120,7 @@ func (s *Sender) Stop() {
 // pending one.
 func (s *Sender) schedulePace(d sim.Duration) {
 	s.paceRef.Stop()
-	s.paceRef = s.eng.Schedule(d, s.pace)
+	s.paceRef = s.eng.Schedule(d, s.paceFn)
 }
 
 // interPacket returns the current pacing gap.
@@ -131,7 +141,7 @@ func (s *Sender) pace() {
 	if now < s.backoffUntil {
 		// §4.2: the source is backing off to compensate for in-network
 		// retransmissions made on its behalf.
-		s.paceRef = s.eng.ScheduleAt(s.backoffUntil, s.pace)
+		s.paceRef = s.eng.ScheduleAt(s.backoffUntil, s.paceFn)
 		return
 	}
 	seq, retransmit, ok := s.nextToSend()
@@ -171,19 +181,20 @@ func (s *Sender) nextToSend() (seq uint32, retransmit, ok bool) {
 	return seq, false, true
 }
 
-// buildData assembles a DATA packet with the §2.1.1 header fields.
+// buildData assembles a DATA packet with the §2.1.1 header fields. The
+// packet comes from the network free-list; the endpoint it is delivered
+// to recycles it.
 func (s *Sender) buildData(seq uint32, retransmit bool) *packet.Packet {
-	p := &packet.Packet{
-		Type:         packet.Data,
-		Src:          s.cfg.Src,
-		Dst:          s.cfg.Dst,
-		Flow:         s.cfg.Flow,
-		Seq:          seq,
-		AvailRate:    packet.InitialAvailRate,
-		LossTol:      s.cfg.LossTolerance,
-		EnergyBudget: s.energyBudget,
-		PayloadLen:   s.cfg.PayloadLen,
-	}
+	p := s.pool.Get()
+	p.Type = packet.Data
+	p.Src = s.cfg.Src
+	p.Dst = s.cfg.Dst
+	p.Flow = s.cfg.Flow
+	p.Seq = seq
+	p.AvailRate = packet.InitialAvailRate
+	p.LossTol = s.cfg.LossTolerance
+	p.EnergyBudget = s.energyBudget
+	p.PayloadLen = s.cfg.PayloadLen
 	if seq == 0 {
 		p.Flags |= packet.FlagFirst
 	}
@@ -200,10 +211,20 @@ func (s *Sender) buildData(seq uint32, retransmit bool) *packet.Packet {
 	return p
 }
 
-// Deliver handles feedback from the receiver (node.Transport).
+// Deliver handles feedback from the receiver (node.Transport). The source
+// is the terminal consumer of an ACK — caches only store DATA clones — so
+// the packet is recycled onto the network free-list afterwards.
 func (s *Sender) Deliver(seg mac.Segment, _ packet.NodeID) {
 	ack, ok := seg.(*packet.Packet)
-	if !ok || ack.Type != packet.Ack || ack.Ack == nil || s.done {
+	if !ok || ack.Type != packet.Ack {
+		return
+	}
+	s.processAck(ack)
+	s.pool.Put(ack)
+}
+
+func (s *Sender) processAck(ack *packet.Packet) {
+	if ack.Ack == nil || s.done {
 		return
 	}
 	s.stats.AcksReceived++
@@ -299,7 +320,7 @@ func (s *Sender) armTimeout() {
 	if d <= 0 {
 		d = sim.Second
 	}
-	s.timeoutRef = s.eng.Schedule(d, s.onTimeout)
+	s.timeoutRef = s.eng.Schedule(d, s.timeoutFn)
 }
 
 func (s *Sender) onTimeout() {

@@ -66,13 +66,14 @@ func Fig9Defaults(scale float64) Fig9Config {
 	}
 }
 
-// Fig9 reproduces Fig 9(a) energy/bit and Fig 9(b) goodput for linear
-// topologies. The (protocol × size × run) sweep executes on the campaign
-// engine; the historical seed schedule (Seed + run·1009) is preserved,
-// so results match the original serial implementation exactly.
-func Fig9(cfg Fig9Config) []*Fig9Point {
-	m := campaign.Matrix{
-		Name: "fig9",
+// fig9Matrix declares the Fig 9 campaign: the (protocol × size × run)
+// sweep with the historical seed schedule (Seed + run·1009), preserved
+// so results match the original serial implementation exactly. Fig9 and
+// Fig9CampaignBench share it, so the bench always measures the figure's
+// real workload.
+func fig9Matrix(name string, cfg Fig9Config) campaign.Matrix {
+	return campaign.Matrix{
+		Name: name,
 		Axes: []campaign.Axis{
 			{Name: "proto", Values: protocolValues(cfg.Protocols)},
 			{Name: "netSize", Values: campaign.Ints(cfg.Sizes...)},
@@ -82,7 +83,12 @@ func Fig9(cfg Fig9Config) []*Fig9Point {
 			return cfg.Seed + int64(run)*1009
 		},
 	}
-	rep := mustExecute(m, cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+}
+
+// Fig9 reproduces Fig 9(a) energy/bit and Fig 9(b) goodput for linear
+// topologies on the campaign engine.
+func Fig9(cfg Fig9Config) []*Fig9Point {
+	rep := mustExecute(fig9Matrix("fig9", cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
 		rec := runFig9Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
 		return campaign.Sample{
 			obsEnergyPerBit: rec.EnergyPerBit(),
@@ -99,6 +105,37 @@ func Fig9(cfg Fig9Config) []*Fig9Point {
 		}
 	}
 	return out
+}
+
+// Fig9BenchResult aggregates one Fig 9 campaign execution for the perf
+// harness (`jtpsim bench`): how many simulations ran and how many kernel
+// events they executed. Wall-clock is the caller's to measure.
+type Fig9BenchResult struct {
+	Runs   int
+	Cells  int
+	Events uint64
+}
+
+// Fig9CampaignBench executes the Fig 9 campaign exactly as Fig9 does —
+// same matrix, same seed schedule, same worker pool — and additionally
+// accounts kernel events, so the CLI can report runs/sec and events/sec
+// for the canonical campaign workload.
+func Fig9CampaignBench(cfg Fig9Config) Fig9BenchResult {
+	const obsEvents = "bench_events"
+	rep := mustExecute(fig9Matrix("fig9-bench", cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+		rec := runFig9Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
+		return campaign.Sample{
+			obsEnergyPerBit: rec.EnergyPerBit(),
+			obsGoodputBps:   rec.MeanGoodputBps(),
+			obsEvents:       float64(rec.Events),
+		}
+	})
+	res := Fig9BenchResult{Runs: rep.Runs, Cells: len(rep.Cells)}
+	for _, c := range rep.Cells {
+		r := c.Running(obsEvents)
+		res.Events += uint64(r.Sum())
+	}
+	return res
 }
 
 // runFig9Once runs one (protocol, size, seed) cell: two competing

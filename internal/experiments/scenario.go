@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/javelen/jtp/internal/cache"
 	"github.com/javelen/jtp/internal/channel"
@@ -167,6 +168,13 @@ type Hooks struct {
 	Plugin func(id packet.NodeID, pl *ijtp.Plugin)
 }
 
+// empty reports whether no probes are attached. Engine recycling is
+// gated on it — a hook may leak connections (and so engine references)
+// to the caller — so every field added to Hooks MUST be checked here.
+func (h Hooks) empty() bool {
+	return h.Network == nil && h.JTPConn == nil && h.Plugin == nil
+}
+
 // scheduledFlow guards a dialed transport flow against double-start
 // (a StopAt flow may be re-scheduled by figure code).
 type scheduledFlow struct {
@@ -192,18 +200,46 @@ type BuiltScenario struct {
 	flows []*scheduledFlow
 }
 
+// enginePool recycles simulation engines (and their event slabs) across
+// runs. Campaign workers churn through thousands of runs; reusing one
+// warm engine per worker instead of reallocating slab + heap per run is
+// the "per-worker scratch arena" of the perf refactor. Engine.Reset
+// reproduces NewEngine exactly, so pooling cannot perturb determinism.
+var enginePool = sync.Pool{New: func() any { return sim.NewEngine(0) }}
+
+// acquireEngine returns a reset engine seeded for one run.
+func acquireEngine(seed int64) *sim.Engine {
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset(seed)
+	return eng
+}
+
 // Run executes the scenario and aggregates a RunRecord. It returns an
 // error for invalid scenarios — notably a protocol with no registered
 // driver — instead of panicking.
 func Run(sc Scenario) (*metrics.RunRecord, error) { return RunWithHooks(sc, Hooks{}) }
 
-// RunWithHooks executes the scenario with probes attached.
+// RunWithHooks executes the scenario with probes attached. Hook-free runs
+// recycle their engine: once Run has collected the record nothing can
+// reach the substrate, so the engine (its event slab in particular) goes
+// back to the pool for the worker's next run. Runs with hooks — figure
+// probes may retain connections — keep their engine for the GC.
 func RunWithHooks(sc Scenario, hooks Hooks) (*metrics.RunRecord, error) {
 	b, err := BuildScenario(sc, hooks)
 	if err != nil {
 		return nil, err
 	}
-	return b.Run(), nil
+	rec := b.Run()
+	if hooks.empty() {
+		eng := b.eng
+		b.eng = nil
+		// Drop the pending-event handlers now, not at the next acquire:
+		// they close over the whole finished network graph, which would
+		// otherwise stay reachable while the engine sits in the pool.
+		eng.Reset(0)
+		enginePool.Put(eng)
+	}
+	return rec, nil
 }
 
 // must unwraps a Run/RunWithHooks result for scenarios whose validity
@@ -233,7 +269,7 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine(sc.Seed)
+	eng := acquireEngine(sc.Seed)
 
 	// ---- Substrate -------------------------------------------------
 	chCfg := channel.Defaults()
@@ -281,6 +317,10 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 		Energy:  energy.JAVeLEN(),
 		Budgets: sc.EnergyBudgets,
 	})
+	// All scenario traffic comes from the built-in drivers, whose
+	// endpoints obey the free-list ownership rules, so harness runs are
+	// always pooled.
+	nw.EnablePacketPool()
 
 	// ---- Protocol plumbing -----------------------------------------
 	netCfg := transport.NetConfig{
@@ -428,6 +468,9 @@ func (sc *Scenario) validate() error {
 	return nil
 }
 
+// Engine returns the scenario's simulation engine (perf harness probes).
+func (b *BuiltScenario) Engine() *sim.Engine { return b.eng }
+
 // Flows returns the dialed transport flows in scenario order.
 func (b *BuiltScenario) Flows() []transport.Flow {
 	out := make([]transport.Flow, len(b.flows))
@@ -450,6 +493,7 @@ func (b *BuiltScenario) Run() *metrics.RunRecord {
 		Seconds:       b.sc.Seconds,
 		TotalEnergy:   b.nw.TotalEnergy(),
 		PerNodeEnergy: b.nw.PerNodeEnergy(),
+		Events:        b.eng.Executed,
 		QueueDrops:    b.nw.QueueDrops(),
 	}
 	if len(b.sc.EnergyBudgets) > 0 {

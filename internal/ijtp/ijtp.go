@@ -138,6 +138,7 @@ type Plugin struct {
 	forward Forwarder
 	cache   *cache.Cache
 	count   Counters
+	served  []uint32 // serveSnack scratch, reused across ACKs
 
 	// Clock, when non-nil, supplies the current virtual time in seconds
 	// and enables deadline enforcement: expired real-time packets are
@@ -360,7 +361,7 @@ func (pl *Plugin) serveSnack(ack *packet.Packet) {
 	// The ACK flows dst→src of the data transfer: data packets were keyed
 	// (src=ack.Dst, dst=ack.Src).
 	dataSrc, dataDst := ack.Dst, ack.Src
-	var served []uint32
+	served := pl.served[:0]
 	for _, r := range ack.Ack.Snack {
 		for seq := r.First; ; seq++ {
 			pl.count.SnackSeen++
@@ -387,6 +388,7 @@ func (pl *Plugin) serveSnack(ack *packet.Packet) {
 		ack.Ack.Snack = packet.RemoveFromRanges(ack.Ack.Snack, seq)
 		ack.Ack.Recovered = mergeSeq(ack.Ack.Recovered, seq)
 	}
+	pl.served = served[:0]
 }
 
 // mergeSeq adds one sequence number to a range set, coalescing with an

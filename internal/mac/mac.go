@@ -128,6 +128,10 @@ type Frame struct {
 	MaxAttempts int
 	// Enqueued is when the frame entered the queue (for delay metrics).
 	Enqueued sim.Time
+
+	// ls caches the transmitter's per-link stats for To, resolved once at
+	// enqueue so transmission attempts skip the neighbor map.
+	ls *linkStats
 }
 
 // Config parameterizes the MAC.
@@ -188,6 +192,10 @@ type Env interface {
 	// a failed node's owned slots are wasted.
 	TransmitsAllowed(id packet.NodeID) bool
 	// DeliverUp hands a received frame to the network layer of node `at`.
+	// The frame is only valid for the duration of the call — the MAC
+	// recycles it as soon as DeliverUp returns (same contract as the
+	// Drops callback) — so implementations must copy anything they keep.
+	// The segment itself is not recycled here and may be retained.
 	DeliverUp(at packet.NodeID, fr *Frame)
 }
 
@@ -206,7 +214,17 @@ type MAC struct {
 	meter   *energy.Meter
 	plugins []Plugin
 
+	// queue is a fixed-capacity ring buffer of QueueCap frames: head is
+	// the next frame to transmit, frames push at the tail (or, for cache
+	// retransmissions, at the head) with no copying or allocation.
 	queue []*Frame
+	qhead int
+	qlen  int
+	// frFree recycles Frame structs: a frame slot returns here when its
+	// hop completes (delivered or dropped), so steady-state forwarding
+	// allocates no frames.
+	frFree []*Frame
+
 	links map[packet.NodeID]*linkStats
 
 	idleFrac    stats.EWMA // fraction of owned slots with nothing to send
@@ -214,6 +232,8 @@ type MAC struct {
 	ownSlotRate float64    // owned slots per second (set by the scheduler)
 
 	// Drops is invoked on every frame drop; the node layer counts them.
+	// The frame is recycled when the callback returns; observers must
+	// copy what they keep (the segment may be retained, the Frame not).
 	Drops func(fr *Frame, reason DropReason)
 
 	// Counters for metrics.
@@ -251,6 +271,7 @@ func New(eng *sim.Engine, id packet.NodeID, cfg Config, model energy.Model, mete
 		env:   env,
 		model: model,
 		meter: meter,
+		queue: make([]*Frame, cfg.QueueCap),
 		links: make(map[packet.NodeID]*linkStats),
 	}
 	m.idleFrac = *stats.NewEWMA(cfg.IdleAlpha)
@@ -270,23 +291,59 @@ func (m *MAC) Config() Config { return m.cfg }
 // installation order.
 func (m *MAC) AddPlugin(p Plugin) { m.plugins = append(m.plugins, p) }
 
+// getFrame takes a frame from the free-list (or the heap on a cold start)
+// and initializes it for one hop.
+func (m *MAC) getFrame(seg Segment, nextHop packet.NodeID) *Frame {
+	var fr *Frame
+	if n := len(m.frFree); n > 0 {
+		fr = m.frFree[n-1]
+		m.frFree = m.frFree[:n-1]
+	} else {
+		fr = new(Frame)
+	}
+	fr.Seg = seg
+	fr.From = m.id
+	fr.To = nextHop
+	fr.Attempts = 0
+	fr.MaxAttempts = m.cfg.DefaultAttempts
+	fr.Enqueued = m.eng.Now()
+	fr.ls = m.link(nextHop)
+	return fr
+}
+
+// releaseFrame recycles a frame whose hop has terminated. The segment
+// reference is dropped; the segment itself may live on (delivered, cached,
+// or awaiting GC after a drop).
+func (m *MAC) releaseFrame(fr *Frame) {
+	fr.Seg = nil
+	fr.ls = nil
+	m.frFree = append(m.frFree, fr)
+}
+
+// dropFull counts a queue-overflow drop and notifies, without retaining
+// the scratch frame.
+func (m *MAC) dropFull(seg Segment, nextHop packet.NodeID) {
+	m.queueDrops++
+	if m.Drops != nil {
+		fr := m.getFrame(seg, nextHop)
+		m.Drops(fr, DropQueue)
+		m.releaseFrame(fr)
+	}
+}
+
 // Enqueue queues a segment for transmission to nextHop. It reports false
 // (and counts a queue drop) when the queue is full.
 func (m *MAC) Enqueue(seg Segment, nextHop packet.NodeID) bool {
-	if len(m.queue) >= m.cfg.QueueCap {
-		m.queueDrops++
-		if m.Drops != nil {
-			m.Drops(&Frame{Seg: seg, From: m.id, To: nextHop}, DropQueue)
-		}
+	if m.qlen >= m.cfg.QueueCap {
+		m.dropFull(seg, nextHop)
 		return false
 	}
-	m.queue = append(m.queue, &Frame{
-		Seg:         seg,
-		From:        m.id,
-		To:          nextHop,
-		MaxAttempts: m.cfg.DefaultAttempts,
-		Enqueued:    m.eng.Now(),
-	})
+	tail := m.qhead + m.qlen
+	if tail >= len(m.queue) {
+		tail -= len(m.queue)
+	}
+	m.queue[tail] = m.getFrame(seg, nextHop)
+	m.qlen++
 	return true
 }
 
@@ -294,26 +351,21 @@ func (m *MAC) Enqueue(seg Segment, nextHop packet.NodeID) bool {
 // cache retransmissions so locally recovered packets reach the destination
 // before the next feedback window.
 func (m *MAC) EnqueueFront(seg Segment, nextHop packet.NodeID) bool {
-	if len(m.queue) >= m.cfg.QueueCap {
-		m.queueDrops++
-		if m.Drops != nil {
-			m.Drops(&Frame{Seg: seg, From: m.id, To: nextHop}, DropQueue)
-		}
+	if m.qlen >= m.cfg.QueueCap {
+		m.dropFull(seg, nextHop)
 		return false
 	}
-	fr := &Frame{
-		Seg:         seg,
-		From:        m.id,
-		To:          nextHop,
-		MaxAttempts: m.cfg.DefaultAttempts,
-		Enqueued:    m.eng.Now(),
+	m.qhead--
+	if m.qhead < 0 {
+		m.qhead += len(m.queue)
 	}
-	m.queue = append([]*Frame{fr}, m.queue...)
+	m.queue[m.qhead] = m.getFrame(seg, nextHop)
+	m.qlen++
 	return true
 }
 
 // QueueLen returns the number of frames waiting.
-func (m *MAC) QueueLen() int { return len(m.queue) }
+func (m *MAC) QueueLen() int { return m.qlen }
 
 // link returns (creating if needed) the stats for a neighbor.
 func (m *MAC) link(to packet.NodeID) *linkStats {
@@ -358,7 +410,7 @@ func (m *MAC) AvgAttempts() float64 {
 // avoid queue losses (§2.1.1).
 func (m *MAC) EffectiveAvailRate() float64 {
 	avail := m.AvailableRate() / m.AvgAttempts()
-	occupancy := float64(len(m.queue)) / float64(m.cfg.QueueCap)
+	occupancy := float64(m.qlen) / float64(m.cfg.QueueCap)
 	derate := 1 - 2*occupancy
 	if derate < 0 {
 		derate = 0
@@ -382,7 +434,7 @@ func (m *MAC) linkInfo(fr *Frame) LinkInfo {
 		To:           fr.To,
 		FirstAttempt: fr.Attempts == 0,
 		AttemptCost:  m.model.TxCost(size) + m.model.RxCost(size),
-		LossRate:     m.LinkLossRate(fr.To),
+		LossRate:     fr.ls.loss.Value(),
 		AvailRate:    m.EffectiveAvailRate(),
 		SlotShare:    m.ownSlotRate,
 	}
@@ -391,10 +443,10 @@ func (m *MAC) linkInfo(fr *Frame) LinkInfo {
 // ClearQueue discards all pending frames (node failure: the backlog
 // dies with the node).
 func (m *MAC) ClearQueue() {
-	for i := range m.queue {
-		m.queue[i] = nil
+	for m.qlen > 0 {
+		m.releaseFrame(m.popHead())
 	}
-	m.queue = m.queue[:0]
+	m.qhead = 0
 }
 
 // OwnSlot runs one owned TDMA slot: transmit the head frame if any,
@@ -403,12 +455,12 @@ func (m *MAC) OwnSlot() {
 	if !m.env.TransmitsAllowed(m.id) {
 		return
 	}
-	if len(m.queue) == 0 {
+	if m.qlen == 0 {
 		m.idleFrac.Add(1)
 		return
 	}
 	m.idleFrac.Add(0)
-	fr := m.queue[0]
+	fr := m.queue[m.qhead]
 
 	if !m.env.Reachable(m.id, fr.To) {
 		// Next hop moved away: the attempt fails without consuming air
@@ -427,6 +479,7 @@ func (m *MAC) OwnSlot() {
 			if m.Drops != nil {
 				m.Drops(fr, DropPlugin)
 			}
+			m.releaseFrame(fr)
 			return
 		}
 	}
@@ -438,14 +491,15 @@ func (m *MAC) OwnSlot() {
 	fr.Attempts++
 
 	if m.env.TransmitOK(m.id, fr.To) {
-		m.link(fr.To).loss.Add(0)
+		fr.ls.loss.Add(0)
 		m.txSuccess++
 		m.avgAttempts.Add(float64(fr.Attempts))
 		m.popHead()
 		m.env.DeliverUp(fr.To, fr)
+		m.releaseFrame(fr)
 		return
 	}
-	m.link(fr.To).loss.Add(1)
+	fr.ls.loss.Add(1)
 	m.retryOrDrop(fr)
 }
 
@@ -456,7 +510,7 @@ func (m *MAC) failAttempt(fr *Frame, chargeTx bool) {
 		m.txAttempts++
 	}
 	fr.Attempts++
-	m.link(fr.To).loss.Add(1)
+	fr.ls.loss.Add(1)
 	m.retryOrDrop(fr)
 }
 
@@ -471,12 +525,19 @@ func (m *MAC) retryOrDrop(fr *Frame) {
 	if m.Drops != nil {
 		m.Drops(fr, DropRetries)
 	}
+	m.releaseFrame(fr)
 }
 
-func (m *MAC) popHead() {
-	copy(m.queue, m.queue[1:])
-	m.queue[len(m.queue)-1] = nil
-	m.queue = m.queue[:len(m.queue)-1]
+// popHead removes and returns the head frame in O(1) (ring buffer).
+func (m *MAC) popHead() *Frame {
+	fr := m.queue[m.qhead]
+	m.queue[m.qhead] = nil
+	m.qhead++
+	if m.qhead == len(m.queue) {
+		m.qhead = 0
+	}
+	m.qlen--
+	return fr
 }
 
 // receive processes an incoming frame at this (receiving) MAC: charges

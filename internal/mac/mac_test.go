@@ -23,7 +23,9 @@ func (s *stubSeg) Label() string         { return "stub" }
 type stubEnv struct {
 	failNext  int // next N transmissions fail
 	unreached map[packet.NodeID]bool
-	delivered []*Frame
+	// delivered stores frame copies: the MAC recycles the *Frame as soon
+	// as DeliverUp returns (see Env), so retaining pointers is invalid.
+	delivered []Frame
 	macs      map[packet.NodeID]*MAC
 }
 
@@ -44,7 +46,7 @@ func (e *stubEnv) Reachable(from, to packet.NodeID) bool { return !e.unreached[t
 func (e *stubEnv) TransmitsAllowed(packet.NodeID) bool { return true }
 
 func (e *stubEnv) DeliverUp(at packet.NodeID, fr *Frame) {
-	e.delivered = append(e.delivered, fr)
+	e.delivered = append(e.delivered, *fr)
 	if m := e.macs[at]; m != nil {
 		m.Receive(fr)
 	}
@@ -373,5 +375,58 @@ func TestAvgAttemptsNormalization(t *testing.T) {
 	}
 	if m0.EffectiveAvailRate() >= m0.AvailableRate() {
 		t.Fatal("effective rate must be normalized down by attempts")
+	}
+}
+
+// TestRingQueueWrapAndFrontOrdering exercises the ring buffer across many
+// wraps, with EnqueueFront jumping the line each round.
+func TestRingQueueWrapAndFrontOrdering(t *testing.T) {
+	_, env, m0, _ := build(t)
+	next := byte(0)
+	for round := 0; round < 200; round++ {
+		a := &stubSeg{size: 10, dst: 1}
+		b := &stubSeg{size: 20, dst: 1}
+		c := &stubSeg{size: 30, dst: 1}
+		m0.Enqueue(a, 1)
+		m0.Enqueue(c, 1)
+		m0.EnqueueFront(b, 1)
+		// Expected service order: b (front), a, c.
+		for i := 0; i < 3; i++ {
+			m0.OwnSlot()
+		}
+		if len(env.delivered) != int(next)+3 {
+			t.Fatalf("round %d: delivered %d", round, len(env.delivered))
+		}
+		got := env.delivered[next:]
+		if got[0].Seg != b || got[1].Seg != a || got[2].Seg != c {
+			t.Fatalf("round %d: wrong order: %v %v %v", round, got[0].Seg, got[1].Seg, got[2].Seg)
+		}
+		next += 3
+		if next > 180 {
+			env.delivered = env.delivered[:0]
+			next = 0
+		}
+	}
+	if m0.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", m0.QueueLen())
+	}
+}
+
+// TestAllocsOwnSlot guards the per-slot MAC hot path: once frames and
+// link stats are warm, an enqueue + transmit + deliver cycle and an idle
+// slot must both be allocation-free.
+func TestAllocsOwnSlot(t *testing.T) {
+	_, _, m0, _ := build(t)
+	seg := &stubSeg{size: 100, src: 0, dst: 1}
+	// Warm the frame free-list and link stats.
+	m0.Enqueue(seg, 1)
+	m0.OwnSlot()
+	allocs := testing.AllocsPerRun(1000, func() {
+		m0.Enqueue(seg, 1)
+		m0.OwnSlot() // transmit + deliver
+		m0.OwnSlot() // idle slot
+	})
+	if allocs != 0 {
+		t.Fatalf("MAC slot allocates %.1f allocs/op, want 0", allocs)
 	}
 }

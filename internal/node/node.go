@@ -116,6 +116,13 @@ type Network struct {
 	budgets  []float64
 	maxEvent float64
 
+	// pool, when enabled, is the engine-wide packet free-list transports
+	// draw from and terminal consumers recycle into (see packet.Pool for
+	// the ownership rules). Nil unless EnablePacketPool was called; a nil
+	// pool degrades every pooled path to plain heap allocation, which
+	// keeps hand-built test networks oblivious to pooling.
+	pool *packet.Pool
+
 	// DropHook, when non-nil, observes every MAC-level frame drop.
 	DropHook func(at packet.NodeID, fr *mac.Frame, reason mac.DropReason)
 
@@ -186,6 +193,21 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // Engine returns the simulation engine the network runs on.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// EnablePacketPool switches the network's transports onto the shared
+// packet free-list. The experiment harness enables it for every scenario
+// run; hand-built networks (unit tests, user assemblies) stay unpooled
+// unless they opt in.
+func (nw *Network) EnablePacketPool() {
+	if nw.pool == nil {
+		nw.pool = new(packet.Pool)
+	}
+}
+
+// PacketPool returns the network's packet free-list, or nil when pooling
+// is disabled. All pool methods are nil-receiver safe, so callers use the
+// result unconditionally.
+func (nw *Network) PacketPool() *packet.Pool { return nw.pool }
 
 // Channel returns the wireless channel.
 func (nw *Network) Channel() *channel.Channel { return nw.chann }
@@ -347,7 +369,9 @@ func (nw *Network) SendFrom(src packet.NodeID, seg mac.Segment) bool {
 		nd.count.NoRoute++
 		return false
 	}
-	nw.traceSeg(src, trace.Enqueue, seg, "to "+nh.String())
+	if nw.Tracer != nil { // don't format next-hop labels on the warm path
+		nw.traceSeg(src, trace.Enqueue, seg, "to "+nh.String())
+	}
 	return nd.MAC.Enqueue(seg, nh)
 }
 

@@ -387,8 +387,15 @@ func (p *Packet) Quantize() {
 func (p *Packet) EncodedSize() int { return p.Size() - p.Pad }
 
 // Encode appends the wire representation to dst and returns the extended
-// slice. Payload bytes are zero-filled (the simulator carries no payload).
-func (p *Packet) Encode(dst []byte) ([]byte, error) {
+// slice. It is a synonym for AppendEncode, kept for callers that predate
+// the pooled codec paths.
+func (p *Packet) Encode(dst []byte) ([]byte, error) { return p.AppendEncode(dst) }
+
+// AppendEncode appends the wire representation to dst and returns the
+// extended slice. Payload bytes are zero-filled (the simulator carries no
+// payload). When dst has capacity for the encoding, no allocation is
+// performed — callers on hot paths reuse one buffer across packets.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
 	if p.Type != Data && p.Type != Ack {
 		return dst, ErrBadType
 	}
@@ -440,8 +447,16 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 		}
 	}
 
-	// Zero-filled payload.
-	dst = append(dst, make([]byte, p.PayloadLen)...)
+	// Zero-filled payload, without a scratch allocation: grow in place
+	// when capacity allows (the reuse case), fall back to one amortized
+	// append-grow otherwise.
+	n := len(dst)
+	if total := n + p.PayloadLen; cap(dst) >= total {
+		dst = dst[:total]
+		clear(dst[n:])
+	} else {
+		dst = append(dst, make([]byte, p.PayloadLen)...)
+	}
 	return dst, nil
 }
 
@@ -449,25 +464,45 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 // block. The codec infers it from the type: ACK packets always carry one.
 func hasAckBlock(t Type) bool { return t == Ack }
 
-// Decode parses one packet from buf, returning the packet and the number
-// of bytes consumed.
+// Decode parses one packet from buf, returning a freshly allocated packet
+// and the number of bytes consumed.
 func Decode(buf []byte) (*Packet, int, error) {
+	p := new(Packet)
+	n, err := p.DecodeInto(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, n, nil
+}
+
+// DecodeInto parses one packet from buf into p, overwriting every field,
+// and returns the number of bytes consumed. The receiver's existing
+// AckInfo block and SNACK/recovered range capacity are reused, so a
+// steady stream of same-shape packets (e.g. range-carrying ACKs) decodes
+// with zero allocations once buffers have reached their steady-state
+// sizes. Shape changes forfeit the reuse: decoding a DATA image drops
+// the AckInfo block, and an empty SNACK/recovered set decodes to a nil
+// slice (Decode parity), releasing that capacity. On error p is left in
+// an unspecified state.
+func (p *Packet) DecodeInto(buf []byte) (int, error) {
 	if len(buf) < DataHeaderSize {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
 	if buf[0]>>4 != Version {
-		return nil, 0, ErrBadVersion
+		return 0, ErrBadVersion
 	}
-	p := &Packet{
-		Type:  Type(buf[0] & 0x0F),
+	t := Type(buf[0] & 0x0F)
+	if t != Data && t != Ack {
+		return 0, ErrBadType
+	}
+	ack := p.Ack // reusable block, reattached below when present on the wire
+	*p = Packet{
+		Type:  t,
 		Flags: buf[1],
 		Src:   NodeID(binary.BigEndian.Uint16(buf[2:])),
 		Dst:   NodeID(binary.BigEndian.Uint16(buf[4:])),
 		Flow:  FlowID(binary.BigEndian.Uint16(buf[6:])),
 		Seq:   binary.BigEndian.Uint32(buf[8:]),
-	}
-	if p.Type != Data && p.Type != Ack {
-		return nil, 0, ErrBadType
 	}
 	p.AvailRate = decodeRate(binary.BigEndian.Uint32(buf[12:]))
 	p.LossTol = decodeLoss(binary.BigEndian.Uint16(buf[16:]))
@@ -478,7 +513,7 @@ func Decode(buf []byte) (*Packet, int, error) {
 
 	if p.Flags&FlagDeadline != 0 {
 		if len(buf) < n+DeadlineExtSize {
-			return nil, 0, ErrShortBuffer
+			return 0, ErrShortBuffer
 		}
 		p.Deadline = decodeTimeout(binary.BigEndian.Uint32(buf[n:]))
 		n += DeadlineExtSize
@@ -486,48 +521,152 @@ func Decode(buf []byte) (*Packet, int, error) {
 
 	if hasAckBlock(p.Type) {
 		if len(buf) < n+AckFixedSize {
-			return nil, 0, ErrShortBuffer
+			return 0, ErrShortBuffer
 		}
-		a := &AckInfo{
+		if ack == nil {
+			ack = new(AckInfo)
+		}
+		*ack = AckInfo{
 			CumAck:        binary.BigEndian.Uint32(buf[n:]),
 			Rate:          decodeRate(binary.BigEndian.Uint32(buf[n+4:])),
 			EnergyBudget:  decodeEnergy(binary.BigEndian.Uint32(buf[n+8:])),
 			SenderTimeout: decodeTimeout(binary.BigEndian.Uint32(buf[n+12:])),
+			Snack:         ack.Snack[:0],
+			Recovered:     ack.Recovered[:0],
 		}
 		ns, nr := int(buf[n+16]), int(buf[n+17])
 		n += AckFixedSize
 		need := RangeSize * (ns + nr)
 		if len(buf) < n+need {
-			return nil, 0, ErrShortBuffer
+			return 0, ErrShortBuffer
 		}
-		if ns > 0 {
-			a.Snack = make([]SeqRange, ns)
-			for i := 0; i < ns; i++ {
-				a.Snack[i] = SeqRange{
-					First: binary.BigEndian.Uint32(buf[n:]),
-					Last:  binary.BigEndian.Uint32(buf[n+4:]),
-				}
-				n += RangeSize
-			}
+		for i := 0; i < ns; i++ {
+			ack.Snack = append(ack.Snack, SeqRange{
+				First: binary.BigEndian.Uint32(buf[n:]),
+				Last:  binary.BigEndian.Uint32(buf[n+4:]),
+			})
+			n += RangeSize
 		}
-		if nr > 0 {
-			a.Recovered = make([]SeqRange, nr)
-			for i := 0; i < nr; i++ {
-				a.Recovered[i] = SeqRange{
-					First: binary.BigEndian.Uint32(buf[n:]),
-					Last:  binary.BigEndian.Uint32(buf[n+4:]),
-				}
-				n += RangeSize
-			}
+		for i := 0; i < nr; i++ {
+			ack.Recovered = append(ack.Recovered, SeqRange{
+				First: binary.BigEndian.Uint32(buf[n:]),
+				Last:  binary.BigEndian.Uint32(buf[n+4:]),
+			})
+			n += RangeSize
 		}
-		p.Ack = a
+		if ns == 0 {
+			ack.Snack = nil
+		}
+		if nr == 0 {
+			ack.Recovered = nil
+		}
+		p.Ack = ack
 	}
 
 	if len(buf) < n+p.PayloadLen {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
 	n += p.PayloadLen
-	return p, n, nil
+	return n, nil
+}
+
+// Pool is a packet free-list. Each simulation engine (network) owns one:
+// transports acquire packets from it instead of the heap and the terminal
+// consumer of a packet — the endpoint a DATA packet is delivered to, the
+// source an ACK is delivered to, an evicting cache — recycles it, so
+// steady-state traffic stops allocating packets.
+//
+// Ownership rule (see DESIGN.md "Performance & memory model"): a packet
+// may be recycled only by code that can prove it holds the last
+// reference. In this repository that is true at exactly the terminal
+// points above, because the in-network caches store and serve clones,
+// never the traversing packet itself. Packets that drop inside the
+// network (retry exhaustion, queue overflow, plugin veto) are deliberately
+// NOT recycled — drop hooks and tracers may still observe them — and are
+// reclaimed by the garbage collector as before.
+//
+// Pool is not safe for concurrent use; like the Engine it belongs to a
+// single simulation goroutine. The zero value is ready to use, and a nil
+// *Pool is valid: Get falls back to the heap and Put discards, so pooling
+// is strictly opt-in per network. (internal/pool.FreeList is the generic
+// sibling for transports with standalone segment types; Pool stays
+// hand-rolled because it recycles a paired Packet+AckInfo with detach
+// logic and Decode-parity constraints on the range slices.)
+type Pool struct {
+	pkts []*Packet
+	acks []*AckInfo
+}
+
+// Get returns a zeroed packet, recycled when the free-list is non-empty.
+func (pl *Pool) Get() *Packet {
+	if pl == nil || len(pl.pkts) == 0 {
+		return new(Packet)
+	}
+	p := pl.pkts[len(pl.pkts)-1]
+	pl.pkts = pl.pkts[:len(pl.pkts)-1]
+	return p
+}
+
+// GetAck returns a zeroed feedback block whose SNACK/recovered slices
+// keep their recycled capacity (presented empty, non-nil only while
+// capacity exists).
+func (pl *Pool) GetAck() *AckInfo {
+	if pl == nil || len(pl.acks) == 0 {
+		return new(AckInfo)
+	}
+	a := pl.acks[len(pl.acks)-1]
+	pl.acks = pl.acks[:len(pl.acks)-1]
+	return a
+}
+
+// Put recycles a packet (and its feedback block, if any) onto the
+// free-list. The caller must hold the last reference; the packet is
+// zeroed here so use-after-put surfaces as obviously-wrong field values
+// rather than silent corruption. Put(nil) and puts on a nil pool are
+// no-ops.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if a := p.Ack; a != nil {
+		*a = AckInfo{Snack: a.Snack[:0], Recovered: a.Recovered[:0]}
+		pl.acks = append(pl.acks, a)
+	}
+	*p = Packet{}
+	pl.pkts = append(pl.pkts, p)
+}
+
+// CloneInto copies p into dst (both non-nil), giving caches an
+// allocation-free alternative to Clone when dst comes from a Pool.
+// Feedback blocks are deep-copied into dst's (possibly recycled) block.
+func (p *Packet) CloneInto(dst *Packet, pl *Pool) {
+	ack := dst.Ack
+	*dst = *p
+	if p.Ack == nil {
+		dst.Ack = nil
+		if ack != nil {
+			*ack = AckInfo{Snack: ack.Snack[:0], Recovered: ack.Recovered[:0]}
+			if pl != nil {
+				pl.acks = append(pl.acks, ack)
+			}
+		}
+		return
+	}
+	if ack == nil {
+		if pl != nil {
+			ack = pl.GetAck()
+		} else {
+			ack = new(AckInfo)
+		}
+	}
+	// Keep dst's own range buffers: copy the source ranges into them
+	// rather than aliasing the source's arrays (iJTP mutates served ACK
+	// ranges in place).
+	snack, recovered := ack.Snack[:0], ack.Recovered[:0]
+	*ack = *p.Ack
+	ack.Snack = append(snack, p.Ack.Snack...)
+	ack.Recovered = append(recovered, p.Ack.Recovered...)
+	dst.Ack = ack
 }
 
 // RangesFromSeqs compresses a sorted-or-unsorted set of sequence numbers

@@ -19,8 +19,6 @@
 package routing
 
 import (
-	"sort"
-
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/sim"
 )
@@ -64,46 +62,62 @@ func (v *View) Hops(dst packet.NodeID) int {
 // buildView computes shortest paths from src by BFS over the current
 // adjacency, with neighbors visited in id order for determinism.
 func buildView(dir Directory, src packet.NodeID, at sim.Time) *View {
+	return buildViewInto(nil, nil, dir, src, at)
+}
+
+// buildViewInto is buildView with caller-owned buffers: v (the view to
+// overwrite, nil to allocate) and scratch (the BFS queue). Routers
+// double-buffer their views through it so periodic refreshes under
+// mobility stop allocating.
+func buildViewInto(v *View, scratch []packet.NodeID, dir Directory, src packet.NodeID, at sim.Time) *View {
 	n := dir.N()
-	v := &View{
-		UpdatedAt: at,
-		next:      make([]packet.NodeID, n),
-		hops:      make([]int, n),
+	if v == nil {
+		v = &View{}
 	}
+	v.UpdatedAt = at
+	v.next = resizeIDs(v.next, n)
+	v.hops = resizeInts(v.hops, n)
 	for i := range v.hops {
 		v.hops[i] = -1
 	}
 	v.hops[src] = 0
 	v.next[src] = src
 
-	// first hop on the path; computed by BFS outward from src
-	queue := []packet.NodeID{src}
-	neighbors := make([]packet.NodeID, 0, n)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		neighbors = neighbors[:0]
+	// first hop on the path; computed by BFS outward from src. The inner
+	// scan visits candidate neighbors in ascending id order, which is
+	// exactly the deterministic visit order BFS needs — no sort.
+	queue := append(scratch[:0], src)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		for w := 0; w < n; w++ {
 			id := packet.NodeID(w)
-			if id != u && dir.Linked(u, id) {
-				neighbors = append(neighbors, id)
-			}
-		}
-		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
-		for _, w := range neighbors {
-			if v.hops[w] >= 0 {
+			if id == u || v.hops[id] >= 0 || !dir.Linked(u, id) {
 				continue
 			}
-			v.hops[w] = v.hops[u] + 1
+			v.hops[id] = v.hops[u] + 1
 			if u == src {
-				v.next[w] = w
+				v.next[id] = id
 			} else {
-				v.next[w] = v.next[u]
+				v.next[id] = v.next[u]
 			}
-			queue = append(queue, w)
+			queue = append(queue, id)
 		}
 	}
 	return v
+}
+
+func resizeIDs(s []packet.NodeID, n int) []packet.NodeID {
+	if cap(s) < n {
+		return make([]packet.NodeID, n)
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Config parameterizes the routing layer.
@@ -128,7 +142,12 @@ type Router struct {
 	eng  *sim.Engine
 	cfg  Config
 	view *View
-	tick *sim.Ticker
+	// spare is the double-buffered view the next Refresh writes into
+	// (readers may hold r.view only until the next refresh); scratch is
+	// the reusable BFS queue.
+	spare   *View
+	scratch []packet.NodeID
+	tick    *sim.Ticker
 }
 
 // New returns a router for node id over the directory.
@@ -152,9 +171,15 @@ func (r *Router) Stop() {
 	}
 }
 
-// Refresh recomputes the view from the directory immediately.
+// Refresh recomputes the view from the directory immediately, reusing
+// the router's spare view buffers.
 func (r *Router) Refresh() {
-	r.view = buildView(r.dir, r.id, r.eng.Now())
+	if r.scratch == nil {
+		r.scratch = make([]packet.NodeID, 0, r.dir.N())
+	}
+	next := buildViewInto(r.spare, r.scratch, r.dir, r.id, r.eng.Now())
+	r.spare = r.view
+	r.view = next
 }
 
 // NextHop returns the next hop toward dst according to this node's
@@ -172,5 +197,8 @@ func (r *Router) HopsTo(dst packet.NodeID) int {
 	return r.view.Hops(dst)
 }
 
-// View returns the current snapshot (for tests and tracing).
+// View returns the current view (for tests and tracing). Views are
+// double-buffered, not immutable: the returned pointer is rewritten in
+// place by the second-next Refresh, so callers comparing routes across
+// refreshes must copy what they need first.
 func (r *Router) View() *View { return r.view }

@@ -234,3 +234,231 @@ func TestPendingEvents(t *testing.T) {
 		t.Fatalf("pending after stop = %d, want 1", e.PendingEvents())
 	}
 }
+
+// TestStopRemovesEagerly pins the eager-removal contract: a cancelled
+// event leaves the queue immediately instead of lingering as a tombstone
+// until its timestamp pops. Long runs with timer churn (MAC retransmit +
+// transport pacing timers re-armed far in the future) would otherwise
+// grow the heap without bound.
+func TestStopRemovesEagerly(t *testing.T) {
+	e := NewEngine(1)
+	// Schedule/cancel churn: each iteration arms a far-future timer and
+	// cancels the previous one, the pattern of a pacing timer that is
+	// re-armed on every packet.
+	var ref EventRef
+	maxPending := 0
+	for i := 0; i < 100000; i++ {
+		ref.Stop()
+		ref = e.Schedule(1000*Second, func() {})
+		if n := e.PendingEvents(); n > maxPending {
+			maxPending = n
+		}
+	}
+	if maxPending > 1 {
+		t.Fatalf("schedule/cancel churn grew the queue to %d events, want ≤ 1", maxPending)
+	}
+	// The slab must also stay bounded: churn recycles one slot.
+	if n := len(e.slab); n > 2 {
+		t.Fatalf("slab grew to %d slots under 1-deep churn, want ≤ 2", n)
+	}
+}
+
+// TestQueueBoundedUnderMixedChurn drives many interleaved timers through
+// schedule/cancel cycles and checks the queue tracks only live events.
+func TestQueueBoundedUnderMixedChurn(t *testing.T) {
+	e := NewEngine(3)
+	const timers = 64
+	refs := make([]EventRef, timers)
+	for round := 0; round < 2000; round++ {
+		i := e.Rand().Intn(timers)
+		refs[i].Stop()
+		refs[i] = e.Schedule(Duration(1+e.Rand().Int63n(int64(100*Second))), func() {})
+		if n := e.PendingEvents(); n > timers {
+			t.Fatalf("round %d: %d pending events for %d live timers", round, n, timers)
+		}
+	}
+	live := 0
+	for _, r := range refs {
+		if r.Pending() {
+			live++
+		}
+	}
+	if e.PendingEvents() != live {
+		t.Fatalf("queue length %d != live refs %d", e.PendingEvents(), live)
+	}
+}
+
+// TestStaleRefAfterSlotReuse pins the generation check: once an event has
+// fired and its slot has been recycled by a new event, the old reference
+// must stay inert and must not cancel the new tenant.
+func TestStaleRefAfterSlotReuse(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.Schedule(Second, func() {})
+	e.RunUntil(Time(2 * Second)) // fires; slot returns to the free-list
+	ran := false
+	fresh := e.Schedule(Second, func() { ran = true }) // recycles the slot
+	if stale.Pending() {
+		t.Fatal("fired ref reports pending after slot reuse")
+	}
+	if stale.Stop() {
+		t.Fatal("fired ref Stop reported true after slot reuse")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Stop cancelled the slot's new tenant")
+	}
+	e.RunUntil(Time(4 * Second))
+	if !ran {
+		t.Fatal("new tenant did not run")
+	}
+}
+
+// TestStopInsideOwnHandler pins that a handler cancelling its own (already
+// fired) reference is a no-op, as before the slab refactor.
+func TestStopInsideOwnHandler(t *testing.T) {
+	e := NewEngine(1)
+	var ref EventRef
+	stopped := true
+	ref = e.Schedule(Second, func() { stopped = ref.Stop() })
+	e.RunUntil(Time(2 * Second))
+	if stopped {
+		t.Fatal("Stop on the currently executing event should report false")
+	}
+}
+
+// TestHeapOrderRandomized cross-checks the 4-ary heap against a reference
+// sort over a large random schedule, including interleaved cancellations.
+func TestHeapOrderRandomized(t *testing.T) {
+	e := NewEngine(17)
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var want []ev
+	var got []ev
+	seq := 0
+	refs := make([]EventRef, 0, 4096)
+	kept := make([]ev, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		at := Time(e.Rand().Int63n(int64(50 * Second)))
+		s := seq
+		seq++
+		refs = append(refs, e.ScheduleAt(at, func() { got = append(got, ev{0, s}) }))
+		kept = append(kept, ev{at, s})
+	}
+	// Cancel a third of them.
+	cancelled := map[int]bool{}
+	for i := 0; i < 4096/3; i++ {
+		k := e.Rand().Intn(len(refs))
+		if refs[k].Stop() {
+			cancelled[k] = true
+		}
+	}
+	for i, k := range kept {
+		if !cancelled[i] {
+			want = append(want, k)
+		}
+	}
+	// Reference order: (at, seq) ascending; insertion seq is monotone in
+	// engine seq, so a stable sort by at reproduces the contract.
+	for i := 1; i < len(want); i++ {
+		for j := i; j > 0 && (want[j].at < want[j-1].at); j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	e.Drain()
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].seq != want[i].seq {
+			t.Fatalf("order diverged at %d: got seq %d want %d", i, got[i].seq, want[i].seq)
+		}
+	}
+}
+
+// TestResetReproducesFreshEngine pins Engine.Reset: a reset engine must be
+// indistinguishable from a new one — same RNG stream, same event order,
+// same clock — while stale refs from before the reset stay inert.
+func TestResetReproducesFreshEngine(t *testing.T) {
+	trace := func(e *Engine) []float64 {
+		var vals []float64
+		e.NewJitteredTicker(Second, 300*Millisecond, func() { vals = append(vals, e.Rand().Float64()) })
+		e.Schedule(5*Second, func() { vals = append(vals, -1) })
+		e.RunUntil(Time(10 * Second))
+		return vals
+	}
+	fresh := trace(NewEngine(42))
+
+	reused := NewEngine(7)
+	leftover := reused.Schedule(500*Second, func() {})
+	trace(reused) // dirty the slab and RNG
+	reused.Reset(42)
+	if reused.Now() != 0 || reused.PendingEvents() != 0 || reused.Executed != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d executed=%d",
+			reused.Now(), reused.PendingEvents(), reused.Executed)
+	}
+	if leftover.Pending() {
+		t.Fatal("pre-reset ref still pending")
+	}
+	if leftover.Stop() {
+		t.Fatal("pre-reset ref Stop reported true")
+	}
+	again := trace(reused)
+	if len(fresh) != len(again) {
+		t.Fatalf("reset run length %d != fresh run length %d", len(again), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != again[i] {
+			t.Fatalf("reset run diverged at %d: %v vs %v", i, again[i], fresh[i])
+		}
+	}
+}
+
+// TestAllocsScheduleSteadyState guards the kernel hot path: once the slab
+// has reached its high-water mark, schedule/fire cycles must not allocate.
+func TestAllocsScheduleSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	var fn Handler
+	fn = func() { e.Schedule(Millisecond, fn) } // self-rescheduling timer
+	for i := 0; i < 64; i++ {
+		e.Schedule(Millisecond, fn)
+	}
+	e.RunFor(Second) // warm the slab and heap to steady state
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunFor(10 * Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule/RunUntil allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsScheduleStopChurn guards the cancel path: re-arming a timer
+// (Stop + Schedule) must not allocate either.
+func TestAllocsScheduleStopChurn(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	var ref EventRef
+	ref = e.Schedule(Second, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ref.Stop()
+		ref = e.Schedule(Second, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("stop/re-schedule churn allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsTicker guards the periodic path: a running ticker must not
+// allocate per tick.
+func TestAllocsTicker(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.NewTicker(Millisecond, func() { n++ })
+	e.RunFor(Second) // steady state
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunFor(10 * Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}

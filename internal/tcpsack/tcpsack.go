@@ -18,6 +18,7 @@ import (
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/node"
 	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/pool"
 	"github.com/javelen/jtp/internal/sim"
 	"github.com/javelen/jtp/internal/stats"
 )
@@ -94,6 +95,22 @@ func (s *Segment) String() string {
 var _ mac.Segment = (*Segment)(nil)
 var _ node.Transport = (*Sender)(nil)
 var _ node.Transport = (*Receiver)(nil)
+
+// segPool is a per-connection segment free-list. TCP segments have one
+// terminal consumer each — DATA at the receiver, ACKs at the sender;
+// nothing in the network retains them — so each endpoint recycles what it
+// is delivered and both ends draw from the shared pool. A nil pool
+// (endpoints built without Dial) degrades to heap allocation.
+type segPool = pool.FreeList[Segment]
+
+func newSegPool() *segPool {
+	return pool.New(func(s *Segment) {
+		// Sack capacity is retained for a future in-place SACK builder;
+		// today sendAck overwrites it with sackBlocks()'s fresh ranges
+		// (one small allocation per delayed ACK, a cold path).
+		*s = Segment{Sack: s.Sack[:0]}
+	})
+}
 
 // Config parameterizes a TCP-SACK connection.
 type Config struct {
@@ -227,6 +244,10 @@ type Sender struct {
 	done    bool
 	stats   SenderStats
 
+	segs   *segPool
+	paceFn sim.Handler
+	rtoFn  sim.Handler
+
 	// OnComplete fires when a fixed transfer finishes.
 	OnComplete func(at sim.Time)
 }
@@ -244,6 +265,8 @@ func NewSender(nw *node.Network, cfg Config) *Sender {
 	}
 	s.lossEst = *stats.NewEWMA(0.1)
 	s.lossEst.Set(0.01)
+	s.paceFn = s.pace
+	s.rtoFn = s.onRTO
 	return s
 }
 
@@ -271,7 +294,7 @@ func (s *Sender) Stop() {
 
 func (s *Sender) schedulePace(d sim.Duration) {
 	s.paceRef.Stop()
-	s.paceRef = s.eng.Schedule(d, s.pace)
+	s.paceRef = s.eng.Schedule(d, s.paceFn)
 }
 
 func (s *Sender) interPacket() sim.Duration {
@@ -329,15 +352,14 @@ func (s *Sender) sendData(seq uint32, retx bool) {
 	} else {
 		s.stats.DataSent++
 	}
-	seg := &Segment{
-		Kind:       Data,
-		Src:        s.cfg.Src,
-		Dst:        s.cfg.Dst,
-		Flow:       s.cfg.Flow,
-		Seq:        seq,
-		PayloadLen: s.cfg.PayloadLen,
-		Retx:       retx,
-	}
+	seg := s.segs.Get()
+	seg.Kind = Data
+	seg.Src = s.cfg.Src
+	seg.Dst = s.cfg.Dst
+	seg.Flow = s.cfg.Flow
+	seg.Seq = seq
+	seg.PayloadLen = s.cfg.PayloadLen
+	seg.Retx = retx
 	s.net.SendFrom(s.cfg.Src, seg)
 	s.armRTO()
 }
@@ -368,7 +390,7 @@ func (s *Sender) rto() float64 {
 
 func (s *Sender) armRTO() {
 	s.rtoRef.Stop()
-	s.rtoRef = s.eng.Schedule(sim.DurationOf(s.rto()), s.onRTO)
+	s.rtoRef = s.eng.Schedule(sim.DurationOf(s.rto()), s.rtoFn)
 }
 
 func (s *Sender) onRTO() {
@@ -422,10 +444,19 @@ func (s *Sender) updateRate() {
 	s.rate = r
 }
 
-// Deliver processes an ACK (node.Transport).
+// Deliver processes an ACK (node.Transport) and recycles it: the source
+// is an ACK's terminal consumer.
 func (s *Sender) Deliver(seg mac.Segment, _ packet.NodeID) {
 	ack, ok := seg.(*Segment)
-	if !ok || ack.Kind != Ack || s.done {
+	if !ok || ack.Kind != Ack {
+		return
+	}
+	s.processAck(ack)
+	s.segs.Put(ack)
+}
+
+func (s *Sender) processAck(ack *Segment) {
+	if s.done {
 		return
 	}
 	now := s.eng.Now()
@@ -543,6 +574,9 @@ type Receiver struct {
 	stats       ReceiverStats
 	reception   stats.Series
 
+	segs    *segPool
+	delayFn sim.Handler
+
 	// OnComplete fires when the fixed transfer is fully received.
 	OnComplete func(at sim.Time)
 }
@@ -550,12 +584,18 @@ type Receiver struct {
 // NewReceiver builds the sink.
 func NewReceiver(nw *node.Network, cfg Config) *Receiver {
 	cfg = cfg.withDefaults()
-	return &Receiver{
+	r := &Receiver{
 		cfg:      cfg,
 		net:      nw,
 		eng:      nw.Engine(),
 		received: make(map[uint32]bool),
 	}
+	r.delayFn = func() {
+		if r.pendingAcks > 0 {
+			r.sendAck()
+		}
+	}
+	return r
 }
 
 // Stats returns a copy of the counters.
@@ -576,12 +616,18 @@ func (r *Receiver) Stop() {
 	r.net.Unbind(r.cfg.Dst, r.cfg.Flow)
 }
 
-// Deliver processes a DATA segment (node.Transport).
+// Deliver processes a DATA segment (node.Transport) and recycles it: the
+// sink is a DATA segment's terminal consumer.
 func (r *Receiver) Deliver(seg mac.Segment, _ packet.NodeID) {
 	d, ok := seg.(*Segment)
 	if !ok || d.Kind != Data {
 		return
 	}
+	r.processData(d)
+	r.segs.Put(d)
+}
+
+func (r *Receiver) processData(d *Segment) {
 	r.stats.DataReceived++
 	outOfOrder := r.gotAny && d.Seq != r.highest+1 && d.Seq != r.cum
 	if r.received[d.Seq] {
@@ -621,11 +667,7 @@ func (r *Receiver) Deliver(seg mac.Segment, _ packet.NodeID) {
 		return
 	}
 	if !r.delayRef.Pending() {
-		r.delayRef = r.eng.Schedule(sim.DurationOf(r.cfg.DelayedAckTimeout), func() {
-			if r.pendingAcks > 0 {
-				r.sendAck()
-			}
-		})
+		r.delayRef = r.eng.Schedule(sim.DurationOf(r.cfg.DelayedAckTimeout), r.delayFn)
 	}
 }
 
@@ -653,14 +695,13 @@ func (r *Receiver) sackBlocks() []packet.SeqRange {
 func (r *Receiver) sendAck() {
 	r.delayRef.Stop()
 	r.pendingAcks = 0
-	ack := &Segment{
-		Kind:   Ack,
-		Src:    r.cfg.Dst,
-		Dst:    r.cfg.Src,
-		Flow:   r.cfg.Flow,
-		CumAck: r.cum,
-		Sack:   r.sackBlocks(),
-	}
+	ack := r.segs.Get()
+	ack.Kind = Ack
+	ack.Src = r.cfg.Dst
+	ack.Dst = r.cfg.Src
+	ack.Flow = r.cfg.Flow
+	ack.CumAck = r.cum
+	ack.Sack = r.sackBlocks()
 	r.net.SendFrom(r.cfg.Dst, ack)
 	r.stats.AcksSent++
 }
@@ -671,9 +712,15 @@ type Connection struct {
 	Receiver *Receiver
 }
 
-// Dial builds both endpoints.
+// Dial builds both endpoints, sharing one segment free-list between them
+// (the receiver recycles the sender's DATA, the sender the receiver's
+// ACKs).
 func Dial(nw *node.Network, cfg Config) *Connection {
-	return &Connection{Sender: NewSender(nw, cfg), Receiver: NewReceiver(nw, cfg)}
+	c := &Connection{Sender: NewSender(nw, cfg), Receiver: NewReceiver(nw, cfg)}
+	pool := newSegPool()
+	c.Sender.segs = pool
+	c.Receiver.segs = pool
+	return c
 }
 
 // Start starts receiver then sender.
