@@ -1,21 +1,30 @@
 package main
 
-// jtpsim bench: the reproducible perf harness. It executes the Fig 9
-// campaign (the paper's heaviest sweep shape) on the campaign engine,
-// measures wall-clock, runs/sec and kernel events/sec, re-checks the
-// allocation-free guarantees of the guarded hot paths with
-// testing.AllocsPerRun, and emits a machine-readable JSON report
-// (BENCH_PR4.json by default) so perf trajectories can be compared
+// jtpsim bench: the reproducible perf harness. It executes a canonical
+// campaign preset on the campaign engine, measures wall-clock, runs/sec
+// and kernel events/sec, re-checks the allocation-free guarantees of the
+// guarded hot paths with testing.AllocsPerRun, and emits a
+// machine-readable JSON report so perf trajectories can be compared
 // across PRs and machines:
 //
-//	jtpsim bench                      # default reduced campaign
-//	jtpsim bench -scale 0.5 -par 8    # heavier sweep, 8 workers
-//	jtpsim bench -out BENCH_PR4.json  # where to write the report
+//	jtpsim bench                        # fig9 preset (BENCH_PR4.json)
+//	jtpsim bench -preset mobile         # large-n mobile RGG tier (BENCH_PR5.json)
+//	jtpsim bench -scale 0.5 -par 8      # heavier sweep, 8 workers
+//	jtpsim bench -out report.json       # where to write the report
+//
+// Presets:
+//
+//   - fig9: the paper's heaviest static sweep shape (linear chains,
+//     protocol × size × run), the PR 4 hot-path workload.
+//   - mobile: large-n random geometric graphs under random-waypoint
+//     motion at the paper's speeds — the topology-dependent link-state
+//     workload the PR 5 epoch-cached adjacency substrate targets.
 //
 // The guarded hot paths (steady-state kernel scheduling, packet codec
-// round-trip, per-slot MAC tick via an idle chain) must report 0
-// allocs/op; the report records them and `bench -check` exits non-zero
-// on any regression, which is what the CI bench job runs.
+// round-trip, per-slot MAC tick via an idle chain, epoch-cached router
+// refresh) must report 0 allocs/op; the report records them and `bench
+// -check` exits non-zero on any regression, which is what the CI bench
+// job runs for both presets.
 
 import (
 	"encoding/json"
@@ -26,14 +35,20 @@ import (
 	"testing"
 	"time"
 
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/energy"
 	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/node"
 	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
 	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
 )
 
-// BenchReport is the schema of BENCH_PR4.json.
+// BenchReport is the schema of BENCH_PR4.json / BENCH_PR5.json.
 type BenchReport struct {
-	// Campaign identifies the measured workload.
+	// Campaign identifies the measured workload (the preset name).
 	Campaign string `json:"campaign"`
 	// Scale, Par mirror the CLI knobs for reproducibility.
 	Scale  float64 `json:"scale"`
@@ -56,9 +71,10 @@ type BenchReport struct {
 func benchMain(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		scale = fs.Float64("scale", 0.15, "fraction of the paper's full Fig 9 sweep (0..1]")
-		out   = fs.String("out", "BENCH_PR4.json", "report path ('-' for stdout only)")
-		check = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates")
+		preset = fs.String("preset", "fig9", "campaign preset: fig9 or mobile")
+		scale  = fs.Float64("scale", 0.15, "fraction of the preset's full sweep (0..1]")
+		out    = fs.String("out", "", "report path ('-' for stdout only; default BENCH_PR4.json for fig9, BENCH_PR5.json for mobile)")
+		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates")
 	)
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(fs)
@@ -69,17 +85,37 @@ func benchMain(args []string) int {
 		return 1
 	}
 
-	cfg := experiments.Fig9Defaults(*scale)
-	cfg.Par = par
-
-	fmt.Fprintf(os.Stderr, "jtpsim bench: fig9 campaign %d sizes × %d protocols × %d runs, par=%d\n",
-		len(cfg.Sizes), len(cfg.Protocols), cfg.Runs, par)
-	start := time.Now()
-	res := experiments.Fig9CampaignBench(cfg)
+	var res experiments.CampaignBenchResult
+	var start time.Time
+	switch *preset {
+	case "fig9":
+		if *out == "" {
+			*out = "BENCH_PR4.json"
+		}
+		cfg := experiments.Fig9Defaults(*scale)
+		cfg.Par = par
+		fmt.Fprintf(os.Stderr, "jtpsim bench: fig9 campaign %d sizes × %d protocols × %d runs, par=%d\n",
+			len(cfg.Sizes), len(cfg.Protocols), cfg.Runs, par)
+		start = time.Now()
+		res = experiments.Fig9CampaignBench(cfg)
+	case "mobile":
+		if *out == "" {
+			*out = "BENCH_PR5.json"
+		}
+		cfg := experiments.MobileBenchDefaults(*scale)
+		cfg.Par = par
+		fmt.Fprintf(os.Stderr, "jtpsim bench: mobile campaign %d sizes × %d speeds × %d protocols × %d runs, par=%d\n",
+			len(cfg.Sizes), len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
+		start = time.Now()
+		res = experiments.MobileCampaignBench(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "jtpsim bench: unknown preset %q (want fig9 or mobile)\n", *preset)
+		return 1
+	}
 	wall := time.Since(start).Seconds()
 
 	rep := &BenchReport{
-		Campaign:     "fig9",
+		Campaign:     *preset,
 		Scale:        *scale,
 		Par:          par,
 		GoOS:         runtime.GOOS,
@@ -91,9 +127,10 @@ func benchMain(args []string) int {
 		Events:       res.Events,
 		EventsPerSec: float64(res.Events) / wall,
 		AllocsPerOp: map[string]float64{
-			"kernel_schedule_rununtil": benchKernelAllocs(),
-			"packet_codec_roundtrip":   benchCodecAllocs(),
-			"mac_slot":                 benchMACSlotAllocs(),
+			"kernel_schedule_rununtil":    benchKernelAllocs(),
+			"packet_codec_roundtrip":      benchCodecAllocs(),
+			"mac_slot":                    benchMACSlotAllocs(),
+			"router_refresh_epoch_cached": benchRouterRefreshAllocs(),
 		},
 	}
 
@@ -182,4 +219,24 @@ func benchMACSlotAllocs() float64 {
 	eng := b.Engine()
 	eng.RunUntil(sim.Time(10 * sim.Second)) // warm slabs, frames, link stats
 	return testing.AllocsPerRun(100, func() { eng.RunFor(sim.Second) })
+}
+
+// benchRouterRefreshAllocs measures a steady-state Router.Refresh within
+// an unchanged link-state epoch on a 64-node grid: the refresh must be a
+// pure memoized copy — version check, cache hit, two buffer copies —
+// with zero allocations.
+func benchRouterRefreshAllocs() float64 {
+	eng := sim.NewEngine(1)
+	nw := node.New(eng, node.Config{
+		Topo:    topology.GridN(64, 80),
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	nw.Start()
+	eng.RunFor(2 * sim.Second) // every router refreshed at least once
+	r := nw.Node(17).Router
+	r.Refresh() // warm this router's double buffers at full view size
+	return testing.AllocsPerRun(200, r.Refresh)
 }

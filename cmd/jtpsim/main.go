@@ -11,6 +11,7 @@
 //	jtpsim gen -family rgg -nodes 20   # dump a generated workload scenario
 //	jtpsim gen -replay dump.json       # replay a dumped scenario exactly
 //	jtpsim bench -out BENCH_PR4.json   # perf harness: fig 9 campaign + alloc guards
+//	jtpsim bench -preset mobile        # perf harness: large-n mobile RGG tier
 //
 // Every mode accepts -cpuprofile/-memprofile to write pprof profiles of
 // the run.
@@ -110,7 +111,7 @@ func expMain() int {
 		}
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
 		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P]")
-		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-scale S] [-par N] [-out BENCH_PR4.json] [-check]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-preset fig9|mobile] [-scale S] [-par N] [-out report.json] [-check]")
 		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
 			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {

@@ -107,15 +107,6 @@ func Fig9(cfg Fig9Config) []*Fig9Point {
 	return out
 }
 
-// Fig9BenchResult aggregates one Fig 9 campaign execution for the perf
-// harness (`jtpsim bench`): how many simulations ran and how many kernel
-// events they executed. Wall-clock is the caller's to measure.
-type Fig9BenchResult struct {
-	Runs   int
-	Cells  int
-	Events uint64
-}
-
 // Fig9CampaignBench executes the Fig 9 campaign exactly as Fig9 does —
 // same matrix, same seed schedule, same worker pool — and additionally
 // accounts kernel events, so the CLI can report runs/sec and events/sec

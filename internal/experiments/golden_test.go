@@ -76,7 +76,9 @@ func TestGoldenFig9(t *testing.T) {
 	checkGolden(t, "fig9.csv", tablesCSV(a, b))
 }
 
-func TestGoldenFig10(t *testing.T) {
+// fig10GoldenCSV renders the canonical small-scale Fig 10 campaign at
+// the given worker count.
+func fig10GoldenCSV(par int) []byte {
 	cfg := Fig10Config{
 		Sizes:     []int{10},
 		Flows:     3,
@@ -85,12 +87,15 @@ func TestGoldenFig10(t *testing.T) {
 		Warmup:    100,
 		Protocols: []Protocol{JTP, ATP, TCP},
 		Seed:      101,
+		Par:       par,
 	}
 	a, b := Fig10Tables(Fig10(cfg))
-	checkGolden(t, "fig10.csv", tablesCSV(a, b))
+	return tablesCSV(a, b)
 }
 
-func TestGoldenFig11(t *testing.T) {
+// fig11GoldenCSV renders the canonical small-scale Fig 11 campaign
+// (mobility) at the given worker count.
+func fig11GoldenCSV(par int) []byte {
 	cfg := Fig11Config{
 		Nodes:     10,
 		Speeds:    []float64{1},
@@ -100,9 +105,41 @@ func TestGoldenFig11(t *testing.T) {
 		Warmup:    100,
 		Protocols: []Protocol{JTP, ATP, TCP},
 		Seed:      111,
+		Par:       par,
 	}
 	a, b, c := Fig11Tables(Fig11(cfg))
-	checkGolden(t, "fig11.csv", tablesCSV(a, b, c))
+	return tablesCSV(a, b, c)
+}
+
+func TestGoldenFig10(t *testing.T) {
+	checkGolden(t, "fig10.csv", fig10GoldenCSV(0))
+}
+
+func TestGoldenFig11(t *testing.T) {
+	checkGolden(t, "fig11.csv", fig11GoldenCSV(0))
+}
+
+// TestGoldenFig10ParByteIdentity and its Fig 11 twin prove the shared
+// routing view cache is order-independent: with campaign workers racing
+// over runs in any interleaving, the rendered CSV must stay
+// byte-identical between par 1 and par 8 — and equal to the committed
+// golden. Fig 11 is the load-bearing case: mobility makes every run
+// exercise the epoch/invalidation machinery continuously. CI runs both
+// under the race detector.
+func TestGoldenFig10ParByteIdentity(t *testing.T) {
+	p1, p8 := fig10GoldenCSV(1), fig10GoldenCSV(8)
+	if !bytes.Equal(p1, p8) {
+		t.Fatalf("fig10 CSV differs between par 1 and par 8:\n--- par1 ---\n%s\n--- par8 ---\n%s", p1, p8)
+	}
+	checkGolden(t, "fig10.csv", p8)
+}
+
+func TestGoldenFig11ParByteIdentity(t *testing.T) {
+	p1, p8 := fig11GoldenCSV(1), fig11GoldenCSV(8)
+	if !bytes.Equal(p1, p8) {
+		t.Fatalf("fig11 CSV differs between par 1 and par 8:\n--- par1 ---\n%s\n--- par8 ---\n%s", p1, p8)
+	}
+	checkGolden(t, "fig11.csv", p8)
 }
 
 // TestGoldenWorkloadCampaign pins a full generated-workload campaign:

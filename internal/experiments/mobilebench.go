@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/metrics"
+)
+
+// This file is the mobile large-n bench tier: random geometric graphs at
+// sizes well past the paper's 15-node mobility experiment, moved by the
+// paper's random-waypoint parameters (§6.1.2). It exists to measure the
+// topology-dependent link-state path — adjacency rebuilds, router view
+// refreshes, reachability checks — which is exactly the cost the
+// epoch-cached snapshot amortizes, at network sizes where the old
+// per-router O(n²) BFS dominated wall-clock.
+
+// CampaignBenchResult aggregates one campaign execution for the perf
+// harness (`jtpsim bench`): how many simulations ran and how many kernel
+// events they executed. Wall-clock is the caller's to measure.
+type CampaignBenchResult struct {
+	Runs   int
+	Cells  int
+	Events uint64
+}
+
+// Fig9BenchResult is the historical name of CampaignBenchResult, kept
+// for the fig9 preset.
+type Fig9BenchResult = CampaignBenchResult
+
+// MobileBenchConfig parameterizes the mobile bench campaign: large-n RGG
+// fields under random-waypoint motion at the paper's speeds.
+type MobileBenchConfig struct {
+	// Sizes are the network sizes (large-n: past the paper's 15).
+	Sizes []int
+	// Speeds are the node speeds in m/s (paper: 0.1, 1, 5).
+	Speeds []float64
+	// Flows is the number of random-endpoint flows per run.
+	Flows int
+	// Runs is the number of independent seeds per cell.
+	Runs int
+	// Seconds is the run length in virtual seconds.
+	Seconds float64
+	// Warmup is when flows start.
+	Warmup float64
+	// Protocols under test.
+	Protocols []Protocol
+	// Seed is the base seed.
+	Seed int64
+	// Par is the worker-pool size (0 = GOMAXPROCS).
+	Par int
+}
+
+// MobileBenchDefaults returns the mobile bench preset at the given scale
+// in (0,1]: 64- and 96-node mobile RGGs at 1 and 5 m/s, JTP vs TCP.
+func MobileBenchDefaults(scale float64) MobileBenchConfig {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	runs := int(2 * scale)
+	if runs < 1 {
+		runs = 1
+	}
+	secs := 120 * scale
+	if secs < 45 {
+		secs = 45
+	}
+	return MobileBenchConfig{
+		Sizes:     []int{64, 96},
+		Speeds:    []float64{1, 5},
+		Flows:     3,
+		Runs:      runs,
+		Seconds:   secs,
+		Warmup:    20,
+		Protocols: []Protocol{JTP, TCP},
+		Seed:      515,
+	}
+}
+
+// mobileBenchMatrix declares the (protocol × size × speed × run) sweep.
+// The seed depends on (run, size) but not protocol or speed, following
+// the figure campaigns' same-conditions convention.
+func mobileBenchMatrix(cfg MobileBenchConfig) campaign.Matrix {
+	return campaign.Matrix{
+		Name: "mobile-bench",
+		Axes: []campaign.Axis{
+			{Name: "proto", Values: protocolValues(cfg.Protocols)},
+			{Name: "netSize", Values: campaign.Ints(cfg.Sizes...)},
+			{Name: "speed", Values: campaign.Floats(cfg.Speeds...)},
+		},
+		Runs: cfg.Runs,
+		SeedFn: func(cell campaign.Cell, _, run int) int64 {
+			return cfg.Seed + int64(run)*7919 + int64(cell.Int("netSize"))
+		},
+	}
+}
+
+// MobileCampaignBench executes the mobile large-n campaign and accounts
+// kernel events, so the CLI can report runs/sec and events/sec for the
+// mobility-dominated workload (the `jtpsim bench -preset mobile` body).
+func MobileCampaignBench(cfg MobileBenchConfig) CampaignBenchResult {
+	const obsEvents = "bench_events"
+	rep := mustExecute(mobileBenchMatrix(cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
+		rec := runMobileBenchOnce(Protocol(spec.Cell.String("proto")),
+			spec.Cell.Int("netSize"), spec.Cell.Float("speed"), spec.Seed, cfg)
+		return campaign.Sample{
+			obsEnergyPerBit: rec.EnergyPerBit(),
+			obsGoodputBps:   rec.MeanGoodputBps(),
+			obsEvents:       float64(rec.Events),
+		}
+	})
+	res := CampaignBenchResult{Runs: rep.Runs, Cells: len(rep.Cells)}
+	for _, c := range rep.Cells {
+		r := c.Running(obsEvents)
+		res.Events += uint64(r.Sum())
+	}
+	return res
+}
+
+// runMobileBenchOnce runs one (protocol, size, speed, seed) cell: a
+// connected RGG with random-endpoint flows under random-waypoint motion.
+func runMobileBenchOnce(proto Protocol, n int, speed float64, seed int64, cfg MobileBenchConfig) *metrics.RunRecord {
+	flows := make([]FlowSpec, cfg.Flows)
+	for i := range flows {
+		flows[i] = FlowSpec{Src: -1, Dst: -1, StartAt: cfg.Warmup + float64(i)*10}
+	}
+	return must(Run(Scenario{
+		Name:          "mobile-bench",
+		Proto:         proto,
+		Topo:          Random,
+		Nodes:         n,
+		MobilitySpeed: speed,
+		Seconds:       cfg.Seconds,
+		Seed:          seed,
+		Flows:         flows,
+	}))
+}

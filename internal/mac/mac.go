@@ -63,6 +63,11 @@ type LinkInfo struct {
 	// LossRate is the MAC's current loss-probability estimate for this
 	// link (Algorithm 1's getLinkLossRate).
 	LossRate float64
+	// Quality is the distance-based link quality in [0, 1] from the
+	// network's epoch-cached link-state snapshot (channel.Quality): 1 at
+	// zero distance, 0 at the edge of range or when the link is gone.
+	// Plugins read it instead of recomputing positions and distances.
+	Quality float64
 	// AvailRate is this node's effective available transmission rate in
 	// packets/s, already normalized by the average number of link-layer
 	// attempts per packet (§2.1.1's getAvailableRate / AvLinkLayerAttempts).
@@ -188,6 +193,11 @@ type Env interface {
 	// Reachable reports whether to is currently within radio range of
 	// from (under mobility this changes over time).
 	Reachable(from, to packet.NodeID) bool
+	// LinkQuality returns the distance-based quality of the from→to link
+	// in [0, 1], 0 when unlinked. The node layer answers from its
+	// epoch-cached link-state snapshot, so per-attempt reads cost no
+	// distance computation.
+	LinkQuality(from, to packet.NodeID) float64
 	// TransmitsAllowed reports whether the node's radio is operational;
 	// a failed node's owned slots are wasted.
 	TransmitsAllowed(id packet.NodeID) bool
@@ -435,6 +445,7 @@ func (m *MAC) linkInfo(fr *Frame) LinkInfo {
 		FirstAttempt: fr.Attempts == 0,
 		AttemptCost:  m.model.TxCost(size) + m.model.RxCost(size),
 		LossRate:     fr.ls.loss.Value(),
+		Quality:      m.env.LinkQuality(m.id, fr.To),
 		AvailRate:    m.EffectiveAvailRate(),
 		SlotShare:    m.ownSlotRate,
 	}
@@ -471,16 +482,18 @@ func (m *MAC) OwnSlot() {
 		return
 	}
 
-	info := m.linkInfo(fr)
-	for _, p := range m.plugins {
-		if p.PreXmit(fr, info) == Drop {
-			m.pluginDrops++
-			m.popHead()
-			if m.Drops != nil {
-				m.Drops(fr, DropPlugin)
+	if len(m.plugins) > 0 { // LinkInfo is plugin context; skip it when nobody reads it
+		info := m.linkInfo(fr)
+		for _, p := range m.plugins {
+			if p.PreXmit(fr, info) == Drop {
+				m.pluginDrops++
+				m.popHead()
+				if m.Drops != nil {
+					m.Drops(fr, DropPlugin)
+				}
+				m.releaseFrame(fr)
+				return
 			}
-			m.releaseFrame(fr)
-			return
 		}
 	}
 
@@ -546,11 +559,15 @@ func (m *MAC) popHead() *Frame {
 func (m *MAC) receive(fr *Frame) {
 	m.meter.ChargeRx(m.model.RxCost(fr.Seg.Size()))
 	m.rxFrames++
+	if len(m.plugins) == 0 { // LinkInfo is plugin context; skip it when nobody reads it
+		return
+	}
 	info := LinkInfo{
 		From:        fr.From,
 		To:          m.id,
 		AttemptCost: m.model.TxCost(fr.Seg.Size()) + m.model.RxCost(fr.Seg.Size()),
 		LossRate:    m.LinkLossRate(fr.From),
+		Quality:     m.env.LinkQuality(fr.From, m.id),
 		AvailRate:   m.EffectiveAvailRate(),
 		SlotShare:   m.ownSlotRate,
 	}

@@ -54,9 +54,11 @@ type Model struct {
 	field geom.Rect
 	walk  []walker
 	tick  *sim.Ticker
-	// OnMove, when non-nil, is invoked after each batch position update;
-	// the routing layer hooks it to notice topology changes promptly in
-	// tests (production routing re-reads positions on its own timer).
+	// OnMove, when non-nil, is invoked after each batch position update
+	// that changed at least one position — steps where every walker was
+	// paused are silent. The routing layer hooks it to notice topology
+	// changes promptly in tests (production routing re-reads positions on
+	// its own timer).
 	OnMove func()
 }
 
@@ -101,37 +103,46 @@ func (m *Model) Stop() {
 	}
 }
 
-// step advances every walker by one interval.
+// step advances every walker by one interval. Each walker that acts this
+// step reads its position exactly once, and OnMove only fires when some
+// position actually changed — a step where every walker sat out its pause
+// signals nothing (and leaves the topology's position epoch untouched).
 func (m *Model) step() {
 	if m.cfg.Speed <= 0 {
 		return
 	}
 	now := m.eng.Now()
 	stepDist := m.cfg.Speed * m.cfg.Step.Seconds()
+	moved := false
 	for i := range m.walk {
 		w := &m.walk[i]
+		if !w.moving && now < w.pauseTo {
+			continue
+		}
 		id := packet.NodeID(i)
+		pos := m.topo.Position(id)
 		if !w.moving {
-			if now < w.pauseTo {
-				continue
-			}
-			w.target = m.pickTarget(m.topo.Position(id))
+			w.target = m.pickTarget(pos)
 			w.moving = true
 		}
-		pos := m.topo.Position(id)
 		to := w.target.Sub(pos)
 		d := to.Len()
 		if d <= stepDist {
-			// Arrived: snap to target and start the pause.
-			m.topo.SetPosition(id, w.target)
+			// Arrived: snap to target and start the pause. A leg clamped
+			// back onto the walker's own position moves nothing.
+			if w.target != pos {
+				m.topo.SetPosition(id, w.target)
+				moved = true
+			}
 			w.moving = false
 			pause := m.eng.Rand().ExpFloat64() * m.cfg.MeanPause
 			w.pauseTo = now.Add(sim.DurationOf(pause))
 			continue
 		}
 		m.topo.SetPosition(id, pos.Add(to.Unit().Scale(stepDist)))
+		moved = true
 	}
-	if m.OnMove != nil {
+	if moved && m.OnMove != nil {
 		m.OnMove()
 	}
 }

@@ -117,3 +117,68 @@ func TestPausesRespectMeanMagnitude(t *testing.T) {
 	}
 	_ = packet.NodeID(0)
 }
+
+// countingTopo counts Position lookups so tests can pin the per-walker
+// read cost of one step.
+type countingTopo struct {
+	*topology.Topology
+	posCalls int
+}
+
+func (c *countingTopo) Position(id packet.NodeID) geom.Point {
+	c.posCalls++
+	return c.Topology.Position(id)
+}
+
+func TestStepSkipsSignalWhenAllPaused(t *testing.T) {
+	eng := sim.NewEngine(3)
+	tp := topology.Grid(4, 4, 60)
+	m := New(eng, tp, tp.Field, Defaults(1))
+	calls := 0
+	m.OnMove = func() { calls++ }
+	m.Start()
+	// Pin every walker into a pause far past the horizon: steps tick but
+	// nothing moves, so OnMove must stay silent (and the topology's
+	// position epoch untouched).
+	far := eng.Now().Add(sim.Minute)
+	for i := range m.walk {
+		m.walk[i] = walker{pauseTo: far}
+	}
+	e0 := tp.Epoch()
+	eng.RunFor(2 * sim.Second)
+	if calls != 0 {
+		t.Fatalf("OnMove fired %d times during an all-paused interval", calls)
+	}
+	if tp.Epoch() != e0 {
+		t.Fatal("all-paused steps dirtied the position epoch")
+	}
+	// Wake one interior walker: the next steps move it and signal.
+	m.walk[5] = walker{}
+	eng.RunFor(2 * sim.Second)
+	if calls == 0 {
+		t.Fatal("OnMove never fired after a walker woke up")
+	}
+	if tp.Epoch() == e0 {
+		t.Fatal("movement did not advance the position epoch")
+	}
+}
+
+func TestStepReadsPositionOncePerActiveWalker(t *testing.T) {
+	eng := sim.NewEngine(4)
+	tp := topology.Grid(4, 4, 60)
+	ct := &countingTopo{Topology: tp}
+	m := New(eng, ct, tp.Field, Defaults(1))
+	m.Start()
+	far := eng.Now().Add(sim.Minute)
+	for i := range m.walk {
+		m.walk[i] = walker{pauseTo: far}
+	}
+	// One walker mid-leg toward a distant target: a step must read its
+	// position exactly once, and paused walkers not at all.
+	m.walk[5] = walker{moving: true, target: geom.Point{X: 239, Y: 239}}
+	ct.posCalls = 0
+	eng.RunFor(m.cfg.Step)
+	if ct.posCalls != 1 {
+		t.Fatalf("one moving walker cost %d position reads per step, want 1", ct.posCalls)
+	}
+}

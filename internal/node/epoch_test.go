@@ -1,0 +1,168 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/mobility"
+	"github.com/javelen/jtp/internal/packet"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+// bruteDir reimplements the Linked oracle from first principles —
+// positions, squared distances, failure and budget state — with no
+// caching whatsoever. The epoch snapshot must agree with it exactly, at
+// every instant, across topology families, mobility, failures and
+// battery deaths.
+type bruteDir struct{ nw *Network }
+
+func (d bruteDir) N() int { return d.nw.N() }
+
+func (d bruteDir) Linked(a, b packet.NodeID) bool {
+	nw := d.nw
+	if a == b || nw.Down(a) || nw.Down(b) || nw.BudgetExhausted(a) || nw.BudgetExhausted(b) {
+		return false
+	}
+	tp := nw.Topology()
+	d2 := tp.Position(a).Dist2(tp.Position(b))
+	rng := nw.Channel().Range()
+	return d2 <= rng*rng
+}
+
+// checkAgainstBrute compares the network's cached substrate — Linked,
+// Neighbors, and every router's freshly adopted view — against the
+// brute-force oracle.
+func checkAgainstBrute(t *testing.T, tag string, eng *sim.Engine, nw *Network) {
+	t.Helper()
+	brute := bruteDir{nw}
+	n := nw.N()
+	for i := 0; i < n; i++ {
+		a := packet.NodeID(i)
+		var want []packet.NodeID
+		for j := 0; j < n; j++ {
+			b := packet.NodeID(j)
+			bw := brute.Linked(a, b)
+			if got := nw.Linked(a, b); got != bw {
+				t.Fatalf("%s: Linked(%v,%v)=%v, brute force says %v", tag, a, b, got, bw)
+			}
+			if bw {
+				want = append(want, b)
+			}
+		}
+		got := nw.Neighbors(a)
+		if len(got) != len(want) {
+			t.Fatalf("%s: Neighbors(%v)=%v, want %v", tag, a, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%s: Neighbors(%v)=%v, want %v", tag, a, got, want)
+			}
+		}
+	}
+	// Every router refreshes now (epoch-cached path) and must match an
+	// uncached reference BFS over the brute-force oracle.
+	for i := 0; i < n; i++ {
+		src := packet.NodeID(i)
+		r := nw.Node(src).Router
+		r.Refresh()
+		ref := routing.New(eng, src, brute, routing.Config{})
+		ref.Refresh()
+		for j := 0; j < n; j++ {
+			dst := packet.NodeID(j)
+			gh, wh := r.HopsTo(dst), ref.HopsTo(dst)
+			gn, gok := r.NextHop(dst)
+			wn, wok := ref.NextHop(dst)
+			if gh != wh || gok != wok || (gok && gn != wn) {
+				t.Fatalf("%s: src %v dst %v: cached hops=%d next=%v,%v; uncached hops=%d next=%v,%v",
+					tag, src, dst, gh, gn, gok, wh, wn, wok)
+			}
+		}
+	}
+}
+
+// TestEpochCachedViewsMatchUncachedBFS is the seeded property test of
+// the epoch substrate: across topology families and mobility seeds —
+// with node failures and draining energy budgets thrown in — the cached
+// adjacency and the shared view cache must be element-identical to
+// brute-force recomputation.
+func TestEpochCachedViewsMatchUncachedBFS(t *testing.T) {
+	families := []struct {
+		name  string
+		build func(seed int64) *topology.Topology
+	}{
+		{"chain", func(int64) *topology.Topology { return topology.Linear(12, 80) }},
+		{"grid", func(int64) *topology.Topology { return topology.GridN(16, 80) }},
+		{"star", func(int64) *topology.Topology { return topology.Star(10, 90) }},
+		{"rgg", func(seed int64) *topology.Topology {
+			tp, ok := topology.Random(20, 100, rand.New(rand.NewSource(seed)), 200)
+			if !ok {
+				panic("rgg generation failed")
+			}
+			return tp
+		}},
+	}
+	for _, fam := range families {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fam.name, func(t *testing.T) {
+				eng := sim.NewEngine(seed)
+				tp := fam.build(seed)
+				n := tp.N()
+				budgets := make([]float64, n)
+				budgets[1] = 0.004 // dies once charged past the headroom
+				nw := New(eng, Config{
+					Topo:    tp,
+					Channel: channel.Defaults(),
+					MAC:     mac.Defaults(),
+					Routing: routing.Defaults(),
+					Energy:  energy.JAVeLEN(),
+					Budgets: budgets,
+				})
+				mob := mobility.New(eng, tp, tp.Field, mobility.Defaults(5))
+				nw.Start()
+				mob.Start()
+				checkAgainstBrute(t, fam.name+"/start", eng, nw)
+				for step := 0; step < 4; step++ {
+					eng.RunFor(700 * sim.Millisecond)
+					switch step {
+					case 1:
+						nw.SetDown(packet.NodeID(n-1), true)
+					case 2:
+						// Drain node 1's battery mid-epoch: the views
+						// must drop it at the very next refresh.
+						nw.Node(1).Meter.ChargeTx(1.0)
+					case 3:
+						nw.SetDown(packet.NodeID(n-1), false)
+					}
+					checkAgainstBrute(t, fam.name+"/step", eng, nw)
+				}
+			})
+		}
+	}
+}
+
+// TestAllocsRouterRefreshEpochCached pins the steady-state cost of a
+// router refresh within an unchanged link-state epoch: a version check,
+// a cache hit, and two buffer copies — zero allocations.
+func TestAllocsRouterRefreshEpochCached(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, Config{
+		Topo:    topology.GridN(49, 80),
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	nw.Start()
+	eng.RunFor(2 * sim.Second) // every router refreshed at least once
+	r := nw.Node(10).Router
+	r.Refresh()
+	r.Refresh() // warm both double-buffered views at full size
+	if allocs := testing.AllocsPerRun(200, r.Refresh); allocs != 0 {
+		t.Fatalf("Router.Refresh within an unchanged epoch allocates %.1f/op, want 0", allocs)
+	}
+}

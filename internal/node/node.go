@@ -13,6 +13,7 @@ package node
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/energy"
@@ -110,11 +111,34 @@ type Network struct {
 	nodes   []*Node
 	sched   *mac.Scheduler
 	started bool
-	down    map[packet.NodeID]bool
+	// down marks failed nodes; downCount tracks how many, so the
+	// adjacency fast paths know when no liveness filtering is needed.
+	down      []bool
+	downCount int
 	// budgets mirrors Config.Budgets; maxEvent is the worst-case energy
 	// of one link event, the headroom required to stay operational.
 	budgets  []float64
 	maxEvent float64
+
+	// snap is the epoch-cached link-state substrate: a CSR neighbor-list
+	// adjacency, an in-range bitset, and per-link channel quality, all
+	// rebuilt lazily once per topology position epoch. Linked and
+	// Neighbors answer from it in O(1)/O(deg) instead of recomputing
+	// squared distances per call. See ensureSnap.
+	snap linkSnapshot
+	// linkVer is the link-state version for routing.VersionedDirectory:
+	// it advances when the snapshot is rebuilt, when a node fails or
+	// revives, and when the budget-exhaustion bitmap changes.
+	linkVer uint64
+	// deadBits is the budget-exhaustion bitmap as of the last Version
+	// call (budget-constrained runs only); Version diffs it to detect
+	// battery deaths (and meter resets) between refreshes.
+	deadBits []uint64
+	// nbrScratch backs the filtered Neighbors result while any node is
+	// down or battery-dead; valid until the next Neighbors call.
+	nbrScratch []packet.NodeID
+	// views is the network-wide routing view cache all routers share.
+	views *routing.Cache
 
 	// pool, when enabled, is the engine-wide packet free-list transports
 	// draw from and terminal consumers recycle into (see packet.Pool for
@@ -166,11 +190,13 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg:      cfg,
 		topo:     cfg.Topo,
 		chann:    channel.New(eng, cfg.Channel),
-		down:     make(map[packet.NodeID]bool),
 		budgets:  cfg.Budgets,
 		maxEvent: cfg.Energy.TxCost(maxEventBytes),
 	}
 	n := cfg.Topo.N()
+	nw.down = make([]bool, n)
+	nw.nbrScratch = make([]packet.NodeID, 0, n)
+	nw.views = routing.NewCache(nw)
 	macs := make([]*mac.MAC, n)
 	nw.nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
@@ -178,6 +204,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		nd := &Node{ID: id, endpoints: make(map[packet.FlowID]Transport), net: nw}
 		nd.MAC = mac.New(eng, id, cfg.MAC, cfg.Energy, &nd.Meter, nw)
 		nd.Router = routing.New(eng, id, nw, cfg.Routing)
+		nd.Router.UseShared(nw.views)
 		nd.MAC.Drops = func(fr *mac.Frame, reason mac.DropReason) {
 			nw.traceSeg(id, trace.Drop, fr.Seg, reason.String())
 			if nw.DropHook != nil {
@@ -218,6 +245,9 @@ func (nw *Network) Topology() *topology.Topology { return nw.topo }
 // Scheduler returns the TDMA scheduler.
 func (nw *Network) Scheduler() *mac.Scheduler { return nw.sched }
 
+// Views returns the shared routing view cache (tests and diagnostics).
+func (nw *Network) Views() *routing.Cache { return nw.views }
+
 // Node returns node id's element.
 func (nw *Network) Node(id packet.NodeID) *Node { return nw.nodes[int(id)] }
 
@@ -227,13 +257,227 @@ func (nw *Network) Nodes() []*Node { return nw.nodes }
 // N returns the node count (routing.Directory).
 func (nw *Network) N() int { return nw.topo.N() }
 
+// linkSnapshot is the per-epoch link-state cache: which node pairs are
+// within radio range (bitset, O(1) lookup), each node's neighbor list in
+// ascending id order (CSR, O(V+E) BFS walks), and the distance-based
+// channel quality of every in-range link. It depends only on positions
+// and the radio range, so it is valid for exactly one topology position
+// epoch; liveness (failures, battery deaths) is layered on top at query
+// time because it can change mid-epoch.
+type linkSnapshot struct {
+	built  bool
+	epoch  uint64 // topology.Epoch the snapshot was built at
+	n      int
+	stride int             // bitset words per row
+	bits   []uint64        // n×stride in-range bitset, row-major
+	off    []int32         // CSR row offsets, len n+1
+	nbr    []packet.NodeID // CSR neighbor ids, ascending within a row
+	qual   []float64       // channel.Quality per CSR edge, aligned with nbr
+}
+
+// inRange reports the cached range bit for (a, b), a != b.
+func (s *linkSnapshot) inRange(a, b packet.NodeID) bool {
+	w := s.bits[int(a)*s.stride+int(b)/64]
+	return w&(1<<(uint(b)%64)) != 0
+}
+
+// row returns a's geometric neighbor list.
+func (s *linkSnapshot) row(a packet.NodeID) []packet.NodeID {
+	return s.nbr[s.off[int(a)]:s.off[int(a)+1]]
+}
+
+// ensureSnap brings the link snapshot to the topology's current position
+// epoch, rebuilding it — one O(n²) distance pass, amortized over every
+// Linked/Neighbors/LinkQuality query of the epoch — only when positions
+// actually changed. Every rebuild advances the link-state version.
+func (nw *Network) ensureSnap() {
+	epoch := nw.topo.Epoch()
+	if nw.snap.built && nw.snap.epoch == epoch {
+		return
+	}
+	nw.rebuildSnap(epoch)
+}
+
+// rebuildSnap recomputes the adjacency bitset, CSR neighbor lists and
+// per-link qualities from the current positions. Buffers are reused, so
+// steady-state mobility rebuilds allocate nothing once at size.
+func (nw *Network) rebuildSnap(epoch uint64) {
+	s := &nw.snap
+	n := nw.topo.N()
+	s.n = n
+	s.stride = (n + 63) / 64
+	words := n * s.stride
+	if cap(s.bits) < words {
+		s.bits = make([]uint64, words)
+	} else {
+		s.bits = s.bits[:words]
+		for i := range s.bits {
+			s.bits[i] = 0
+		}
+	}
+	if cap(s.off) < n+1 {
+		s.off = make([]int32, n+1)
+	} else {
+		s.off = s.off[:n+1]
+	}
+	pos := nw.topo.Pos
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if nw.chann.InRange(pos[i].Dist2(pos[j])) {
+				s.bits[i*s.stride+j/64] |= 1 << (uint(j) % 64)
+				s.bits[j*s.stride+i/64] |= 1 << (uint(i) % 64)
+			}
+		}
+	}
+	// CSR offsets by row popcount, then neighbor ids and qualities by
+	// walking each row's set bits in ascending order.
+	total := int32(0)
+	for i := 0; i < n; i++ {
+		s.off[i] = total
+		row := s.bits[i*s.stride : (i+1)*s.stride]
+		for _, w := range row {
+			total += int32(bits.OnesCount64(w))
+		}
+	}
+	s.off[n] = total
+	if cap(s.nbr) < int(total) {
+		s.nbr = make([]packet.NodeID, total)
+		s.qual = make([]float64, total)
+	} else {
+		s.nbr = s.nbr[:total]
+		s.qual = s.qual[:total]
+	}
+	rng := nw.chann.Range()
+	k := 0
+	for i := 0; i < n; i++ {
+		row := s.bits[i*s.stride : (i+1)*s.stride]
+		for wi, w := range row {
+			base := wi * 64
+			for w != 0 {
+				j := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				s.nbr[k] = packet.NodeID(j)
+				s.qual[k] = channel.Quality(pos[i].Dist(pos[j]), rng)
+				k++
+			}
+		}
+	}
+	s.built = true
+	s.epoch = epoch
+	nw.linkVer++
+}
+
+// aliveNow reports whether a node currently has a working radio: not
+// failed and battery not exhausted. Evaluated live (not from the
+// snapshot) because budget exhaustion can happen mid-epoch.
+func (nw *Network) aliveNow(id packet.NodeID) bool {
+	return !nw.down[int(id)] && !nw.BudgetExhausted(id)
+}
+
 // Linked reports current radio-range adjacency (routing.Directory).
-// A failed or battery-dead node has no links.
+// A failed or battery-dead node has no links. The range answer is an
+// O(1) bitset lookup in the epoch snapshot — no distance computation.
 func (nw *Network) Linked(a, b packet.NodeID) bool {
-	if a == b || nw.down[a] || nw.down[b] || nw.BudgetExhausted(a) || nw.BudgetExhausted(b) {
+	if a == b || !nw.aliveNow(a) || !nw.aliveNow(b) {
 		return false
 	}
-	return nw.chann.InRange(nw.topo.Position(a).Dist2(nw.topo.Position(b)))
+	nw.ensureSnap()
+	return nw.snap.inRange(a, b)
+}
+
+// Neighbors returns u's current neighbors in ascending id order
+// (routing.NeighborDirectory) — exactly the ids for which Linked(u, ·)
+// is true. While every node is alive it is the snapshot's CSR row,
+// zero-copy; with failed or battery-dead nodes present it filters into
+// a scratch buffer that stays valid until the next Neighbors call.
+func (nw *Network) Neighbors(u packet.NodeID) []packet.NodeID {
+	nw.ensureSnap()
+	if !nw.aliveNow(u) {
+		return nil
+	}
+	row := nw.snap.row(u)
+	if nw.downCount == 0 && len(nw.budgets) == 0 {
+		return row
+	}
+	buf := nw.nbrScratch[:0]
+	for _, v := range row {
+		if nw.aliveNow(v) {
+			buf = append(buf, v)
+		}
+	}
+	nw.nbrScratch = buf
+	return buf
+}
+
+// Version returns the link-state version (routing.VersionedDirectory):
+// it changes whenever some Linked answer may have changed — positions
+// moved (snapshot rebuild), a node failed or revived (SetDown), or the
+// budget-exhaustion bitmap moved (scanned here, O(n), only for
+// budget-constrained networks). Two equal versions guarantee identical
+// views, which is what lets routers share cached BFS results.
+func (nw *Network) Version() uint64 {
+	nw.ensureSnap()
+	if len(nw.budgets) > 0 {
+		nw.refreshDeadBits()
+	}
+	return nw.linkVer
+}
+
+// refreshDeadBits rescans budget exhaustion into a bitmap and advances
+// the link-state version when it differs from the last scan (battery
+// deaths since the previous Version call, or revivals via ResetMeters).
+func (nw *Network) refreshDeadBits() {
+	n := nw.topo.N()
+	words := (n + 63) / 64
+	if cap(nw.deadBits) < words {
+		nw.deadBits = append(nw.deadBits[:0], make([]uint64, words)...)
+	}
+	dead := nw.deadBits[:words]
+	changed := false
+	for wi := 0; wi < words; wi++ {
+		var w uint64
+		hi := (wi + 1) * 64
+		if hi > n {
+			hi = n
+		}
+		for i := wi * 64; i < hi; i++ {
+			if nw.BudgetExhausted(packet.NodeID(i)) {
+				w |= 1 << (uint(i) % 64)
+			}
+		}
+		if dead[wi] != w {
+			dead[wi] = w
+			changed = true
+		}
+	}
+	nw.deadBits = dead
+	if changed {
+		nw.linkVer++
+	}
+}
+
+// LinkQuality returns the cached distance-based quality of the a→b link
+// in [0, 1] (channel.Quality over the epoch snapshot), 0 when the nodes
+// are not currently linked (mac.Env).
+func (nw *Network) LinkQuality(a, b packet.NodeID) float64 {
+	if a == b || !nw.aliveNow(a) || !nw.aliveNow(b) {
+		return 0
+	}
+	nw.ensureSnap()
+	row := nw.snap.row(a)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == b {
+		return nw.snap.qual[int(nw.snap.off[int(a)])+lo]
+	}
+	return 0
 }
 
 // BudgetExhausted reports whether a node's battery can no longer afford
@@ -270,14 +514,23 @@ func (nw *Network) Budgets() []float64 { return nw.budgets }
 // MAC queue (its backlog dies with it). The simulation does not
 // automatically revive nodes.
 func (nw *Network) SetDown(id packet.NodeID, down bool) {
-	nw.down[id] = down
+	if nw.down[int(id)] != down {
+		nw.down[int(id)] = down
+		if down {
+			nw.downCount++
+		} else {
+			nw.downCount--
+		}
+		// Liveness changed: invalidate memoized routing views.
+		nw.linkVer++
+	}
 	if down {
 		nw.nodes[int(id)].MAC.ClearQueue()
 	}
 }
 
 // Down reports whether a node is failed.
-func (nw *Network) Down(id packet.NodeID) bool { return nw.down[id] }
+func (nw *Network) Down(id packet.NodeID) bool { return nw.down[int(id)] }
 
 // TransmitOK draws a loss trial on a live link (mac.Env).
 func (nw *Network) TransmitOK(from, to packet.NodeID) bool {
@@ -292,7 +545,7 @@ func (nw *Network) Reachable(from, to packet.NodeID) bool {
 // TransmitsAllowed reports whether a node's radio is operational
 // (mac.Env); a failed or battery-dead node's owned slots do nothing.
 func (nw *Network) TransmitsAllowed(id packet.NodeID) bool {
-	return !nw.down[id] && !nw.BudgetExhausted(id)
+	return nw.aliveNow(id)
 }
 
 // DeliverUp completes a successful hop: runs the receiving MAC (energy,

@@ -33,6 +33,34 @@ type Directory interface {
 	Linked(a, b packet.NodeID) bool
 }
 
+// NeighborDirectory is an optional Directory extension for directories
+// that can enumerate a node's current neighbors directly (the node
+// package's epoch-cached adjacency snapshot). BFS over neighbor lists is
+// O(V+E); without the extension it falls back to probing all n
+// candidates per dequeued node, O(V²).
+type NeighborDirectory interface {
+	Directory
+	// Neighbors returns u's current neighbors in strictly ascending id
+	// order — the same set for which Linked(u, ·) is true right now. The
+	// returned slice is only valid until the next Neighbors call or
+	// directory state change and must not be mutated or retained.
+	Neighbors(u packet.NodeID) []packet.NodeID
+}
+
+// VersionedDirectory is an optional Directory extension for directories
+// that can report a link-state version: a counter that changes whenever
+// some Linked answer may have changed (positions moved, a node failed or
+// revived, an energy budget ran out or was reset). Two reads returning
+// the same version guarantee every view built in between is identical,
+// which is what lets the shared Cache memoize views across routers.
+type VersionedDirectory interface {
+	Directory
+	// Version returns the current link-state version. Implementations
+	// may refresh internal caches (adjacency snapshot, liveness bitmap)
+	// during the call.
+	Version() uint64
+}
+
 // View is one node's snapshot of the topology: next hops and hop counts
 // for every destination.
 type View struct {
@@ -83,10 +111,30 @@ func buildViewInto(v *View, scratch []packet.NodeID, dir Directory, src packet.N
 	v.hops[src] = 0
 	v.next[src] = src
 
-	// first hop on the path; computed by BFS outward from src. The inner
-	// scan visits candidate neighbors in ascending id order, which is
-	// exactly the deterministic visit order BFS needs — no sort.
+	// first hop on the path; computed by BFS outward from src. Both
+	// branches visit candidate neighbors in ascending id order, which is
+	// exactly the deterministic visit order BFS needs — no sort — so a
+	// NeighborDirectory (sorted adjacency lists) produces the identical
+	// view in O(V+E) instead of O(V²).
 	queue := append(scratch[:0], src)
+	if ndir, ok := dir.(NeighborDirectory); ok {
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range ndir.Neighbors(u) {
+				if v.hops[id] >= 0 {
+					continue
+				}
+				v.hops[id] = v.hops[u] + 1
+				if u == src {
+					v.next[id] = id
+				} else {
+					v.next[id] = v.next[u]
+				}
+				queue = append(queue, id)
+			}
+		}
+		return v
+	}
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
 		for w := 0; w < n; w++ {
@@ -120,6 +168,93 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
+// Cache memoizes computed views per source against a shared directory.
+// All routers of one network share one Cache: a view built from a given
+// link-state snapshot is identical regardless of which router computes
+// it, so within one snapshot version the BFS for a source runs once and
+// every later refresh of that source is a plain copy. Ownership rules:
+//
+//   - The cache owns the memoized next/hops arrays and rebuilds them in
+//     place when the directory's version moves on; routers therefore
+//     never alias them — Fill copies into the router's double-buffered
+//     view, so a router legitimately holding a stale view (the paper's
+//     staleness semantics) is unaffected by later recomputes.
+//   - Validity is keyed on VersionedDirectory.Version. A directory
+//     without version reporting gets no memoization — every Fill
+//     recomputes — but still benefits from the NeighborDirectory BFS.
+//
+// Cache is not safe for concurrent use; like the rest of the substrate
+// it lives on a single simulation goroutine.
+type Cache struct {
+	dir  Directory
+	vdir VersionedDirectory // nil: no memoization
+	ent  []cacheEntry       // per source node
+	// scratch is the shared BFS queue; view is the reusable View header
+	// the BFS writes through (its slices are swapped with the entry's).
+	scratch []packet.NodeID
+	view    View
+	// computes counts BFS executions (tests assert memoization).
+	computes uint64
+}
+
+// cacheEntry is one source's memoized view.
+type cacheEntry struct {
+	version uint64
+	valid   bool
+	next    []packet.NodeID
+	hops    []int
+}
+
+// NewCache returns a view cache over dir.
+func NewCache(dir Directory) *Cache {
+	c := &Cache{dir: dir}
+	c.vdir, _ = dir.(VersionedDirectory)
+	return c
+}
+
+// Computes returns the number of BFS executions the cache has performed;
+// the gap between Computes and Fill calls is the memoization hit count.
+func (c *Cache) Computes() uint64 { return c.computes }
+
+// Fill produces the current view from src into v (allocating one if v is
+// nil) and returns it. v's buffers are reused, so a router double-
+// buffering its views through Fill performs zero steady-state
+// allocations; on a memoized hit the call is a pure copy. UpdatedAt is
+// stamped with at — adoption time is the caller's, not the compute
+// time's, preserving per-router staleness.
+func (c *Cache) Fill(v *View, src packet.NodeID, at sim.Time) *View {
+	n := c.dir.N()
+	if len(c.ent) < n {
+		c.ent = append(c.ent, make([]cacheEntry, n-len(c.ent))...)
+	}
+	e := &c.ent[int(src)]
+	fresh := e.version
+	if c.vdir != nil {
+		fresh = c.vdir.Version()
+	}
+	if c.vdir == nil || !e.valid || e.version != fresh {
+		// Recompute through the shared view header: borrow the entry's
+		// arrays as the target buffers, BFS, and store them back.
+		if cap(c.scratch) < n {
+			c.scratch = make([]packet.NodeID, 0, n)
+		}
+		c.view.next, c.view.hops = e.next, e.hops
+		buildViewInto(&c.view, c.scratch, c.dir, src, at)
+		e.next, e.hops = c.view.next, c.view.hops
+		e.version, e.valid = fresh, true
+		c.computes++
+	}
+	if v == nil {
+		v = &View{}
+	}
+	v.UpdatedAt = at
+	v.next = resizeIDs(v.next, n)
+	v.hops = resizeInts(v.hops, n)
+	copy(v.next, e.next)
+	copy(v.hops, e.hops)
+	return v
+}
+
 // Config parameterizes the routing layer.
 type Config struct {
 	// UpdatePeriod is how often each node refreshes its view. Zero means
@@ -147,13 +282,20 @@ type Router struct {
 	// the reusable BFS queue.
 	spare   *View
 	scratch []packet.NodeID
-	tick    *sim.Ticker
+	// shared, when non-nil, is the network-wide view cache Refresh
+	// adopts snapshots from instead of running its own BFS.
+	shared *Cache
+	tick   *sim.Ticker
 }
 
 // New returns a router for node id over the directory.
 func New(eng *sim.Engine, id packet.NodeID, dir Directory, cfg Config) *Router {
 	return &Router{id: id, dir: dir, eng: eng, cfg: cfg}
 }
+
+// UseShared attaches the network-wide view cache. Call before Start;
+// all routers sharing a cache must share its directory.
+func (r *Router) UseShared(c *Cache) { r.shared = c }
 
 // Start computes the initial view and, for a positive update period,
 // begins periodic refresh.
@@ -171,9 +313,19 @@ func (r *Router) Stop() {
 	}
 }
 
-// Refresh recomputes the view from the directory immediately, reusing
-// the router's spare view buffers.
+// Refresh adopts a fresh snapshot of the directory immediately, reusing
+// the router's spare view buffers. With a shared cache attached, the
+// snapshot comes from the cache (one BFS per source per link-state
+// version, shared across routers); the router still only adopts it now,
+// at its own timer, so UpdatedAt and the staleness semantics are
+// unchanged. Without a cache it runs its own BFS as before.
 func (r *Router) Refresh() {
+	if r.shared != nil {
+		next := r.shared.Fill(r.spare, r.id, r.eng.Now())
+		r.spare = r.view
+		r.view = next
+		return
+	}
 	if r.scratch == nil {
 		r.scratch = make([]packet.NodeID, 0, r.dir.N())
 	}

@@ -178,3 +178,166 @@ func TestViewSnapshotAccessors(t *testing.T) {
 		t.Fatal("nil view hops should be -1")
 	}
 }
+
+// verDir wraps gridDir with explicit link-state versioning and sorted
+// neighbor enumeration — a miniature of the node package's epoch
+// snapshot directory.
+type verDir struct {
+	*gridDir
+	ver uint64
+	nbr []packet.NodeID
+}
+
+func (d *verDir) Version() uint64 { return d.ver }
+
+func (d *verDir) Neighbors(u packet.NodeID) []packet.NodeID {
+	d.nbr = d.nbr[:0]
+	for w := 0; w < d.n; w++ {
+		id := packet.NodeID(w)
+		if id != u && d.Linked(u, id) {
+			d.nbr = append(d.nbr, id)
+		}
+	}
+	return d.nbr
+}
+
+// plainDir hides every optional extension of a directory, forcing the
+// O(V²) reference BFS.
+type plainDir struct{ d Directory }
+
+func (p plainDir) N() int                         { return p.d.N() }
+func (p plainDir) Linked(a, b packet.NodeID) bool { return p.d.Linked(a, b) }
+
+// requireViewsEqual compares two views element-wise over all
+// destinations.
+func requireViewsEqual(t *testing.T, tag string, n int, got, want *View) {
+	t.Helper()
+	for w := 0; w < n; w++ {
+		dst := packet.NodeID(w)
+		gh, wh := got.Hops(dst), want.Hops(dst)
+		gn, gok := got.NextHop(dst)
+		wn, wok := want.NextHop(dst)
+		if gh != wh || gok != wok || (gok && gn != wn) {
+			t.Fatalf("%s: dst %v: got hops=%d next=%v,%v want hops=%d next=%v,%v",
+				tag, dst, gh, gn, gok, wh, wn, wok)
+		}
+	}
+}
+
+// TestNeighborBFSMatchesScanBFS drives both BFS variants over seeded
+// random graphs: the neighbor-list walk must produce element-identical
+// views to the all-candidates scan, including tie-breaks.
+func TestNeighborBFSMatchesScanBFS(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for seed := int64(1); seed <= 5; seed++ {
+		n := 16 + int(seed)
+		d := &verDir{gridDir: newDir(n)}
+		rnd := sim.NewEngine(seed).Rand()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rnd.Float64() < 0.2 {
+					d.link(packet.NodeID(i), packet.NodeID(j))
+				}
+			}
+		}
+		for src := 0; src < n; src++ {
+			fast := buildView(d, packet.NodeID(src), eng.Now())
+			ref := buildView(plainDir{d}, packet.NodeID(src), eng.Now())
+			requireViewsEqual(t, "seed", n, fast, ref)
+		}
+	}
+}
+
+func TestCacheMemoizesWithinVersion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := &verDir{gridDir: chain(6)}
+	c := NewCache(d)
+	v1 := c.Fill(nil, 0, eng.Now())
+	if c.Computes() != 1 {
+		t.Fatalf("computes=%d after first fill", c.Computes())
+	}
+	// Same source, same version: pure copy, and the adoption time is the
+	// caller's.
+	eng.RunFor(sim.Second)
+	v2 := c.Fill(nil, 0, eng.Now())
+	if c.Computes() != 1 {
+		t.Fatalf("computes=%d after memoized fill, want 1", c.Computes())
+	}
+	if v2.UpdatedAt != eng.Now() || v2.UpdatedAt == v1.UpdatedAt {
+		t.Fatal("memoized fill must stamp the caller's adoption time")
+	}
+	requireViewsEqual(t, "memo", d.N(), v2, v1)
+	// Another source computes its own view once.
+	c.Fill(nil, 3, eng.Now())
+	c.Fill(nil, 3, eng.Now())
+	if c.Computes() != 2 {
+		t.Fatalf("computes=%d after second source, want 2", c.Computes())
+	}
+	// A version bump invalidates every source.
+	d.unlink(4, 5)
+	d.ver++
+	v3 := c.Fill(nil, 0, eng.Now())
+	if c.Computes() != 3 {
+		t.Fatalf("computes=%d after version bump, want 3", c.Computes())
+	}
+	if v3.Hops(5) != -1 {
+		t.Fatal("recompute missed the topology change")
+	}
+	// The previously returned views were copies: the recompute must not
+	// have rewritten them in place.
+	if v1.Hops(5) != 5 || v2.Hops(5) != 5 {
+		t.Fatal("cache recompute mutated previously adopted views")
+	}
+}
+
+func TestCacheWithoutVersioningAlwaysRecomputes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := chain(5) // no Version method
+	c := NewCache(d)
+	c.Fill(nil, 0, eng.Now())
+	d.unlink(3, 4) // no version to bump — next fill must still see it
+	v := c.Fill(nil, 0, eng.Now())
+	if c.Computes() != 2 {
+		t.Fatalf("computes=%d, want recompute on every fill without versioning", c.Computes())
+	}
+	if v.Hops(4) != -1 {
+		t.Fatal("unversioned cache returned a stale view")
+	}
+}
+
+// TestSharedCacheAcrossRouters is the contract of the node package's
+// usage: routers share one cache, each adopting per its own timer, and
+// a router that has not refreshed holds its stale view across cache
+// recomputes.
+func TestSharedCacheAcrossRouters(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := &verDir{gridDir: chain(5)}
+	c := NewCache(d)
+	r0 := New(eng, 0, d, Config{})
+	r2 := New(eng, 2, d, Config{})
+	r0.UseShared(c)
+	r2.UseShared(c)
+	r0.Start()
+	r2.Start()
+	if nh, _ := r0.NextHop(4); nh != 1 {
+		t.Fatalf("r0 next hop %v", nh)
+	}
+	if nh, _ := r2.NextHop(0); nh != 1 {
+		t.Fatalf("r2 next hop %v", nh)
+	}
+	// Partition and bump; only r0 refreshes. r2 keeps its stale view —
+	// the paper's staleness semantics survive the shared cache.
+	d.unlink(2, 3)
+	d.ver++
+	r0.Refresh()
+	if h := r0.HopsTo(4); h != -1 {
+		t.Fatalf("r0 refresh missed the partition, hops=%d", h)
+	}
+	if h := r2.HopsTo(4); h != 2 {
+		t.Fatalf("r2 should still hold its stale view, hops=%d", h)
+	}
+	r2.Refresh()
+	if h := r2.HopsTo(4); h != -1 {
+		t.Fatal("r2 refresh should adopt the new snapshot")
+	}
+}

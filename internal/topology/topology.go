@@ -20,6 +20,15 @@ type Topology struct {
 	Field geom.Rect
 	// Pos maps node id (by index) to position.
 	Pos []geom.Point
+
+	// epoch identifies the current position set; dirty marks pending
+	// mutations that have not yet been folded into it. SetPosition only
+	// sets dirty (never bumps), so a whole mobility batch — many
+	// SetPosition calls inside one step handler — collapses into a single
+	// epoch bump at the next Epoch read, and a batch that moved nothing
+	// bumps nothing.
+	epoch uint64
+	dirty bool
 }
 
 // N returns the number of nodes.
@@ -28,8 +37,29 @@ func (t *Topology) N() int { return len(t.Pos) }
 // Position returns node id's position.
 func (t *Topology) Position(id packet.NodeID) geom.Point { return t.Pos[int(id)] }
 
-// SetPosition moves a node (the mobility model calls this).
-func (t *Topology) SetPosition(id packet.NodeID, p geom.Point) { t.Pos[int(id)] = p }
+// SetPosition moves a node (the mobility model calls this). Writing a
+// node's current position back is not a change and does not dirty the
+// epoch.
+func (t *Topology) SetPosition(id packet.NodeID, p geom.Point) {
+	if t.Pos[int(id)] != p {
+		t.Pos[int(id)] = p
+		t.dirty = true
+	}
+}
+
+// Epoch returns the position epoch: a counter that advances exactly when
+// node positions have changed since the previous Epoch call. Consumers
+// caching position-derived state (the network's link-state snapshot)
+// compare epochs to decide whether their cache is current, so the O(n²)
+// adjacency rebuild happens once per mobility batch instead of once per
+// query.
+func (t *Topology) Epoch() uint64 {
+	if t.dirty {
+		t.epoch++
+		t.dirty = false
+	}
+	return t.epoch
+}
 
 // IDs returns all node ids in order.
 func (t *Topology) IDs() []packet.NodeID {

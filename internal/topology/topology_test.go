@@ -162,3 +162,30 @@ func TestFromPositionsBoundsAndCopy(t *testing.T) {
 		t.Fatal("FromPositions shares the caller's slice")
 	}
 }
+
+func TestPositionEpoch(t *testing.T) {
+	tp := Linear(3, 50)
+	e0 := tp.Epoch()
+	if tp.Epoch() != e0 {
+		t.Fatal("epoch must be stable without mutations")
+	}
+	// Writing a node's current position back is not a change.
+	tp.SetPosition(1, tp.Position(1))
+	if tp.Epoch() != e0 {
+		t.Fatal("no-op position write advanced the epoch")
+	}
+	// A whole mutation batch collapses into one bump at the next read.
+	tp.SetPosition(1, geom.Point{X: 1, Y: 2})
+	tp.SetPosition(2, geom.Point{X: 9, Y: 9})
+	e1 := tp.Epoch()
+	if e1 != e0+1 {
+		t.Fatalf("batch of moves advanced epoch by %d, want 1", e1-e0)
+	}
+	if tp.Epoch() != e1 {
+		t.Fatal("epoch must be stable after the batch was folded in")
+	}
+	tp.SetPosition(0, geom.Point{X: 3, Y: 3})
+	if e2 := tp.Epoch(); e2 != e1+1 {
+		t.Fatalf("next batch advanced epoch by %d, want 1", e2-e1)
+	}
+}
