@@ -9,6 +9,7 @@ package main
 //
 //	jtpsim bench                        # fig9 preset (BENCH_PR4.json)
 //	jtpsim bench -preset mobile         # large-n mobile RGG tier (BENCH_PR5.json)
+//	jtpsim bench -preset telemetry      # obs overhead gate (BENCH_PR6.json)
 //	jtpsim bench -scale 0.5 -par 8      # heavier sweep, 8 workers
 //	jtpsim bench -out report.json       # where to write the report
 //
@@ -19,6 +20,8 @@ package main
 //   - mobile: large-n random geometric graphs under random-waypoint
 //     motion at the paper's speeds — the topology-dependent link-state
 //     workload the PR 5 epoch-cached adjacency substrate targets.
+//   - telemetry: runs fig9 and mobile with obs counters off and on and
+//     gates the telemetry overhead at 3% (see bench_telemetry.go).
 //
 // The guarded hot paths (steady-state kernel scheduling, packet codec
 // round-trip, per-slot MAC tick via an idle chain, epoch-cached router
@@ -71,16 +74,28 @@ type BenchReport struct {
 func benchMain(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		preset = fs.String("preset", "fig9", "campaign preset: fig9 or mobile")
+		preset = fs.String("preset", "fig9", "campaign preset: fig9, mobile or telemetry")
 		scale  = fs.Float64("scale", 0.15, "fraction of the preset's full sweep (0..1]")
 		out    = fs.String("out", "", "report path ('-' for stdout only; default BENCH_PR4.json for fig9, BENCH_PR5.json for mobile)")
 		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates")
 	)
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(fs)
+	addTelemetryFlags(fs)
 	fs.Parse(args)
 	defer stopProfiles()
 	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+		return 1
+	}
+	if *preset == "telemetry" {
+		// The telemetry preset manages its own hook on/off phases; the
+		// -telemetry/-progress/-debug-addr flags apply to the other
+		// presets only.
+		return benchTelemetryPreset(*scale, *out, *check)
+	}
+	defer stopTelemetry()
+	if err := startTelemetry(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
 		return 1
 	}

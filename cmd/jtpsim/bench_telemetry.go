@@ -1,0 +1,312 @@
+package main
+
+// `jtpsim bench -preset telemetry`: the observability overhead gate
+// (BENCH_PR6.json). It executes the fig9 and mobile campaign presets
+// twice each — telemetry hooks off, then on (pooled obs registries
+// attached to every engine/MAC/router, counters folded through the
+// progress stream) — and records runs/sec for both. `-check` fails if
+// attaching telemetry costs more than 3% on either preset, pinning the
+// "zero-cost when disabled, near-zero when enabled" contract, and also
+// re-checks that the guarded hot paths stay at 0 allocs/op with live
+// counter handles attached.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/channel"
+	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/obs"
+	"github.com/javelen/jtp/internal/routing"
+	"github.com/javelen/jtp/internal/sim"
+	"github.com/javelen/jtp/internal/topology"
+)
+
+// telemetryOverheadGatePct is the -check ceiling on telemetry cost.
+const telemetryOverheadGatePct = 3.0
+
+// TelemetryPresetReport compares one campaign preset with telemetry off
+// and on.
+type TelemetryPresetReport struct {
+	Runs          int     `json:"runs"`
+	Events        uint64  `json:"events"`
+	RunsPerSecOff float64 `json:"runs_per_sec_off"`
+	RunsPerSecOn  float64 `json:"runs_per_sec_on"`
+	// OverheadPct is the relative slowdown of the telemetry-on pass,
+	// clamped at 0 (noise can make "on" faster).
+	OverheadPct float64 `json:"overhead_pct"`
+	// NoisePct is how far a typical telemetry-off pass exceeds the best
+	// one — the measurement floor of the box. The -check gate allows
+	// OverheadPct up to GatePct + NoisePct, so a shared CI machine that
+	// cannot resolve 3% does not flake while a real hot-path regression
+	// (which costs tens of percent) still fails.
+	NoisePct float64 `json:"noise_pct"`
+}
+
+// TelemetryBenchReport is the schema of BENCH_PR6.json.
+type TelemetryBenchReport struct {
+	Campaign string  `json:"campaign"`
+	Scale    float64 `json:"scale"`
+	Par      int     `json:"par"`
+	GoOS     string  `json:"goos"`
+	NumCPU   int     `json:"num_cpu"`
+
+	GatePct float64                           `json:"gate_pct"`
+	Presets map[string]*TelemetryPresetReport `json:"presets"`
+
+	// AllocsPerOp re-measures the guarded hot paths with a live obs
+	// registry attached; all must still be 0.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// benchTelemetryPreset implements the telemetry preset body.
+func benchTelemetryPreset(scale float64, out string, check bool) int {
+	if out == "" {
+		out = "BENCH_PR6.json"
+	}
+	rep := &TelemetryBenchReport{
+		Campaign: "telemetry",
+		Scale:    scale,
+		Par:      par,
+		GoOS:     runtime.GOOS,
+		NumCPU:   runtime.NumCPU(),
+		GatePct:  telemetryOverheadGatePct,
+		Presets:  map[string]*TelemetryPresetReport{},
+		AllocsPerOp: map[string]float64{
+			"kernel_schedule_rununtil_observed":    benchKernelAllocsObserved(),
+			"mac_slot_observed":                    benchMACSlotAllocsObserved(),
+			"router_refresh_epoch_cached_observed": benchRouterRefreshAllocsObserved(),
+		},
+	}
+
+	presets := []struct {
+		name string
+		run  func() experiments.CampaignBenchResult
+	}{
+		{"fig9", func() experiments.CampaignBenchResult {
+			cfg := experiments.Fig9Defaults(scale)
+			cfg.Par = par
+			return experiments.Fig9CampaignBench(cfg)
+		}},
+		{"mobile", func() experiments.CampaignBenchResult {
+			cfg := experiments.MobileBenchDefaults(scale)
+			cfg.Par = par
+			return experiments.MobileCampaignBench(cfg)
+		}},
+	}
+	for _, p := range presets {
+		fmt.Fprintf(os.Stderr, "jtpsim bench: telemetry preset: %s off/on, par=%d\n", p.name, par)
+		pr := measureTelemetryPreset(p.run)
+		if check && pr.OverheadPct > telemetryOverheadGatePct+pr.NoisePct {
+			// One independent re-measurement before failing the gate: a
+			// breach caused by an unlucky noise draw will not repeat,
+			// while a real hot-path regression (tens of percent) will.
+			fmt.Fprintf(os.Stderr, "jtpsim bench: %s overhead %.1f%% over budget, re-measuring\n",
+				p.name, pr.OverheadPct)
+			pr = measureTelemetryPreset(p.run)
+		}
+		rep.Presets[p.name] = pr
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+		return 1
+	}
+	js = append(js, '\n')
+	fmt.Printf("%s", js)
+	if out != "-" {
+		if err := os.WriteFile(out, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "jtpsim bench: wrote %s\n", out)
+	}
+	if check {
+		code := 0
+		for name, allocs := range rep.AllocsPerOp {
+			if allocs != 0 {
+				fmt.Fprintf(os.Stderr, "jtpsim bench: observed hot path %s regressed to %.1f allocs/op (want 0)\n",
+					name, allocs)
+				code = 1
+			}
+		}
+		for name, pr := range rep.Presets {
+			if pr.OverheadPct > telemetryOverheadGatePct+pr.NoisePct {
+				fmt.Fprintf(os.Stderr, "jtpsim bench: telemetry overhead on %s is %.1f%% (gate %.0f%% + %.1f%% measurement noise)\n",
+					name, pr.OverheadPct, telemetryOverheadGatePct, pr.NoisePct)
+				code = 1
+			}
+		}
+		return code
+	}
+	return 0
+}
+
+// measureTelemetryPreset runs one off/on comparison and fills a report.
+func measureTelemetryPreset(run func() experiments.CampaignBenchResult) *TelemetryPresetReport {
+	res, reps, offSec, onSec, noisePct := benchCampaignOffOn(run)
+	pr := &TelemetryPresetReport{
+		Runs:          res.Runs,
+		Events:        res.Events,
+		RunsPerSecOff: float64(res.Runs*reps) / offSec,
+		RunsPerSecOn:  float64(res.Runs*reps) / onSec,
+		NoisePct:      noisePct,
+	}
+	if onSec > offSec {
+		pr.OverheadPct = (onSec - offSec) / offSec * 100
+	}
+	return pr
+}
+
+// benchCampaignOffOn times one campaign preset with telemetry hooks off
+// and on. A timed warm-up sizes the pass (campaign executions are
+// repeated until a pass spans ~half a CPU-second); then seven off/on
+// pass pairs run back to back with alternating in-pair order, each
+// measured in process CPU time behind a GC boundary. offSec/onSec are
+// the per-mode minima (noise is strictly additive); noisePct is the
+// spread of the off samples — the box's measurement floor, which the
+// -check gate adds to its budget. See the comments inline for why each
+// choice is load-bearing on a noisy shared CI box.
+func benchCampaignOffOn(run func() experiments.CampaignBenchResult) (res experiments.CampaignBenchResult, reps int, offSec, onSec, noisePct float64) {
+	const pairs = 7
+	const minPassSeconds = 0.5
+	const maxReps = 10
+	withHooks := func(telemetry bool, f func()) {
+		if telemetry {
+			experiments.SetCampaignHooks(experiments.CampaignHooks{
+				Telemetry:  true,
+				OnProgress: func(campaign.Progress) {},
+			})
+		}
+		defer experiments.SetCampaignHooks(experiments.CampaignHooks{})
+		f()
+	}
+	start := cpuSeconds()
+	res = run() // warm-up, timed only to size the pass
+	warm := cpuSeconds() - start
+	reps = 1
+	for reps < maxReps && float64(reps)*warm < minPassSeconds {
+		reps++
+	}
+	timed := func() float64 {
+		// A GC boundary pins the sync.Pool state (warm engine slabs
+		// survive or are evicted consistently) so passes do comparable
+		// work; without it a GC landing mid-pass forces stochastic
+		// engine rebuilds that dwarf the telemetry cost.
+		runtime.GC()
+		start := cpuSeconds()
+		for i := 0; i < reps; i++ {
+			res = run()
+		}
+		return cpuSeconds() - start
+	}
+	var off, on []float64
+	for i := 0; i < pairs; i++ {
+		var offPass, onPass float64
+		if i%2 == 0 {
+			withHooks(false, func() { offPass = timed() })
+			withHooks(true, func() { onPass = timed() })
+		} else {
+			withHooks(true, func() { onPass = timed() })
+			withHooks(false, func() { offPass = timed() })
+		}
+		off = append(off, offPass)
+		on = append(on, onPass)
+	}
+	// Noise (GC landing mid-pass, pool eviction, cache contention from
+	// neighbors) is strictly additive, so the minimum is the best
+	// estimate of each mode's true cost, and each mode's spread above
+	// its own minimum is a direct reading of that noise; the margin
+	// takes the worse of the two.
+	offSec, onSec = minOf(off), minOf(on)
+	spread := func(xs []float64) float64 { return (median(xs)/minOf(xs) - 1) * 100 }
+	noisePct = spread(off)
+	if s := spread(on); s > noisePct {
+		noisePct = s
+	}
+	return res, reps, offSec, onSec, noisePct
+}
+
+// median of a small sample.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// minOf returns the smallest sample.
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// benchKernelAllocsObserved is benchKernelAllocs with a live registry.
+func benchKernelAllocsObserved() float64 {
+	eng := sim.NewEngine(1)
+	eng.Observe(obs.New())
+	var fn sim.Handler
+	fn = func() { eng.Schedule(sim.Millisecond, fn) }
+	for i := 0; i < 64; i++ {
+		eng.Schedule(sim.Millisecond, fn)
+	}
+	eng.RunFor(sim.Second)
+	return testing.AllocsPerRun(200, func() { eng.RunFor(10 * sim.Millisecond) })
+}
+
+// benchMACSlotAllocsObserved is benchMACSlotAllocs with the scenario's
+// registry attached (engine + per-node MAC bundles + pool accounting).
+func benchMACSlotAllocsObserved() float64 {
+	b, err := experiments.BuildScenario(experiments.Scenario{
+		Name:    "bench-mac-slot-observed",
+		Proto:   experiments.JTP,
+		Topo:    experiments.Linear,
+		Nodes:   8,
+		Seconds: 3600,
+		Seed:    1,
+		Flows:   []experiments.FlowSpec{{Src: 0, Dst: 7, StartAt: 3000}},
+		Obs:     obs.New(),
+	}, experiments.Hooks{})
+	if err != nil {
+		panic(err)
+	}
+	eng := b.Engine()
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	return testing.AllocsPerRun(100, func() { eng.RunFor(sim.Second) })
+}
+
+// benchRouterRefreshAllocsObserved is benchRouterRefreshAllocs with the
+// network's telemetry attached.
+func benchRouterRefreshAllocsObserved() float64 {
+	eng := sim.NewEngine(1)
+	nw := node.New(eng, node.Config{
+		Topo:    topology.GridN(64, 80),
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	nw.Observe(obs.New())
+	nw.Start()
+	eng.RunFor(2 * sim.Second)
+	r := nw.Node(17).Router
+	r.Refresh()
+	return testing.AllocsPerRun(200, r.Refresh)
+}
+
+// wallSeconds is the wall-clock fallback for cpuSeconds.
+func wallSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

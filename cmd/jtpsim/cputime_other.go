@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// cpuSeconds falls back to wall-clock where getrusage is unavailable.
+func cpuSeconds() float64 { return wallSeconds() }

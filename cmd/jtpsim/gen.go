@@ -8,6 +8,8 @@ import (
 
 	"github.com/javelen/jtp/internal/experiments"
 	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/trace"
 	"github.com/javelen/jtp/internal/workload"
 )
 
@@ -35,6 +37,7 @@ func genMain(args []string) int {
 		seed     = fs.Int64("seed", 1, "generation seed (doubles as the run seed)")
 		run      = fs.Bool("run", false, "run the generated scenario instead of dumping JSON")
 		proto    = fs.String("proto", "jtp", "transport driver for -run/-replay (see -list)")
+		tracePth = fs.String("trace", "", "with -run/-replay: write the packet-event trace as JSON lines to this file")
 	)
 	addProfileFlags(fs)
 	fs.Parse(args)
@@ -101,10 +104,37 @@ func genMain(args []string) int {
 		return 0
 	}
 
-	rec, err := experiments.Run(experiments.FromWorkload(g, experiments.Protocol(*proto)))
+	// With -trace, install a bounded ring tracer on the network and dump
+	// it as JSONL after the run (see trace.Tracer.WriteJSON).
+	var tr *trace.Tracer
+	hooks := experiments.Hooks{}
+	if *tracePth != "" {
+		hooks.Network = func(nw *node.Network) {
+			tr = trace.New(1 << 16)
+			nw.Tracer = tr
+		}
+	}
+	rec, err := experiments.RunWithHooks(experiments.FromWorkload(g, experiments.Protocol(*proto)), hooks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim gen: %v\n", err)
 		return 1
+	}
+	if tr != nil {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim gen: %v\n", err)
+			return 1
+		}
+		werr := tr.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim gen: trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "jtpsim gen: wrote trace %s (%d events retained, %d recorded)\n",
+			*tracePth, tr.Len(), tr.Total())
 	}
 	show(genTable(g, rec))
 	fmt.Printf("\ntotal energy %.4g J, %.4g uJ/bit", rec.TotalEnergy, rec.EnergyPerBit()*1e6)

@@ -14,7 +14,11 @@
 //	jtpsim bench -preset mobile        # perf harness: large-n mobile RGG tier
 //
 // Every mode accepts -cpuprofile/-memprofile to write pprof profiles of
-// the run.
+// the run. The campaign modes (experiments, batch, bench) also accept
+// -telemetry out.jsonl (one JSON line of counters per completed run),
+// -progress (stderr ticker with runs/sec and ETA) and -debug-addr :8484
+// (live net/http/pprof + expvar, including the folded campaign counters
+// at /debug/vars) — none of which change any result byte.
 //
 // Scale multiplies run counts, durations and transfer sizes relative to
 // the paper's full setup (scale 1 reproduces the paper's run counts:
@@ -96,9 +100,15 @@ func expMain() int {
 	flag.BoolVar(&asCSV, "csv", false, "emit tables as CSV (for plotting)")
 	flag.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(flag.CommandLine)
+	addTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 	defer stopProfiles()
 	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
+		return 1
+	}
+	defer stopTelemetry()
+	if err := startTelemetry(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
 		return 1
 	}
@@ -110,8 +120,9 @@ func expMain() int {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.desc)
 		}
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
-		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P]")
-		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-preset fig9|mobile] [-scale S] [-par N] [-out report.json] [-check]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P] [-trace out.jsonl]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-preset fig9|mobile|telemetry] [-scale S] [-par N] [-out report.json] [-check]")
+		fmt.Fprintln(os.Stderr, "campaign telemetry: [-telemetry out.jsonl] [-progress] [-debug-addr :8484]")
 		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
 			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {
@@ -155,9 +166,15 @@ func batchMain(args []string) int {
 	fs.BoolVar(&asCSV, "csv", false, "emit the aggregate report as CSV")
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(fs)
+	addTelemetryFlags(fs)
 	fs.Parse(args)
 	defer stopProfiles()
 	if err := startProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 1
+	}
+	defer stopTelemetry()
+	if err := startTelemetry(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
 		return 1
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Sample is one run's named observables (e.g. "energy_per_bit",
@@ -34,6 +35,38 @@ type Options struct {
 	// in ascending RunSpec.Index order under the aggregation lock, so
 	// callers get a deterministic progress stream without locking.
 	OnResult func(spec RunSpec, s Sample, err error)
+	// OnProgress, when non-nil, observes campaign progress: one call per
+	// run, after OnResult, in the same deterministic fold order and under
+	// the same lock. Wall-clock timing is only measured when OnProgress is
+	// set; it never influences the simulation or the report.
+	OnProgress func(p Progress)
+}
+
+// Progress is one tick of the campaign progress stream: the run that
+// just folded plus cumulative wall-clock accounting. ETA and rate are
+// wall-clock derived and therefore nondeterministic; everything else
+// follows the deterministic fold order.
+type Progress struct {
+	// Campaign is the matrix name.
+	Campaign string
+	// Spec identifies the run that just folded; Sample and Err are its
+	// result, exactly as passed to OnResult.
+	Spec   RunSpec
+	Sample Sample
+	Err    error
+	// RunWallSeconds is this run's execution wall time (queue wait
+	// excluded); CellWallSeconds accumulates it over the run's cell.
+	RunWallSeconds  float64
+	CellWallSeconds float64
+	// ElapsedSeconds is wall time since Execute started.
+	ElapsedSeconds float64
+	// RunsPerSec is Done/ElapsedSeconds; ETASeconds extrapolates it over
+	// the remaining runs (0 until a rate exists).
+	RunsPerSec float64
+	ETASeconds float64
+	// Done counts folded runs (including this one), Total the campaign
+	// size, Failures the folded errors so far.
+	Done, Total, Failures int
 }
 
 // workers resolves the pool size.
@@ -82,11 +115,17 @@ func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, e
 	window := opt.window(nw)
 
 	agg := &aggregator{
-		rep:      rep,
-		runs:     m.runsPerCell(),
-		pending:  make(map[int]foldItem, window),
-		released: make(chan struct{}, window),
-		onResult: opt.OnResult,
+		rep:        rep,
+		runs:       m.runsPerCell(),
+		total:      len(specs),
+		pending:    make(map[int]foldItem, window),
+		released:   make(chan struct{}, window),
+		onResult:   opt.OnResult,
+		onProgress: opt.OnProgress,
+	}
+	if agg.onProgress != nil {
+		agg.start = time.Now()
+		agg.cellWall = make([]float64, m.NumCells())
 	}
 	// Pre-fill admission tokens: up to `window` runs may be dispatched
 	// beyond the fold frontier.
@@ -101,8 +140,16 @@ func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, e
 		go func() {
 			defer wg.Done()
 			for spec := range work {
+				var begin time.Time
+				if agg.onProgress != nil {
+					begin = time.Now()
+				}
 				s, err := runSafely(ctx, fn, spec)
-				agg.deliver(spec, s, err)
+				var wall float64
+				if agg.onProgress != nil {
+					wall = time.Since(begin).Seconds()
+				}
+				agg.deliver(spec, s, err, wall)
 			}
 		}()
 	}
@@ -149,27 +196,33 @@ type foldItem struct {
 	spec RunSpec
 	s    Sample
 	err  error
+	wall float64 // run execution wall seconds (0 unless OnProgress is set)
 }
 
 // aggregator folds results into cell aggregates in ascending global run
 // order, buffering out-of-order arrivals. The buffer is bounded by the
 // admission window: a token is only recycled when a result folds.
 type aggregator struct {
-	mu       sync.Mutex
-	rep      *Report
-	runs     int // runs per cell, to map global index -> cell
-	next     int // next global index to fold
-	pending  map[int]foldItem
-	released chan struct{}
-	onResult func(RunSpec, Sample, error)
+	mu         sync.Mutex
+	rep        *Report
+	runs       int // runs per cell, to map global index -> cell
+	next       int // next global index to fold
+	total      int
+	failures   int
+	pending    map[int]foldItem
+	released   chan struct{}
+	onResult   func(RunSpec, Sample, error)
+	onProgress func(Progress)
+	start      time.Time // campaign start (set only when onProgress != nil)
+	cellWall   []float64 // cumulative run wall seconds per cell
 }
 
 // deliver accepts one completed run from a worker and folds every
 // in-order result now available.
-func (a *aggregator) deliver(spec RunSpec, s Sample, err error) {
+func (a *aggregator) deliver(spec RunSpec, s Sample, err error, wall float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.pending[spec.Index] = foldItem{spec: spec, s: s, err: err}
+	a.pending[spec.Index] = foldItem{spec: spec, s: s, err: err, wall: wall}
 	for {
 		item, ok := a.pending[a.next]
 		if !ok {
@@ -177,10 +230,41 @@ func (a *aggregator) deliver(spec RunSpec, s Sample, err error) {
 		}
 		delete(a.pending, a.next)
 		a.rep.fold(item.spec, item.s, item.err)
+		if item.err != nil {
+			a.failures++
+		}
 		if a.onResult != nil {
 			a.onResult(item.spec, item.s, item.err)
 		}
 		a.next++
+		if a.onProgress != nil {
+			a.onProgress(a.progress(item))
+		}
 		a.released <- struct{}{}
 	}
+}
+
+// progress assembles the Progress tick for a just-folded run. Called
+// under the aggregation lock.
+func (a *aggregator) progress(item foldItem) Progress {
+	a.cellWall[item.spec.CellIndex] += item.wall
+	p := Progress{
+		Campaign:        a.rep.Name,
+		Spec:            item.spec,
+		Sample:          item.s,
+		Err:             item.err,
+		RunWallSeconds:  item.wall,
+		CellWallSeconds: a.cellWall[item.spec.CellIndex],
+		ElapsedSeconds:  time.Since(a.start).Seconds(),
+		Done:            a.next,
+		Total:           a.total,
+		Failures:        a.failures,
+	}
+	if p.ElapsedSeconds > 0 {
+		p.RunsPerSec = float64(p.Done) / p.ElapsedSeconds
+	}
+	if p.RunsPerSec > 0 {
+		p.ETASeconds = float64(p.Total-p.Done) / p.RunsPerSec
+	}
+	return p
 }

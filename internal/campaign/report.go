@@ -3,10 +3,19 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/stats"
 )
+
+// TelemetryPrefix marks Sample keys that carry run telemetry rather than
+// experiment observables. Prefixed keys are folded into CellResult.
+// Telemetry (summed, or maxed for obs "_hwm"/"_max" names) and never
+// enter the observable aggregates — tables, CSV and the observables JSON
+// are byte-identical whether or not a run attaches telemetry.
+const TelemetryPrefix = "tel/"
 
 // CellResult is the streaming aggregate of one matrix cell: a
 // stats.Running (count/mean/CI95/min/max) per observable, fed in
@@ -21,6 +30,10 @@ type CellResult struct {
 	Failures int
 	// FirstError describes the first failure, if any.
 	FirstError string
+	// Telemetry aggregates the cell's TelemetryPrefix-ed sample keys
+	// (prefix stripped): counters sum across runs, "_hwm"/"_max" keys keep
+	// the maximum. Nil when no run reported telemetry.
+	Telemetry map[string]float64
 
 	obs map[string]*stats.Running
 	// block preallocates the cell's Running accumulators contiguously,
@@ -55,6 +68,10 @@ func (c *CellResult) fold(s Sample, err error) {
 		return
 	}
 	for k, v := range s {
+		if strings.HasPrefix(k, TelemetryPrefix) {
+			c.foldTelemetry(k[len(TelemetryPrefix):], v)
+			continue
+		}
 		r, ok := c.obs[k]
 		if !ok {
 			if c.block == nil {
@@ -70,6 +87,24 @@ func (c *CellResult) fold(s Sample, err error) {
 		}
 		r.Add(v)
 	}
+}
+
+// foldTelemetry merges one telemetry value (key already stripped of
+// TelemetryPrefix) using obs merge semantics. Each key folds
+// independently, so sample map iteration order cannot affect the result.
+func (c *CellResult) foldTelemetry(k string, v float64) {
+	if c.Telemetry == nil {
+		c.Telemetry = map[string]float64{}
+	}
+	if obs.IsMax(k) {
+		if v > c.Telemetry[k] {
+			c.Telemetry[k] = v
+		} else if _, ok := c.Telemetry[k]; !ok {
+			c.Telemetry[k] = v
+		}
+		return
+	}
+	c.Telemetry[k] += v
 }
 
 // Report is a campaign's aggregate outcome: one CellResult per matrix
@@ -162,6 +197,49 @@ func (r *Report) CSV(observables ...string) string {
 	return r.Table("", observables...).CSV()
 }
 
+// TelemetryNames returns every telemetry key reported by any cell,
+// sorted. Empty when the campaign ran without telemetry.
+func (r *Report) TelemetryNames() []string {
+	all := map[string]bool{}
+	for _, c := range r.Cells {
+		for k := range c.Telemetry {
+			all[k] = true
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return sortedKeys(all)
+}
+
+// TelemetryTable renders the optional telemetry columns: one row per
+// cell, axis columns first, then one column per telemetry key (all keys
+// when none are named). Cells that reported no telemetry render zeros.
+func (r *Report) TelemetryTable(title string, names ...string) *metrics.Table {
+	if len(names) == 0 {
+		names = r.TelemetryNames()
+	}
+	headers := append([]string{}, r.Axes...)
+	headers = append(headers, names...)
+	tbl := metrics.NewTable(title, headers...)
+	for _, c := range r.Cells {
+		row := make([]any, 0, len(headers))
+		for i := 0; i < c.Cell.Len(); i++ {
+			row = append(row, FormatValue(c.Cell.Value(i)))
+		}
+		for _, k := range names {
+			row = append(row, FormatValue(c.Telemetry[k]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// TelemetryCSV renders the telemetry table as CSV.
+func (r *Report) TelemetryCSV(names ...string) string {
+	return r.TelemetryTable("", names...).CSV()
+}
+
 // jsonObservable is the JSON shape of one aggregated observable.
 type jsonObservable struct {
 	N    int     `json:"n"`
@@ -179,6 +257,7 @@ type jsonCell struct {
 	Failures    int                       `json:"failures,omitempty"`
 	FirstError  string                    `json:"firstError,omitempty"`
 	Observables map[string]jsonObservable `json:"observables"`
+	Telemetry   map[string]float64        `json:"telemetry,omitempty"`
 }
 
 // jsonReport is the JSON shape of a report.
@@ -200,6 +279,9 @@ func (r *Report) JSON() ([]byte, error) {
 			Failures:    c.Failures,
 			FirstError:  c.FirstError,
 			Observables: map[string]jsonObservable{},
+		}
+		if len(c.Telemetry) > 0 {
+			jc.Telemetry = c.Telemetry
 		}
 		for i := 0; i < c.Cell.Len(); i++ {
 			jc.Cell[c.Cell.Axis(i)] = FormatValue(c.Cell.Value(i))

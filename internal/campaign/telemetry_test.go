@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func telTestMatrix(runs int) Matrix {
+	return Matrix{
+		Name: "tel-test",
+		Axes: []Axis{
+			{Name: "proto", Values: Strings("jtp", "tcp")},
+			{Name: "n", Values: Ints(4, 8)},
+		},
+		Runs:     runs,
+		BaseSeed: 1,
+	}
+}
+
+// Samples with TelemetryPrefix keys must fold into CellResult.Telemetry
+// (sums, and maxima for _hwm/_max keys) while leaving the observable
+// aggregates — and everything rendered from them — byte-identical to a
+// run without telemetry.
+func TestTelemetryFoldAndByteIdentity(t *testing.T) {
+	m := telTestMatrix(3)
+	base := func(spec RunSpec) Sample {
+		return Sample{"goodput": float64(spec.Run + 1), "energy": 2}
+	}
+	plain, err := Execute(context.Background(), m, Options{Workers: 1},
+		func(_ context.Context, spec RunSpec) (Sample, error) { return base(spec), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTel, err := Execute(context.Background(), m, Options{Workers: 4},
+		func(_ context.Context, spec RunSpec) (Sample, error) {
+			s := base(spec)
+			s[TelemetryPrefix+"sim_events_fired"] = 100
+			s[TelemetryPrefix+"mac_queue_depth_hwm"] = float64(10 + spec.Run)
+			return s, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := withTel.CSV(), plain.CSV(); got != want {
+		t.Fatalf("CSV changed by telemetry:\n%s\nvs\n%s", got, want)
+	}
+	if names := withTel.ObservableNames(); len(names) != 2 {
+		t.Fatalf("telemetry leaked into observables: %v", names)
+	}
+
+	for _, c := range withTel.Cells {
+		if c.Telemetry["sim_events_fired"] != 300 {
+			t.Fatalf("summed counter = %v, want 300", c.Telemetry["sim_events_fired"])
+		}
+		if c.Telemetry["mac_queue_depth_hwm"] != 12 {
+			t.Fatalf("hwm merge = %v, want max 12", c.Telemetry["mac_queue_depth_hwm"])
+		}
+	}
+	wantNames := []string{"mac_queue_depth_hwm", "sim_events_fired"}
+	gotNames := withTel.TelemetryNames()
+	if len(gotNames) != 2 || gotNames[0] != wantNames[0] || gotNames[1] != wantNames[1] {
+		t.Fatalf("TelemetryNames = %v, want %v", gotNames, wantNames)
+	}
+	if plain.TelemetryNames() != nil {
+		t.Fatal("plain report must have no telemetry names")
+	}
+
+	// The telemetry table carries axis columns plus one column per key.
+	csv := withTel.TelemetryCSV()
+	if !strings.HasPrefix(csv, "proto,n,mac_queue_depth_hwm,sim_events_fired\n") {
+		t.Fatalf("telemetry CSV header:\n%s", csv)
+	}
+
+	// JSON: telemetry appears as a per-cell block when present, and the
+	// document is byte-identical to the plain one after removing it.
+	jTel, err := withTel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jTel, []byte(`"telemetry"`)) {
+		t.Fatal("JSON missing telemetry block")
+	}
+	jPlain, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(jPlain, []byte(`"telemetry"`)) {
+		t.Fatal("plain JSON must omit telemetry")
+	}
+}
+
+// OnProgress ticks must arrive in deterministic fold order with correct
+// counting, at any worker count.
+func TestOnProgressStream(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			m := telTestMatrix(2)
+			total := m.NumRuns()
+			var ticks []Progress
+			_, err := Execute(context.Background(), m, Options{
+				Workers: workers,
+				OnProgress: func(p Progress) {
+					ticks = append(ticks, p)
+				},
+			}, func(_ context.Context, spec RunSpec) (Sample, error) {
+				if spec.Index == 3 {
+					return nil, fmt.Errorf("synthetic failure")
+				}
+				return Sample{"x": 1}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ticks) != total {
+				t.Fatalf("ticks = %d, want %d", len(ticks), total)
+			}
+			cellWall := map[int]float64{}
+			for i, p := range ticks {
+				if p.Campaign != "tel-test" {
+					t.Fatalf("campaign name = %q", p.Campaign)
+				}
+				if p.Spec.Index != i {
+					t.Fatalf("tick %d carries index %d (order broken)", i, p.Spec.Index)
+				}
+				if p.Done != i+1 || p.Total != total {
+					t.Fatalf("tick %d: done %d/%d, want %d/%d", i, p.Done, p.Total, i+1, total)
+				}
+				if p.RunWallSeconds < 0 || p.ElapsedSeconds < 0 {
+					t.Fatalf("tick %d: negative wall time", i)
+				}
+				cellWall[p.Spec.CellIndex] += p.RunWallSeconds
+				if diff := p.CellWallSeconds - cellWall[p.Spec.CellIndex]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("tick %d: cell wall %g, want %g", i, p.CellWallSeconds, cellWall[p.Spec.CellIndex])
+				}
+			}
+			if ticks[total-1].Failures != 1 {
+				t.Fatalf("final failures = %d, want 1", ticks[total-1].Failures)
+			}
+			if ticks[3].Err == nil || ticks[3].Err.Error() != "synthetic failure" {
+				t.Fatalf("tick 3 must carry the run error, got %v", ticks[3].Err)
+			}
+			if ticks[total-1].ETASeconds != 0 {
+				t.Fatalf("final ETA = %g, want 0", ticks[total-1].ETASeconds)
+			}
+		})
+	}
+}

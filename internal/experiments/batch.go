@@ -355,7 +355,8 @@ func (b *BatchSpec) Execute(ctx context.Context, par int, onResult func(campaign
 	if err := b.validate(); err != nil {
 		return nil, err
 	}
-	return campaign.Execute(ctx, b.Matrix(), campaign.Options{Workers: par, OnResult: onResult},
+	return campaign.Execute(ctx, b.Matrix(),
+		campaign.Options{Workers: par, OnResult: onResult, OnProgress: campaignHooks.OnProgress},
 		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
 			sc, err := b.scenario(spec.Cell, spec.Seed)
 			if err != nil {

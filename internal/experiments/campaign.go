@@ -34,7 +34,8 @@ func protocolValues(ps []Protocol) []any {
 // failed run, preserving the panic-on-bad-scenario behavior the serial
 // figure loops had.
 func mustExecute(m campaign.Matrix, par int, run func(spec campaign.RunSpec) campaign.Sample) *campaign.Report {
-	rep, err := campaign.Execute(context.Background(), m, campaign.Options{Workers: par},
+	rep, err := campaign.Execute(context.Background(), m,
+		campaign.Options{Workers: par, OnProgress: campaignHooks.OnProgress},
 		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
 			return run(spec), nil
 		})
@@ -66,5 +67,5 @@ func runRecordSample(rec *metrics.RunRecord) campaign.Sample {
 	if rec.EnergyBudgets != nil {
 		s[obsBudgetDead] = float64(rec.BudgetDeadNodes)
 	}
-	return s
+	return telemetrySample(s, rec)
 }

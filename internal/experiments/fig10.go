@@ -74,10 +74,10 @@ func Fig10(cfg Fig10Config) []*Fig10Point {
 	}
 	rep := mustExecute(m, cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
 		rec := runFig10Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
-		return campaign.Sample{
+		return telemetrySample(campaign.Sample{
 			obsEnergyPerBit: rec.EnergyPerBit(),
 			obsGoodputBps:   rec.MeanGoodputBps(),
-		}
+		}, rec)
 	})
 	out := make([]*Fig10Point, len(rep.Cells))
 	for i, c := range rep.Cells {

@@ -87,7 +87,7 @@ func Fig11(cfg Fig11Config) []*Fig11Point {
 			s[obsSourceRtxPerKB] = float64(rec.SourceRetransmissions()) / kb
 			s[obsCacheHitsPerKB] = float64(rec.CacheHits) / kb
 		}
-		return s
+		return telemetrySample(s, rec)
 	})
 	out := make([]*Fig11Point, len(rep.Cells))
 	for i, c := range rep.Cells {

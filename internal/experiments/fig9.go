@@ -90,10 +90,10 @@ func fig9Matrix(name string, cfg Fig9Config) campaign.Matrix {
 func Fig9(cfg Fig9Config) []*Fig9Point {
 	rep := mustExecute(fig9Matrix("fig9", cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
 		rec := runFig9Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
-		return campaign.Sample{
+		return telemetrySample(campaign.Sample{
 			obsEnergyPerBit: rec.EnergyPerBit(),
 			obsGoodputBps:   rec.MeanGoodputBps(),
-		}
+		}, rec)
 	})
 	out := make([]*Fig9Point, len(rep.Cells))
 	for i, c := range rep.Cells {
@@ -115,11 +115,11 @@ func Fig9CampaignBench(cfg Fig9Config) Fig9BenchResult {
 	const obsEvents = "bench_events"
 	rep := mustExecute(fig9Matrix("fig9-bench", cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
 		rec := runFig9Once(Protocol(spec.Cell.String("proto")), spec.Cell.Int("netSize"), spec.Seed, cfg)
-		return campaign.Sample{
+		return telemetrySample(campaign.Sample{
 			obsEnergyPerBit: rec.EnergyPerBit(),
 			obsGoodputBps:   rec.MeanGoodputBps(),
 			obsEvents:       float64(rec.Events),
-		}
+		}, rec)
 	})
 	res := Fig9BenchResult{Runs: rep.Runs, Cells: len(rep.Cells)}
 	for _, c := range rep.Cells {

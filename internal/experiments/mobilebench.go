@@ -101,11 +101,11 @@ func MobileCampaignBench(cfg MobileBenchConfig) CampaignBenchResult {
 	rep := mustExecute(mobileBenchMatrix(cfg), cfg.Par, func(spec campaign.RunSpec) campaign.Sample {
 		rec := runMobileBenchOnce(Protocol(spec.Cell.String("proto")),
 			spec.Cell.Int("netSize"), spec.Cell.Float("speed"), spec.Seed, cfg)
-		return campaign.Sample{
+		return telemetrySample(campaign.Sample{
 			obsEnergyPerBit: rec.EnergyPerBit(),
 			obsGoodputBps:   rec.MeanGoodputBps(),
 			obsEvents:       float64(rec.Events),
-		}
+		}, rec)
 	})
 	res := CampaignBenchResult{Runs: rep.Runs, Cells: len(rep.Cells)}
 	for _, c := range rep.Cells {

@@ -24,6 +24,7 @@ import (
 	"github.com/javelen/jtp/internal/metrics"
 	"github.com/javelen/jtp/internal/mobility"
 	"github.com/javelen/jtp/internal/node"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/routing"
 	"github.com/javelen/jtp/internal/sim"
@@ -145,6 +146,16 @@ type Scenario struct {
 	// IJTPTune applies scenario-specific settings to the per-node iJTP
 	// plugin configuration (ablation knobs).
 	IJTPTune func(cfg *ijtp.Config)
+
+	// Obs, when non-nil, attaches run telemetry: the kernel and MAC write
+	// live counters into it during the run, and Run adds the end-of-run
+	// collection (routing cache, packet pool, energy, iJTP caches) before
+	// snapshotting it into RunRecord.Telemetry. Telemetry never touches
+	// the engine RNG, so an instrumented run is bit-identical to a bare
+	// one. Campaign runs get a pooled registry automatically when
+	// telemetry is enabled via SetCampaignHooks; Obs is for direct
+	// callers (tests, probes).
+	Obs *obs.Registry
 }
 
 // NodeEvent is one scheduled node state change (churn schedules).
@@ -225,11 +236,28 @@ func Run(sc Scenario) (*metrics.RunRecord, error) { return RunWithHooks(sc, Hook
 // back to the pool for the worker's next run. Runs with hooks — figure
 // probes may retain connections — keep their engine for the GC.
 func RunWithHooks(sc Scenario, hooks Hooks) (*metrics.RunRecord, error) {
+	// Campaign-wide telemetry: attach a pooled registry unless the caller
+	// brought their own. The registry is snapshotted into the record by
+	// Run and returned to the pool reset, so per-run overhead is the
+	// counter writes plus one snapshot.
+	var pooled *obs.Registry
+	if campaignHooks.Telemetry && sc.Obs == nil {
+		pooled = obsPool.Get().(*obs.Registry)
+		sc.Obs = pooled
+	}
 	b, err := BuildScenario(sc, hooks)
 	if err != nil {
+		if pooled != nil {
+			pooled.Reset()
+			obsPool.Put(pooled)
+		}
 		return nil, err
 	}
 	rec := b.Run()
+	if pooled != nil {
+		pooled.Reset()
+		obsPool.Put(pooled)
+	}
 	if hooks.empty() {
 		eng := b.eng
 		b.eng = nil
@@ -270,6 +298,9 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	}
 
 	eng := acquireEngine(sc.Seed)
+	if sc.Obs != nil {
+		eng.Observe(sc.Obs)
+	}
 
 	// ---- Substrate -------------------------------------------------
 	chCfg := channel.Defaults()
@@ -321,6 +352,9 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	// endpoints obey the free-list ownership rules, so harness runs are
 	// always pooled.
 	nw.EnablePacketPool()
+	if sc.Obs != nil {
+		nw.Observe(sc.Obs)
+	}
 
 	// ---- Protocol plumbing -----------------------------------------
 	netCfg := transport.NetConfig{
@@ -513,7 +547,73 @@ func (b *BuiltScenario) Run() *metrics.RunRecord {
 	for _, sf := range b.flows {
 		rec.Flows = append(rec.Flows, sf.flow.Stats())
 	}
+	if b.sc.Obs != nil {
+		b.collectObs(b.sc.Obs)
+		rec.Telemetry = b.sc.Obs.Snapshot()
+	}
 	return rec
+}
+
+// collectObs adds the end-of-run telemetry to the registry: everything
+// the substrate already counts for free (MAC counters, node drop
+// counters, routing cache, packet pool, energy meters, per-policy iJTP
+// cache stats). These reads happen once per run, after time stops, so
+// they cost the hot path nothing.
+func (b *BuiltScenario) collectObs(reg *obs.Registry) {
+	for _, nd := range b.nw.Nodes() {
+		txAttempts, txSuccess, rxFrames, _, _, _ := nd.MAC.Counters()
+		reg.Counter("mac_tx_attempts").Add(txAttempts)
+		reg.Counter("mac_tx_success").Add(txSuccess)
+		reg.Counter("mac_rx_frames").Add(rxFrames)
+	}
+	nc := b.nw.Counters()
+	reg.Counter("node_drops_no_route").Add(nc.NoRoute)
+	reg.Counter("node_drops_ttl").Add(nc.TTLDrops)
+	reg.Counter("node_drops_no_endpoint").Add(nc.NoEndpoint)
+
+	if views := b.nw.Views(); views != nil {
+		fills, computes := views.Fills(), views.Computes()
+		reg.Counter("route_fills").Add(fills)
+		reg.Counter("route_bfs_computes").Add(computes)
+		reg.Counter("route_cache_hits").Add(fills - computes)
+	}
+	reg.Counter("link_state_versions").Add(b.nw.LinkVersion())
+
+	gets, puts, misses := b.nw.PacketPool().Stats()
+	reg.Counter("pool_gets").Add(gets)
+	reg.Counter("pool_puts").Add(puts)
+	reg.Counter("pool_misses").Add(misses)
+
+	// Energy by activity, exported uniformly in nanojoules so telemetry
+	// stays integral (obs counters are uint64).
+	var txJ, rxJ float64
+	var txN, rxN uint64
+	for _, nd := range b.nw.Nodes() {
+		txJ += nd.Meter.Tx()
+		rxJ += nd.Meter.Rx()
+		txN += nd.Meter.TxCount()
+		rxN += nd.Meter.RxCount()
+	}
+	reg.Counter("energy_tx_nj").Add(uint64(txJ * 1e9))
+	reg.Counter("energy_rx_nj").Add(uint64(rxJ * 1e9))
+	reg.Counter("energy_tx_events").Add(txN)
+	reg.Counter("energy_rx_events").Add(rxN)
+
+	// iJTP soft state, per cache replacement policy (JTP/JNC runs only).
+	if pp, ok := b.drv.(interface{ Plugins() []*ijtp.Plugin }); ok {
+		for _, pl := range pp.Plugins() {
+			c := pl.Counters()
+			reg.Counter("ijtp_cache_served").Add(c.CacheServed)
+			reg.Counter("ijtp_energy_drops").Add(c.EnergyDrops)
+			if ca := pl.Cache(); ca != nil {
+				st := ca.Stats()
+				policy := ca.Policy().String()
+				reg.Counter("cache_inserts_" + policy).Add(st.Inserts)
+				reg.Counter("cache_hits_" + policy).Add(st.Hits)
+				reg.Counter("cache_evictions_" + policy).Add(st.Evictions)
+			}
+		}
+	}
 }
 
 // pickEndpoints resolves -1 endpoints to random distinct reachable nodes.

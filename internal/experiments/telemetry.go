@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"sync"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/obs"
+)
+
+// CampaignHooks configures campaign-wide telemetry for every figure and
+// batch campaign in this package. It is process-global by design: the
+// CLI sets it once before any campaign executes, and workers only read
+// it, so no per-campaign plumbing (and no API churn across the figure
+// functions) is needed.
+type CampaignHooks struct {
+	// Telemetry attaches a pooled obs.Registry to every campaign run;
+	// each run's snapshot rides its Sample under campaign.TelemetryPrefix
+	// and folds into the report's Telemetry aggregates. The observable
+	// aggregates — and therefore tables, CSVs and goldens — are
+	// byte-identical either way.
+	Telemetry bool
+	// OnProgress, when non-nil, is passed to every campaign execution
+	// (runs-completed / runs-per-sec / ETA / per-cell wall time, in
+	// deterministic fold order).
+	OnProgress func(p campaign.Progress)
+}
+
+// campaignHooks is read by campaign workers while they run; callers must
+// only change it between campaigns (the CLI sets it once at startup).
+var campaignHooks CampaignHooks
+
+// SetCampaignHooks installs the process-wide campaign telemetry
+// configuration. Call before executing campaigns, never during one.
+func SetCampaignHooks(h CampaignHooks) { campaignHooks = h }
+
+// obsPool recycles per-run telemetry registries across campaign runs,
+// mirroring enginePool: after warm-up a worker's runs re-use registries
+// whose handle maps are already built, so enabling telemetry adds no
+// steady-state allocation churn.
+var obsPool = sync.Pool{New: func() any { return obs.New() }}
+
+// telemetrySample merges a run's telemetry snapshot into its campaign
+// sample under campaign.TelemetryPrefix. Every figure campaign's sample
+// closure routes through it; with telemetry off (rec.Telemetry nil) it
+// is an identity.
+func telemetrySample(s campaign.Sample, rec *metrics.RunRecord) campaign.Sample {
+	for k, v := range rec.Telemetry {
+		s[campaign.TelemetryPrefix+k] = float64(v)
+	}
+	return s
+}

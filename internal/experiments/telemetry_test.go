@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/obs"
+	"github.com/javelen/jtp/internal/workload"
+)
+
+// withTelemetryHooks runs fn with campaign telemetry enabled, restoring
+// the process-global hooks afterwards.
+func withTelemetryHooks(t *testing.T, p func(campaign.Progress), fn func()) {
+	t.Helper()
+	SetCampaignHooks(CampaignHooks{Telemetry: true, OnProgress: p})
+	defer SetCampaignHooks(CampaignHooks{})
+	fn()
+}
+
+// fig9TelemetryCSV renders the canonical small fig9 campaign at the
+// given worker count (same shape as TestGoldenFig9).
+func fig9TelemetryCSV(par int) []byte {
+	cfg := Fig9Config{
+		Sizes:     []int{2, 4},
+		Runs:      2,
+		Seconds:   300,
+		Warmup:    60,
+		Protocols: []Protocol{JTP, ATP, TCP},
+		Seed:      42,
+		Par:       par,
+	}
+	a, b := Fig9Table(Fig9(cfg))
+	return tablesCSV(a, b)
+}
+
+// TestTelemetryGoldenByteIdentity is the PR's core acceptance check:
+// enabling telemetry collection (pooled obs registries attached to every
+// engine, MAC, router and pool on the hot path) must not move a single
+// byte of the scientific output, at any worker count. The collected
+// counters ride the campaign stream under the tel/ prefix and are folded
+// outside the observable aggregates, and nothing in the instrumented
+// code may touch the engine RNG or event order.
+func TestTelemetryGoldenByteIdentity(t *testing.T) {
+	plain := fig9TelemetryCSV(1)
+	var ticks int
+	withTelemetryHooks(t, func(campaign.Progress) { ticks++ }, func() {
+		for _, par := range []int{1, 8} {
+			got := fig9TelemetryCSV(par)
+			if !bytes.Equal(got, plain) {
+				t.Fatalf("fig9 CSV changed with telemetry on at par %d:\n--- telemetry ---\n%s\n--- plain ---\n%s", par, got, plain)
+			}
+		}
+	})
+	// 2 cells × 2 runs × 3 protocols × 2 worker counts.
+	if ticks != 24 {
+		t.Fatalf("progress ticks = %d, want 24", ticks)
+	}
+	// And the committed golden stays authoritative.
+	checkGolden(t, "fig9.csv", plain)
+}
+
+// TestTelemetryReportCounters runs a small workload campaign with
+// telemetry on and checks that the report carries a meaningful counter
+// set: kernel events, MAC activity, routing cache traffic and pool
+// recycling must all be visible, and the CSV must match the plain run.
+func TestTelemetryReportCounters(t *testing.T) {
+	spec := func() *BatchSpec {
+		return &BatchSpec{
+			Name:      "tel-batch",
+			Protocols: []string{string(JTP)},
+			Workloads: []workload.Spec{
+				{Family: workload.Chain, Nodes: 5, Traffic: workload.Single, TotalPackets: 30, Seconds: 200},
+			},
+			Runs: 2,
+			Seed: 7,
+		}
+	}
+	plainRep, err := spec().Execute(context.Background(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *campaign.Report
+	withTelemetryHooks(t, nil, func() {
+		rep, err = spec().Execute(context.Background(), 8, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.CSV(), plainRep.CSV(); got != want {
+		t.Fatalf("batch CSV changed with telemetry on:\n%s\nvs\n%s", got, want)
+	}
+	if plainRep.TelemetryNames() != nil {
+		t.Fatal("telemetry collected while hooks were off")
+	}
+
+	wantPositive := []string{
+		"sim_events_scheduled", "sim_events_fired",
+		"mac_enqueues", "mac_tx_attempts", "mac_tx_success",
+		"route_fills", "route_bfs_computes",
+		"pool_gets", "pool_puts",
+		"energy_tx_nj", "energy_tx_events",
+	}
+	for _, c := range rep.Cells {
+		if len(c.Telemetry) == 0 {
+			t.Fatalf("cell %v has no telemetry", c.Cell.Key())
+		}
+		for _, k := range wantPositive {
+			if c.Telemetry[k] <= 0 {
+				t.Errorf("cell %v: %s = %v, want > 0", c.Cell.Key(), k, c.Telemetry[k])
+			}
+		}
+		// Gauges fold as maxima and must be sane: heap depth and queue
+		// high-water marks are small positive numbers, not sums.
+		if hwm := c.Telemetry["sim_heap_depth_hwm"]; hwm <= 0 || hwm > 10000 {
+			t.Errorf("cell %v: sim_heap_depth_hwm = %v, not a plausible maximum", c.Cell.Key(), hwm)
+		}
+		// Memoization accounting: hits = fills - computes >= 0.
+		if c.Telemetry["route_cache_hits"] != c.Telemetry["route_fills"]-c.Telemetry["route_bfs_computes"] {
+			t.Errorf("cell %v: route cache accounting inconsistent: %v", c.Cell.Key(), c.Telemetry)
+		}
+	}
+	if rep.TelemetryCSV() == "" {
+		t.Fatal("empty telemetry CSV")
+	}
+}
+
+// TestTelemetryRunDeterminism: two direct runs of the same scenario with
+// fresh registries must produce identical counter snapshots — telemetry
+// is part of the deterministic output, not a wall-clock artifact.
+func TestTelemetryRunDeterminism(t *testing.T) {
+	run := func() map[string]uint64 {
+		sc := Scenario{
+			Name:    "tel-determinism",
+			Proto:   JTP,
+			Topo:    Linear,
+			Nodes:   4,
+			Seconds: 150,
+			Seed:    99,
+			Flows:   []FlowSpec{{Src: 0, Dst: 3, StartAt: 20}},
+			Obs:     obs.New(),
+		}
+		rec, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Telemetry) == 0 {
+			t.Fatal("no telemetry on RunRecord")
+		}
+		return rec.Telemetry
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("counter %s: %d vs %d", k, v, b[k])
+		}
+	}
+	if a["ijtp_cache_served"] == 0 && a["mac_drops_queue"]+a["mac_drops_retries"] > 0 {
+		// Lossy chain with drops should exercise the iJTP cache path at
+		// least occasionally; this is informational, not fatal.
+		t.Logf("note: drops occurred but no cache serves: %v", a)
+	}
+}

@@ -20,10 +20,47 @@ import (
 	"fmt"
 
 	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/sim"
 	"github.com/javelen/jtp/internal/stats"
 )
+
+// Obs is the telemetry handle bundle for the MAC layer. One bundle is
+// shared by every MAC of a network (counts are network-wide; per-run
+// attribution stays with the existing Counters accessors). The zero
+// value is disabled: all handles are nil and every write is a no-op.
+type Obs struct {
+	// Enqueues counts frames accepted into any transmit queue.
+	Enqueues *obs.Counter
+	// QueueDepth tracks the per-enqueue queue length; its high-water mark
+	// is the deepest any node's queue ever got.
+	QueueDepth *obs.Gauge
+	// DropQueue, DropRetries and DropPlugin count drops by reason.
+	DropQueue   *obs.Counter
+	DropRetries *obs.Counter
+	DropPlugin  *obs.Counter
+	// Retries counts failed attempts that left the frame queued for
+	// another transmission.
+	Retries *obs.Counter
+	// FrameAttempts observes the attempts consumed by each terminated
+	// frame (delivered or retry-dropped).
+	FrameAttempts *obs.Histogram
+}
+
+// NewObs resolves the MAC telemetry bundle against reg. A nil registry
+// yields the disabled (all-nil) bundle.
+func NewObs(reg *obs.Registry) Obs {
+	return Obs{
+		Enqueues:      reg.Counter("mac_enqueues"),
+		QueueDepth:    reg.Gauge("mac_queue_depth"),
+		DropQueue:     reg.Counter("mac_drops_queue"),
+		DropRetries:   reg.Counter("mac_drops_retries"),
+		DropPlugin:    reg.Counter("mac_drops_plugin"),
+		Retries:       reg.Counter("mac_retries"),
+		FrameAttempts: reg.Histogram("mac_frame_attempts"),
+	}
+}
 
 // Segment is a transport-layer packet carried by the MAC. JTP packets,
 // TCP-SACK segments and ATP segments all implement it.
@@ -254,6 +291,10 @@ type MAC struct {
 	retryDrops   uint64
 	pluginDrops  uint64
 	noRouteDrops uint64
+
+	// obs holds the shared telemetry bundle (see Observe). The zero value
+	// is disabled; every site is one nil-check when telemetry is off.
+	obs Obs
 }
 
 // New returns a MAC for node id. The meter is shared with the node so all
@@ -301,6 +342,10 @@ func (m *MAC) Config() Config { return m.cfg }
 // installation order.
 func (m *MAC) AddPlugin(p Plugin) { m.plugins = append(m.plugins, p) }
 
+// Observe attaches a telemetry bundle (typically shared across all MACs
+// of a network). The zero bundle detaches.
+func (m *MAC) Observe(o Obs) { m.obs = o }
+
 // getFrame takes a frame from the free-list (or the heap on a cold start)
 // and initializes it for one hop.
 func (m *MAC) getFrame(seg Segment, nextHop packet.NodeID) *Frame {
@@ -334,6 +379,7 @@ func (m *MAC) releaseFrame(fr *Frame) {
 // the scratch frame.
 func (m *MAC) dropFull(seg Segment, nextHop packet.NodeID) {
 	m.queueDrops++
+	m.obs.DropQueue.Inc()
 	if m.Drops != nil {
 		fr := m.getFrame(seg, nextHop)
 		m.Drops(fr, DropQueue)
@@ -354,6 +400,8 @@ func (m *MAC) Enqueue(seg Segment, nextHop packet.NodeID) bool {
 	}
 	m.queue[tail] = m.getFrame(seg, nextHop)
 	m.qlen++
+	m.obs.Enqueues.Inc()
+	m.obs.QueueDepth.Update(uint64(m.qlen))
 	return true
 }
 
@@ -371,6 +419,8 @@ func (m *MAC) EnqueueFront(seg Segment, nextHop packet.NodeID) bool {
 	}
 	m.queue[m.qhead] = m.getFrame(seg, nextHop)
 	m.qlen++
+	m.obs.Enqueues.Inc()
+	m.obs.QueueDepth.Update(uint64(m.qlen))
 	return true
 }
 
@@ -487,6 +537,7 @@ func (m *MAC) OwnSlot() {
 		for _, p := range m.plugins {
 			if p.PreXmit(fr, info) == Drop {
 				m.pluginDrops++
+				m.obs.DropPlugin.Inc()
 				m.popHead()
 				if m.Drops != nil {
 					m.Drops(fr, DropPlugin)
@@ -507,6 +558,7 @@ func (m *MAC) OwnSlot() {
 		fr.ls.loss.Add(0)
 		m.txSuccess++
 		m.avgAttempts.Add(float64(fr.Attempts))
+		m.obs.FrameAttempts.Observe(uint64(fr.Attempts))
 		m.popHead()
 		m.env.DeliverUp(fr.To, fr)
 		m.releaseFrame(fr)
@@ -531,9 +583,12 @@ func (m *MAC) failAttempt(fr *Frame, chargeTx bool) {
 // once attempts are exhausted.
 func (m *MAC) retryOrDrop(fr *Frame) {
 	if fr.Attempts < fr.MaxAttempts {
+		m.obs.Retries.Inc()
 		return // head of queue retries on the next owned slot
 	}
 	m.retryDrops++
+	m.obs.DropRetries.Inc()
+	m.obs.FrameAttempts.Observe(uint64(fr.Attempts))
 	m.popHead()
 	if m.Drops != nil {
 		m.Drops(fr, DropRetries)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/sim"
 )
@@ -435,5 +436,30 @@ func TestAllocsOwnSlot(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("MAC slot allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsOwnSlotObserved repeats the slot guard with the telemetry
+// bundle attached: all MAC counter updates are plain field increments.
+func TestAllocsOwnSlotObserved(t *testing.T) {
+	_, _, m0, _ := build(t)
+	reg := obs.New()
+	m0.Observe(NewObs(reg))
+	seg := &stubSeg{size: 100, src: 0, dst: 1}
+	m0.Enqueue(seg, 1)
+	m0.OwnSlot()
+	allocs := testing.AllocsPerRun(1000, func() {
+		m0.Enqueue(seg, 1)
+		m0.OwnSlot()
+		m0.OwnSlot()
+	})
+	if allocs != 0 {
+		t.Fatalf("observed MAC slot allocates %.1f allocs/op, want 0", allocs)
+	}
+	if reg.Counter("mac_enqueues").Value() == 0 {
+		t.Fatal("telemetry registry saw no enqueues")
+	}
+	if reg.Histogram("mac_frame_attempts").Count() == 0 {
+		t.Fatal("telemetry registry saw no frame completions")
 	}
 }

@@ -42,7 +42,11 @@ type FlowRecord struct {
 }
 
 // ActiveSeconds returns the flow's active time: start to completion, or
-// start to end for streams.
+// start to end for streams. Degenerate windows — a zero-duration flow, a
+// stream that never started (runEnd at or before StartAt), or a recorded
+// completion before the start — clamp to 0 rather than to a tiny
+// positive floor, so a rate computed over the window is 0, never a
+// billions-scale artifact or ±Inf.
 func (f *FlowRecord) ActiveSeconds(runEnd float64) float64 {
 	end := runEnd
 	if f.Completed && f.CompletedAt > 0 {
@@ -50,14 +54,19 @@ func (f *FlowRecord) ActiveSeconds(runEnd float64) float64 {
 	}
 	d := end - f.StartAt
 	if d <= 0 {
-		return 1e-9
+		return 0
 	}
 	return d
 }
 
-// GoodputBps returns the flow's goodput in bits/s over its active time.
+// GoodputBps returns the flow's goodput in bits/s over its active time,
+// 0 when the flow had no active window.
 func (f *FlowRecord) GoodputBps(runEnd float64) float64 {
-	return float64(f.DeliveredBytes*8) / f.ActiveSeconds(runEnd)
+	as := f.ActiveSeconds(runEnd)
+	if as <= 0 {
+		return 0
+	}
+	return float64(f.DeliveredBytes*8) / as
 }
 
 // RunRecord aggregates one simulation run.
@@ -93,6 +102,10 @@ type RunRecord struct {
 	CacheHits uint64
 	// CacheInserts counts cache insertions across the system.
 	CacheInserts uint64
+	// Telemetry is the run's obs-registry snapshot when the run executed
+	// with telemetry attached (nil otherwise). Keys follow the obs naming
+	// scheme; values merge across runs per obs.Merge.
+	Telemetry map[string]uint64
 	// Flows are the per-flow records.
 	Flows []*FlowRecord
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -19,9 +20,9 @@ func TestFlowRecordGoodput(t *testing.T) {
 	if g := f.GoodputBps(200); g != 160 { // 8000 bits over 50 s
 		t.Fatalf("completed goodput = %v", g)
 	}
-	// Degenerate window must not divide by zero.
+	// Degenerate window must not divide by zero: it clamps to 0 goodput.
 	f.CompletedAt = 100
-	if g := f.GoodputBps(200); g <= 0 {
+	if g := f.GoodputBps(200); g != 0 {
 		t.Fatalf("degenerate window: %v", g)
 	}
 }
@@ -115,13 +116,57 @@ func TestActiveSeconds(t *testing.T) {
 	if f.ActiveSeconds(110) != 50 {
 		t.Fatal("completed active window")
 	}
-	if (&FlowRecord{StartAt: 100}).ActiveSeconds(50) <= 0 {
-		t.Fatal("negative window must clamp")
+	if got := (&FlowRecord{StartAt: 100}).ActiveSeconds(50); got != 0 {
+		t.Fatalf("negative window must clamp to 0, got %g", got)
 	}
 	var s stats.Series
 	s.Add(1, 1)
 	f.Reception = &s
 	if f.Reception.Len() != 1 {
 		t.Fatal("series attach")
+	}
+}
+
+// Degenerate flow windows must clamp to 0 active seconds and 0 goodput
+// — never the old 1e-9 floor that turned any delivered byte into a
+// billions-scale rate, and never ±Inf.
+func TestActiveSecondsDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		flow FlowRecord
+		end  float64
+	}{
+		{"zero-duration completed flow", FlowRecord{StartAt: 40, Completed: true, CompletedAt: 40, DeliveredBytes: 1000}, 100},
+		{"stream never started", FlowRecord{StartAt: 200, DeliveredBytes: 500}, 200},
+		{"stream start past run end", FlowRecord{StartAt: 300, DeliveredBytes: 500}, 120},
+		{"completion before start", FlowRecord{StartAt: 80, Completed: true, CompletedAt: 20, DeliveredBytes: 4096}, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.flow.ActiveSeconds(tc.end); got != 0 {
+				t.Fatalf("ActiveSeconds = %g, want 0", got)
+			}
+			g := tc.flow.GoodputBps(tc.end)
+			if g != 0 {
+				t.Fatalf("GoodputBps = %g, want 0", g)
+			}
+			if math.IsInf(g, 0) || math.IsNaN(g) {
+				t.Fatalf("GoodputBps must be finite, got %g", g)
+			}
+		})
+	}
+	// A healthy window is unaffected by the clamp.
+	f := FlowRecord{StartAt: 10, DeliveredBytes: 1000}
+	if got := f.GoodputBps(110); got != 80 {
+		t.Fatalf("healthy goodput = %g, want 80", got)
+	}
+	// MeanGoodputBps over a mix of healthy and degenerate flows stays
+	// finite: the degenerate flow contributes 0, not Inf.
+	r := RunRecord{Seconds: 100, Flows: []*FlowRecord{
+		{StartAt: 0, DeliveredBytes: 1250},
+		{StartAt: 100, DeliveredBytes: 99},
+	}}
+	if got := r.MeanGoodputBps(); got != 50 || math.IsInf(got, 0) {
+		t.Fatalf("mean goodput = %g, want 50", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/javelen/jtp/internal/energy"
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/mobility"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/routing"
 	"github.com/javelen/jtp/internal/sim"
@@ -164,5 +165,29 @@ func TestAllocsRouterRefreshEpochCached(t *testing.T) {
 	r.Refresh() // warm both double-buffered views at full size
 	if allocs := testing.AllocsPerRun(200, r.Refresh); allocs != 0 {
 		t.Fatalf("Router.Refresh within an unchanged epoch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocsRouterRefreshObserved repeats the epoch-cached refresh guard
+// with telemetry attached to the whole network (MAC bundles via
+// Network.Observe plus the shared-cache fill accounting): the refresh
+// path must stay allocation-free with counters live.
+func TestAllocsRouterRefreshObserved(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := New(eng, Config{
+		Topo:    topology.GridN(49, 80),
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	nw.Observe(obs.New())
+	nw.Start()
+	eng.RunFor(2 * sim.Second)
+	r := nw.Node(10).Router
+	r.Refresh()
+	r.Refresh()
+	if allocs := testing.AllocsPerRun(200, r.Refresh); allocs != 0 {
+		t.Fatalf("observed Router.Refresh allocates %.1f/op, want 0", allocs)
 	}
 }

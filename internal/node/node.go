@@ -18,6 +18,7 @@ import (
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/energy"
 	"github.com/javelen/jtp/internal/mac"
+	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/routing"
 	"github.com/javelen/jtp/internal/sim"
@@ -235,6 +236,22 @@ func (nw *Network) EnablePacketPool() {
 // is disabled. All pool methods are nil-receiver safe, so callers use the
 // result unconditionally.
 func (nw *Network) PacketPool() *packet.Pool { return nw.pool }
+
+// Observe attaches MAC-layer telemetry to reg: one shared handle bundle
+// incremented by every node's MAC (see mac.Obs). A nil registry
+// attaches the disabled bundle, detaching any previous one.
+func (nw *Network) Observe(reg *obs.Registry) {
+	bundle := mac.NewObs(reg)
+	for _, nd := range nw.nodes {
+		nd.MAC.Observe(bundle)
+	}
+}
+
+// LinkVersion returns the raw link-state version counter: the number of
+// snapshot rebuilds, liveness flips and manual up/down transitions seen
+// so far. Unlike Version it never forces a rebuild, so it is safe for
+// end-of-run telemetry collection.
+func (nw *Network) LinkVersion() uint64 { return nw.linkVer }
 
 // Channel returns the wireless channel.
 func (nw *Network) Channel() *channel.Channel { return nw.chann }

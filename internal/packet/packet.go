@@ -595,16 +595,36 @@ func (p *Packet) DecodeInto(buf []byte) (int, error) {
 type Pool struct {
 	pkts []*Packet
 	acks []*AckInfo
+
+	// Reuse accounting for telemetry, read once per run via Stats. Plain
+	// counters: the pool is single-goroutine like the Engine.
+	gets   uint64
+	puts   uint64
+	misses uint64
 }
 
 // Get returns a zeroed packet, recycled when the free-list is non-empty.
 func (pl *Pool) Get() *Packet {
-	if pl == nil || len(pl.pkts) == 0 {
+	if pl == nil {
+		return new(Packet)
+	}
+	pl.gets++
+	if len(pl.pkts) == 0 {
+		pl.misses++
 		return new(Packet)
 	}
 	p := pl.pkts[len(pl.pkts)-1]
 	pl.pkts = pl.pkts[:len(pl.pkts)-1]
 	return p
+}
+
+// Stats returns the pool's reuse counters: packet Gets, Puts, and Gets
+// that missed the free-list (heap allocations). Zeros on a nil pool.
+func (pl *Pool) Stats() (gets, puts, misses uint64) {
+	if pl == nil {
+		return 0, 0, 0
+	}
+	return pl.gets, pl.puts, pl.misses
 }
 
 // GetAck returns a zeroed feedback block whose SNACK/recovered slices
@@ -628,6 +648,7 @@ func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
 	}
+	pl.puts++
 	if a := p.Ack; a != nil {
 		*a = AckInfo{Snack: a.Snack[:0], Recovered: a.Recovered[:0]}
 		pl.acks = append(pl.acks, a)

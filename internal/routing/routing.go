@@ -193,8 +193,10 @@ type Cache struct {
 	// the BFS writes through (its slices are swapped with the entry's).
 	scratch []packet.NodeID
 	view    View
-	// computes counts BFS executions (tests assert memoization).
+	// computes counts BFS executions (tests assert memoization); fills
+	// counts Fill calls, so fills − computes is the memoization hit count.
 	computes uint64
+	fills    uint64
 }
 
 // cacheEntry is one source's memoized view.
@@ -216,6 +218,9 @@ func NewCache(dir Directory) *Cache {
 // the gap between Computes and Fill calls is the memoization hit count.
 func (c *Cache) Computes() uint64 { return c.computes }
 
+// Fills returns the number of Fill calls served (hits plus recomputes).
+func (c *Cache) Fills() uint64 { return c.fills }
+
 // Fill produces the current view from src into v (allocating one if v is
 // nil) and returns it. v's buffers are reused, so a router double-
 // buffering its views through Fill performs zero steady-state
@@ -223,6 +228,7 @@ func (c *Cache) Computes() uint64 { return c.computes }
 // stamped with at — adoption time is the caller's, not the compute
 // time's, preserving per-router staleness.
 func (c *Cache) Fill(v *View, src packet.NodeID, at sim.Time) *View {
+	c.fills++
 	n := c.dir.N()
 	if len(c.ent) < n {
 		c.ent = append(c.ent, make([]cacheEntry, n-len(c.ent))...)

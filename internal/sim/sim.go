@@ -24,6 +24,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/javelen/jtp/internal/obs"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the run.
@@ -133,6 +135,14 @@ type Engine struct {
 	// Executed counts handlers run; useful for progress reporting and to
 	// bound runaway simulations in tests.
 	Executed uint64
+
+	// Telemetry handles (see Observe). All nil when telemetry is off, so
+	// the hot path pays one nil-check per site and nothing else. Never
+	// touches the RNG and never influences event order.
+	obsScheduled *obs.Counter
+	obsFired     *obs.Counter
+	obsStopped   *obs.Counter
+	obsHeapDepth *obs.Gauge
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -165,7 +175,24 @@ func (e *Engine) Reset(seed int64) {
 	e.seq = 0
 	e.stopped = false
 	e.Executed = 0
+	// Pooled engines outlive the registry they were observed with; detach
+	// so a recycled engine never writes into a previous run's telemetry.
+	e.obsScheduled = nil
+	e.obsFired = nil
+	e.obsStopped = nil
+	e.obsHeapDepth = nil
 	e.rng.Seed(seed)
+}
+
+// Observe attaches kernel telemetry to reg: counters for events
+// scheduled, fired and stopped, and a high-water gauge for heap depth.
+// Observing a nil registry detaches (all handles become no-ops). Reset
+// also detaches, so pooled engines start each run silent.
+func (e *Engine) Observe(reg *obs.Registry) {
+	e.obsScheduled = reg.Counter("sim_events_scheduled")
+	e.obsFired = reg.Counter("sim_events_fired")
+	e.obsStopped = reg.Counter("sim_events_stopped")
+	e.obsHeapDepth = reg.Gauge("sim_heap_depth")
 }
 
 // Now returns the current virtual time.
@@ -211,6 +238,8 @@ func (e *Engine) ScheduleAt(at Time, fn Handler) EventRef {
 	ev.at = at
 	ev.seq = e.seq
 	e.heapPush(heapEntry{at: at, seq: e.seq, slot: slot})
+	e.obsScheduled.Inc()
+	e.obsHeapDepth.Update(uint64(len(e.heap)))
 	return EventRef{eng: e, slot: slot, gen: ev.gen}
 }
 
@@ -226,6 +255,7 @@ func (e *Engine) cancel(slot int32, gen uint32) bool {
 	}
 	e.heapRemove(int(ev.pos))
 	e.release(slot)
+	e.obsStopped.Inc()
 	return true
 }
 
@@ -258,6 +288,7 @@ func (e *Engine) RunUntil(end Time) {
 		e.release(top.slot)
 		e.now = top.at
 		e.Executed++
+		e.obsFired.Inc()
 		fn()
 	}
 	if e.now < end {
@@ -279,6 +310,7 @@ func (e *Engine) Drain() {
 		e.release(top.slot)
 		e.now = top.at
 		e.Executed++
+		e.obsFired.Inc()
 		fn()
 	}
 }

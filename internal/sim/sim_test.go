@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"github.com/javelen/jtp/internal/obs"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -460,5 +462,32 @@ func TestAllocsTicker(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("ticker steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsScheduleSteadyStateObserved repeats the steady-state guard
+// with a telemetry registry attached: counter handles are plain pointer
+// increments, so instrumentation must not change the 0-allocs contract.
+func TestAllocsScheduleSteadyStateObserved(t *testing.T) {
+	e := NewEngine(1)
+	reg := obs.New()
+	e.Observe(reg)
+	var fn Handler
+	fn = func() { e.Schedule(Millisecond, fn) }
+	for i := 0; i < 64; i++ {
+		e.Schedule(Millisecond, fn)
+	}
+	e.RunFor(Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunFor(10 * Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("observed steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+	if reg.Counter("sim_events_fired").Value() == 0 {
+		t.Fatal("telemetry registry saw no fired events")
+	}
+	if reg.Gauge("sim_heap_depth").HighWater() < 64 {
+		t.Fatalf("heap depth hwm = %d, want >= 64", reg.Gauge("sim_heap_depth").HighWater())
 	}
 }

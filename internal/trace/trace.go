@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -133,6 +134,37 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Dump(w io.Writer) error {
 	for _, e := range t.Events() {
 		if _, err := io.WriteString(w, e.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonEvent is the JSONL shape of one trace event. Field order is fixed
+// by the struct, so lines are deterministic for a deterministic run.
+type jsonEvent struct {
+	T      float64 `json:"t"`
+	Node   uint16  `json:"node"`
+	Kind   string  `json:"kind"`
+	Flow   uint16  `json:"flow"`
+	Seq    uint32  `json:"seq"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// WriteJSON writes the retained events as JSON Lines (one object per
+// event, chronological order) — the structured sibling of Dump.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		je := jsonEvent{
+			T:      e.T,
+			Node:   uint16(e.Node),
+			Kind:   e.Kind.String(),
+			Flow:   uint16(e.Flow),
+			Seq:    e.Seq,
+			Detail: e.Detail,
+		}
+		if err := enc.Encode(je); err != nil {
 			return err
 		}
 	}

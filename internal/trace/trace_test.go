@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,61 @@ func TestZeroCapacityDefaults(t *testing.T) {
 	}
 	if tr.Len() != 1024 {
 		t.Fatalf("default capacity = %d", tr.Len())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New(4)
+	tr.Add(Event{T: 1.5, Node: 3, Kind: Transmit, Flow: 1, Seq: 7})
+	tr.Add(Event{T: 2.25, Node: 4, Kind: Drop, Flow: 1, Seq: 7, Detail: "retries-exhausted"})
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var got struct {
+		T      float64 `json:"t"`
+		Node   uint16  `json:"node"`
+		Kind   string  `json:"kind"`
+		Flow   uint16  `json:"flow"`
+		Seq    uint32  `json:"seq"`
+		Detail string  `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if got.T != 1.5 || got.Node != 3 || got.Kind != "transmit" || got.Flow != 1 || got.Seq != 7 || got.Detail != "" {
+		t.Fatalf("line 0 = %+v", got)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if got.Kind != "drop" || got.Detail != "retries-exhausted" {
+		t.Fatalf("line 1 = %+v", got)
+	}
+	// Wrapped ring still writes chronologically.
+	for i := 0; i < 10; i++ {
+		tr.Add(ev(float64(10+i), Deliver, uint32(i)))
+	}
+	b.Reset()
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(b.String(), "\n")
+	if n := len(strings.Split(out, "\n")); n != 4 {
+		t.Fatalf("wrapped lines = %d, want 4", n)
+	}
+	last := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.T <= last {
+			t.Fatalf("events out of order: %g after %g", got.T, last)
+		}
+		last = got.T
 	}
 }
