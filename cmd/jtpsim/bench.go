@@ -10,6 +10,8 @@ package main
 //	jtpsim bench                        # fig9 preset (BENCH_PR4.json)
 //	jtpsim bench -preset mobile         # large-n mobile RGG tier (BENCH_PR5.json)
 //	jtpsim bench -preset telemetry      # obs overhead gate (BENCH_PR6.json)
+//	jtpsim bench -preset huge -scale 1  # 1k+10k-node tier (BENCH_PR7.json)
+//	jtpsim bench -preset huge -full     # adds the 65536-node ceiling tier
 //	jtpsim bench -scale 0.5 -par 8      # heavier sweep, 8 workers
 //	jtpsim bench -out report.json       # where to write the report
 //
@@ -22,6 +24,10 @@ package main
 //     workload the PR 5 epoch-cached adjacency substrate targets.
 //   - telemetry: runs fig9 and mobile with obs counters off and on and
 //     gates the telemetry overhead at 3% (see bench_telemetry.go).
+//   - huge: 1k-node (and, at -scale ≥ 0.5, 10k-node; with -full, the
+//     65536-node addressing-ceiling) mobile RGGs — the spatial-hash
+//     link-state tier; -check also gates peak RSS so an O(n²)
+//     regression in snapshot memory fails loudly.
 //
 // The guarded hot paths (steady-state kernel scheduling, packet codec
 // round-trip, per-slot MAC tick via an idle chain, epoch-cached router
@@ -41,6 +47,7 @@ import (
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/energy"
 	"github.com/javelen/jtp/internal/experiments"
+	"github.com/javelen/jtp/internal/geom"
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/node"
 	"github.com/javelen/jtp/internal/packet"
@@ -65,6 +72,11 @@ type BenchReport struct {
 	RunsPerSec   float64 `json:"runs_per_sec"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakRSSBytes is the process's peak resident set size after the
+	// campaign (getrusage; 0 where unsupported). The huge preset gates
+	// it under -check: snapshot memory must scale O(V+E), so a 10k-node
+	// tier fitting comfortably under the gate is the no-n×n proof.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
 
 	// AllocsPerOp are the guarded hot paths; all must be 0.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
@@ -74,10 +86,11 @@ type BenchReport struct {
 func benchMain(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		preset = fs.String("preset", "fig9", "campaign preset: fig9, mobile or telemetry")
+		preset = fs.String("preset", "fig9", "campaign preset: fig9, mobile, telemetry or huge")
 		scale  = fs.Float64("scale", 0.15, "fraction of the preset's full sweep (0..1]")
-		out    = fs.String("out", "", "report path ('-' for stdout only; default BENCH_PR4.json for fig9, BENCH_PR5.json for mobile)")
-		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates")
+		out    = fs.String("out", "", "report path ('-' for stdout only; default BENCH_PR4.json for fig9, BENCH_PR5.json for mobile, BENCH_PR7.json for huge)")
+		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates (huge: also gates peak RSS)")
+		full   = fs.Bool("full", false, "huge preset: include the 65536-node addressing-ceiling tier")
 	)
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(fs)
@@ -102,6 +115,7 @@ func benchMain(args []string) int {
 
 	var res experiments.CampaignBenchResult
 	var start time.Time
+	var rssGate uint64
 	switch *preset {
 	case "fig9":
 		if *out == "" {
@@ -123,8 +137,19 @@ func benchMain(args []string) int {
 			len(cfg.Sizes), len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
 		start = time.Now()
 		res = experiments.MobileCampaignBench(cfg)
+	case "huge":
+		if *out == "" {
+			*out = "BENCH_PR7.json"
+		}
+		cfg := experiments.HugeBenchDefaults(*scale, *full)
+		cfg.Par = par
+		rssGate = hugeRSSGate(cfg.Sizes)
+		fmt.Fprintf(os.Stderr, "jtpsim bench: huge campaign sizes=%v × %d speeds × %d protocols × %d runs, par=%d\n",
+			cfg.Sizes, len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
+		start = time.Now()
+		res = experiments.HugeCampaignBench(cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "jtpsim bench: unknown preset %q (want fig9 or mobile)\n", *preset)
+		fmt.Fprintf(os.Stderr, "jtpsim bench: unknown preset %q (want fig9, mobile, telemetry or huge)\n", *preset)
 		return 1
 	}
 	wall := time.Since(start).Seconds()
@@ -141,11 +166,13 @@ func benchMain(args []string) int {
 		RunsPerSec:   float64(res.Runs) / wall,
 		Events:       res.Events,
 		EventsPerSec: float64(res.Events) / wall,
+		PeakRSSBytes: peakRSSBytes(),
 		AllocsPerOp: map[string]float64{
 			"kernel_schedule_rununtil":    benchKernelAllocs(),
 			"packet_codec_roundtrip":      benchCodecAllocs(),
 			"mac_slot":                    benchMACSlotAllocs(),
 			"router_refresh_epoch_cached": benchRouterRefreshAllocs(),
+			"linkstate_patch_within_cell": benchPatchWithinCellAllocs(),
 		},
 	}
 
@@ -171,8 +198,39 @@ func benchMain(args []string) int {
 				return 1
 			}
 		}
+		if rssGate > 0 && rep.PeakRSSBytes > rssGate {
+			fmt.Fprintf(os.Stderr, "jtpsim bench: peak RSS %d bytes exceeds the %d-byte gate — link-state memory no longer O(V+E)?\n",
+				rep.PeakRSSBytes, rssGate)
+			return 1
+		}
 	}
 	return 0
+}
+
+// hugeRSSGate maps the huge preset's largest network size to a peak-RSS
+// ceiling. The gates sit ~4× above measured usage of the O(V+E)
+// substrate — far below what any resurrected n×n structure would cost
+// (an n×n bitset alone is 512 MB at 65536 nodes, a float64 quality
+// matrix 32 GB at 65536 and 800 MB at 10k) — so they trip on asymptotic
+// regressions, not noise. 0 (no gate) where getrusage is unavailable.
+func hugeRSSGate(sizes []int) uint64 {
+	if peakRSSBytes() == 0 {
+		return 0
+	}
+	max := 0
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+	}
+	switch {
+	case max <= 1000:
+		return 512 << 20
+	case max <= 10000:
+		return 1 << 30
+	default:
+		return 4 << 30
+	}
 }
 
 // benchKernelAllocs measures steady-state Engine.Schedule/RunUntil.
@@ -234,6 +292,38 @@ func benchMACSlotAllocs() float64 {
 	eng := b.Engine()
 	eng.RunUntil(sim.Time(10 * sim.Second)) // warm slabs, frames, link stats
 	return testing.AllocsPerRun(100, func() { eng.RunFor(sim.Second) })
+}
+
+// benchPatchWithinCellAllocs measures the steady-state incremental
+// link-state patch: one node drifts within its grid cell (same cell,
+// same neighbor set) and the next Version call patches exactly that row
+// — a grid key compare, a candidate gather, a sort and a quality
+// refresh, all in reused buffers, zero allocations.
+func benchPatchWithinCellAllocs() float64 {
+	eng := sim.NewEngine(1)
+	topo := topology.GridN(64, 80)
+	nw := node.New(eng, node.Config{
+		Topo:    topo,
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	id := packet.NodeID(17)
+	base := topo.Position(id)
+	step := 0
+	move := func() {
+		step++
+		// 80 m lattice spacing, 100 m radio range: a ≤0.5 m jiggle keeps
+		// every distance far from the range threshold and the node inside
+		// its 100 m grid cell, so the patch path must change nothing.
+		d := 0.25 * float64(step%3)
+		topo.SetPosition(id, geom.Point{X: base.X + d, Y: base.Y + d})
+		nw.Version()
+	}
+	nw.Version() // build the snapshot
+	move()       // warm the delta buffers and scratch
+	return testing.AllocsPerRun(200, move)
 }
 
 // benchRouterRefreshAllocs measures a steady-state Router.Refresh within

@@ -4,3 +4,6 @@ package main
 
 // cpuSeconds falls back to wall-clock where getrusage is unavailable.
 func cpuSeconds() float64 { return wallSeconds() }
+
+// peakRSSBytes is unavailable without getrusage; 0 disables RSS gates.
+func peakRSSBytes() uint64 { return 0 }

@@ -2,7 +2,10 @@
 
 package main
 
-import "syscall"
+import (
+	"runtime"
+	"syscall"
+)
 
 // cpuSeconds returns this process's consumed CPU time (user + system).
 // The telemetry overhead gate measures CPU time rather than wall-clock:
@@ -18,4 +21,19 @@ func cpuSeconds() float64 {
 		return float64(tv.Sec) + float64(tv.Usec)/1e6
 	}
 	return sec(ru.Utime) + sec(ru.Stime)
+}
+
+// peakRSSBytes returns the process's peak resident set size in bytes, 0
+// where unavailable. getrusage reports Maxrss in kilobytes on Linux and
+// BSDs but in bytes on Darwin.
+func peakRSSBytes() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := uint64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return rss
 }

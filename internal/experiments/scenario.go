@@ -107,6 +107,12 @@ type Scenario struct {
 	LinearSpacing float64
 	// MobilitySpeed enables random-waypoint motion at this speed in m/s.
 	MobilitySpeed float64
+	// RoutingOnDemand makes routers lazy (routing.Config.OnDemand): no
+	// eager per-node view, no refresh timers — views materialize at
+	// first NextHop and refresh at use time once UpdatePeriod old. The
+	// huge bench tiers use it so a 10k-node network doesn't build 10k
+	// O(n) views for the handful of nodes that ever see traffic.
+	RoutingOnDemand bool
 	// Seconds is the run duration in virtual seconds.
 	Seconds float64
 	// Seed drives all randomness; same seed, same run.
@@ -339,6 +345,7 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 	if sc.MobilitySpeed > 0 {
 		rtCfg = routing.Defaults()
 	}
+	rtCfg.OnDemand = sc.RoutingOnDemand
 
 	nw := node.New(eng, node.Config{
 		Topo:    topo,
@@ -576,6 +583,7 @@ func (b *BuiltScenario) collectObs(reg *obs.Registry) {
 		reg.Counter("route_fills").Add(fills)
 		reg.Counter("route_bfs_computes").Add(computes)
 		reg.Counter("route_cache_hits").Add(fills - computes)
+		reg.Counter("route_cache_evictions").Add(views.Evictions())
 	}
 	reg.Counter("link_state_versions").Add(b.nw.LinkVersion())
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/energy"
+	"github.com/javelen/jtp/internal/geom"
 	"github.com/javelen/jtp/internal/mac"
 	"github.com/javelen/jtp/internal/mobility"
 	"github.com/javelen/jtp/internal/obs"
@@ -189,5 +190,130 @@ func TestAllocsRouterRefreshObserved(t *testing.T) {
 	r.Refresh()
 	if allocs := testing.AllocsPerRun(200, r.Refresh); allocs != 0 {
 		t.Fatalf("observed Router.Refresh allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocsLinkPatchWithinCell pins the steady-state incremental patch:
+// a node drifting within its grid cell, neighbor set unchanged, costs a
+// grid key compare, a candidate gather, a sort and a quality refresh in
+// reused buffers — zero allocations per move+query cycle.
+func TestAllocsLinkPatchWithinCell(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tp := topology.GridN(64, 80)
+	nw := New(eng, Config{
+		Topo:    tp,
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	id := packet.NodeID(17)
+	base := tp.Position(id)
+	step := 0
+	move := func() {
+		step++
+		// ≤0.5 m jiggle on an 80 m lattice inside 100 m cells: same cell,
+		// same neighbor set, every incident quality refreshed.
+		d := 0.25 * float64(step%3)
+		tp.SetPosition(id, geom.Point{X: base.X + d, Y: base.Y + d})
+		nw.Version()
+	}
+	nw.Version() // build the snapshot
+	move()       // warm delta buffers and scratch
+	if allocs := testing.AllocsPerRun(200, move); allocs != 0 {
+		t.Fatalf("within-cell patch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPatchedSnapshotQualityMatchesRebuild drives mobility through the
+// incremental patch path and pins every cached link quality bit-exact
+// against a second network built fresh at the same positions (whose
+// snapshot can only come from a full rebuild). Neighbor sets are pinned
+// by the brute-force property suite; this adds the quality plane.
+func TestPatchedSnapshotQualityMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		eng := sim.NewEngine(seed)
+		tp, ok := topology.Random(30, 100, rand.New(rand.NewSource(seed)), 200)
+		if !ok {
+			t.Fatal("rgg generation failed")
+		}
+		nw := New(eng, Config{
+			Topo:    tp,
+			Channel: channel.Defaults(),
+			MAC:     mac.Defaults(),
+			Routing: routing.Defaults(),
+			Energy:  energy.JAVeLEN(),
+		})
+		mob := mobility.New(eng, tp, tp.Field, mobility.Defaults(5))
+		nw.Start()
+		mob.Start()
+		for step := 0; step < 5; step++ {
+			eng.RunFor(500 * sim.Millisecond)
+			nw.Version() // bring the snapshot current via the patch path
+			fresh := New(sim.NewEngine(1), Config{
+				Topo:    tp.Clone(),
+				Channel: channel.Defaults(),
+				MAC:     mac.Defaults(),
+				Routing: routing.Defaults(),
+				Energy:  energy.JAVeLEN(),
+			})
+			n := nw.N()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a, b := packet.NodeID(i), packet.NodeID(j)
+					if got, want := nw.LinkQuality(a, b), fresh.LinkQuality(a, b); got != want {
+						t.Fatalf("seed %d step %d: LinkQuality(%v,%v)=%v patched, %v rebuilt",
+							seed, step, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLinkVersionBumpsOnlyOnNeighborChange pins the spurious-BFS fix:
+// a mobility batch whose moves keep every neighbor set identical must
+// not advance the link-state version (memoized views stay valid), while
+// a batch that changes some adjacency must. The patch instruments
+// (linkstate_rows_patched / linkstate_patch_epochs) account both.
+func TestLinkVersionBumpsOnlyOnNeighborChange(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tp := topology.GridN(16, 80)
+	nw := New(eng, Config{
+		Topo:    tp,
+		Channel: channel.Defaults(),
+		MAC:     mac.Defaults(),
+		Routing: routing.Defaults(),
+		Energy:  energy.JAVeLEN(),
+	})
+	reg := obs.New()
+	nw.Observe(reg)
+	v0 := nw.Version()
+
+	// Within-range drift: three nodes jiggle by a meter. 80 m lattice,
+	// 100 m range — no adjacency can flip.
+	for _, i := range []int{3, 7, 11} {
+		p := tp.Position(packet.NodeID(i))
+		tp.SetPosition(packet.NodeID(i), geom.Point{X: p.X + 1, Y: p.Y})
+	}
+	if v := nw.Version(); v != v0 {
+		t.Fatalf("version %d -> %d on a neighbor-preserving batch, want unchanged", v0, v)
+	}
+	snap := reg.Snapshot()
+	if snap["linkstate_rows_patched"] != 3 || snap["linkstate_patch_epochs"] != 1 {
+		t.Fatalf("patch instruments = %v, want 3 rows over 1 epoch", snap)
+	}
+
+	// Pull a corner node out of everyone's range: adjacency changed, the
+	// version must move and routes recompute.
+	tp.SetPosition(0, geom.Point{X: -5000, Y: -5000})
+	if v := nw.Version(); v == v0 {
+		t.Fatal("version unchanged although node 0 left the network")
+	}
+	if nw.Linked(0, 1) {
+		t.Fatal("node 0 still linked after leaving")
+	}
+	if got := reg.Snapshot()["linkstate_rows_patched"]; got != 4 {
+		t.Fatalf("rows patched = %v, want 4", got)
 	}
 }

@@ -13,7 +13,7 @@ package node
 
 import (
 	"fmt"
-	"math/bits"
+	"slices"
 
 	"github.com/javelen/jtp/internal/channel"
 	"github.com/javelen/jtp/internal/energy"
@@ -121,12 +121,19 @@ type Network struct {
 	budgets  []float64
 	maxEvent float64
 
-	// snap is the epoch-cached link-state substrate: a CSR neighbor-list
-	// adjacency, an in-range bitset, and per-link channel quality, all
-	// rebuilt lazily once per topology position epoch. Linked and
-	// Neighbors answer from it in O(1)/O(deg) instead of recomputing
-	// squared distances per call. See ensureSnap.
+	// snap is the epoch-cached link-state substrate: a spatial-hash grid
+	// over positions plus per-node neighbor rows with per-link channel
+	// quality, O(V+E) memory, brought current lazily once per topology
+	// position epoch — by patching only the moved rows when the epoch
+	// advanced by exactly one, else by a full grid rebuild. See
+	// ensureSnap.
 	snap linkSnapshot
+	// obs handles for the incremental link-state path (nil-safe no-ops
+	// until Observe attaches a registry): rows patched across all patch
+	// epochs, number of incremental patch epochs, and full rebuilds.
+	obsRowsPatched  *obs.Counter
+	obsPatchEpochs  *obs.Counter
+	obsSnapRebuilds *obs.Counter
 	// linkVer is the link-state version for routing.VersionedDirectory:
 	// it advances when the snapshot is rebuilt, when a node fails or
 	// revives, and when the budget-exhaustion bitmap changes.
@@ -238,13 +245,20 @@ func (nw *Network) EnablePacketPool() {
 func (nw *Network) PacketPool() *packet.Pool { return nw.pool }
 
 // Observe attaches MAC-layer telemetry to reg: one shared handle bundle
-// incremented by every node's MAC (see mac.Obs). A nil registry
-// attaches the disabled bundle, detaching any previous one.
+// incremented by every node's MAC (see mac.Obs), plus the network's
+// link-state patch instruments (linkstate_rows_patched /
+// linkstate_patch_epochs / linkstate_full_rebuilds — how much of the
+// mobility load the incremental path absorbed vs full grid rebuilds).
+// A nil registry attaches the disabled bundle and nil handles,
+// detaching any previous ones.
 func (nw *Network) Observe(reg *obs.Registry) {
 	bundle := mac.NewObs(reg)
 	for _, nd := range nw.nodes {
 		nd.MAC.Observe(bundle)
 	}
+	nw.obsRowsPatched = reg.Counter("linkstate_rows_patched")
+	nw.obsPatchEpochs = reg.Counter("linkstate_patch_epochs")
+	nw.obsSnapRebuilds = reg.Counter("linkstate_full_rebuilds")
 }
 
 // LinkVersion returns the raw link-state version counter: the number of
@@ -274,114 +288,255 @@ func (nw *Network) Nodes() []*Node { return nw.nodes }
 // N returns the node count (routing.Directory).
 func (nw *Network) N() int { return nw.topo.N() }
 
-// linkSnapshot is the per-epoch link-state cache: which node pairs are
-// within radio range (bitset, O(1) lookup), each node's neighbor list in
-// ascending id order (CSR, O(V+E) BFS walks), and the distance-based
-// channel quality of every in-range link. It depends only on positions
-// and the radio range, so it is valid for exactly one topology position
-// epoch; liveness (failures, battery deaths) is layered on top at query
-// time because it can change mid-epoch.
-type linkSnapshot struct {
-	built  bool
-	epoch  uint64 // topology.Epoch the snapshot was built at
-	n      int
-	stride int             // bitset words per row
-	bits   []uint64        // n×stride in-range bitset, row-major
-	off    []int32         // CSR row offsets, len n+1
-	nbr    []packet.NodeID // CSR neighbor ids, ascending within a row
-	qual   []float64       // channel.Quality per CSR edge, aligned with nbr
+// linkRow is one node's geometric neighbor list (ascending id order)
+// with the distance-based channel quality of each link, aligned by
+// index. Rows are patched in place as nodes move, so a row's slices
+// reach a steady-state capacity and stop allocating.
+type linkRow struct {
+	nbr  []packet.NodeID
+	qual []float64
 }
 
-// inRange reports the cached range bit for (a, b), a != b.
-func (s *linkSnapshot) inRange(a, b packet.NodeID) bool {
-	w := s.bits[int(a)*s.stride+int(b)/64]
-	return w&(1<<(uint(b)%64)) != 0
+// linkSnapshot is the per-epoch link-state cache: a spatial-hash grid
+// (cell side = radio range) bucketing node positions, and per-node
+// neighbor rows derived from it. Memory is O(V+E) — there is no n×n
+// structure anywhere — and the snapshot is brought current either by a
+// full O(V+E) rebuild (first use) or, when the topology is exactly one
+// epoch ahead, by patching only the rows of nodes that actually moved:
+// O(moved·deg) per mobility batch. It depends only on positions and the
+// radio range, so it is valid for exactly one topology position epoch;
+// liveness (failures, battery deaths) is layered on top at query time
+// because it can change mid-epoch.
+type linkSnapshot struct {
+	built bool
+	epoch uint64 // topology.Epoch the snapshot was built at
+	n     int
+	grid  *topology.SpatialGrid
+	rows  []linkRow
+	cand  []packet.NodeID // scratch: grid candidates of the row in rebuild
 }
 
 // row returns a's geometric neighbor list.
 func (s *linkSnapshot) row(a packet.NodeID) []packet.NodeID {
-	return s.nbr[s.off[int(a)]:s.off[int(a)+1]]
+	return s.rows[int(a)].nbr
 }
 
 // ensureSnap brings the link snapshot to the topology's current position
-// epoch, rebuilding it — one O(n²) distance pass, amortized over every
-// Linked/Neighbors/LinkQuality query of the epoch — only when positions
-// actually changed. Every rebuild advances the link-state version.
+// epoch. When the topology is exactly one epoch ahead it patches only
+// the rows of the nodes in the fold's delta (and their neighbors'
+// mirrored entries); otherwise it rebuilds from scratch. The link-state
+// version advances only when some row's neighbor SET actually changed —
+// a batch of within-range drift that kept every neighbor set bumps
+// nothing, so routers' memoized views stay valid and no BFS re-runs.
 func (nw *Network) ensureSnap() {
 	epoch := nw.topo.Epoch()
 	if nw.snap.built && nw.snap.epoch == epoch {
 		return
 	}
+	if nw.snap.built && epoch == nw.snap.epoch+1 {
+		nw.patchSnap(epoch, nw.topo.LastDelta())
+		return
+	}
 	nw.rebuildSnap(epoch)
 }
 
-// rebuildSnap recomputes the adjacency bitset, CSR neighbor lists and
-// per-link qualities from the current positions. Buffers are reused, so
-// steady-state mobility rebuilds allocate nothing once at size.
+// rebuildSnap recomputes the grid and every neighbor row from the
+// current positions: one grid pass plus one 9-cell candidate gather per
+// node, O(V+E). Buffers are reused, so a rebuild at steady size
+// allocates nothing. Every rebuild advances the link-state version.
 func (nw *Network) rebuildSnap(epoch uint64) {
 	s := &nw.snap
 	n := nw.topo.N()
 	s.n = n
-	s.stride = (n + 63) / 64
-	words := n * s.stride
-	if cap(s.bits) < words {
-		s.bits = make([]uint64, words)
+	if s.grid == nil {
+		s.grid = topology.NewSpatialGrid(nw.topo, nw.chann.Range())
 	} else {
-		s.bits = s.bits[:words]
-		for i := range s.bits {
-			s.bits[i] = 0
-		}
+		s.grid.Rebuild()
 	}
-	if cap(s.off) < n+1 {
-		s.off = make([]int32, n+1)
+	if cap(s.rows) < n {
+		s.rows = make([]linkRow, n)
 	} else {
-		s.off = s.off[:n+1]
+		s.rows = s.rows[:n]
 	}
-	pos := nw.topo.Pos
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if nw.chann.InRange(pos[i].Dist2(pos[j])) {
-				s.bits[i*s.stride+j/64] |= 1 << (uint(j) % 64)
-				s.bits[j*s.stride+i/64] |= 1 << (uint(i) % 64)
-			}
-		}
-	}
-	// CSR offsets by row popcount, then neighbor ids and qualities by
-	// walking each row's set bits in ascending order.
-	total := int32(0)
-	for i := 0; i < n; i++ {
-		s.off[i] = total
-		row := s.bits[i*s.stride : (i+1)*s.stride]
-		for _, w := range row {
-			total += int32(bits.OnesCount64(w))
-		}
-	}
-	s.off[n] = total
-	if cap(s.nbr) < int(total) {
-		s.nbr = make([]packet.NodeID, total)
-		s.qual = make([]float64, total)
-	} else {
-		s.nbr = s.nbr[:total]
-		s.qual = s.qual[:total]
-	}
-	rng := nw.chann.Range()
-	k := 0
-	for i := 0; i < n; i++ {
-		row := s.bits[i*s.stride : (i+1)*s.stride]
-		for wi, w := range row {
-			base := wi * 64
-			for w != 0 {
-				j := base + bits.TrailingZeros64(w)
-				w &= w - 1
-				s.nbr[k] = packet.NodeID(j)
-				s.qual[k] = channel.Quality(pos[i].Dist(pos[j]), rng)
-				k++
-			}
-		}
+		nw.refillRow(packet.NodeID(i))
 	}
 	s.built = true
 	s.epoch = epoch
 	nw.linkVer++
+	nw.obsSnapRebuilds.Inc()
+}
+
+// refillRow recomputes node m's neighbor row from the grid: gather the
+// 3×3 cell candidates, keep the in-range ones, sort ascending, fill the
+// aligned qualities. The membership predicate (squared distance against
+// the squared range) and the quality formula (channel.Quality over the
+// Euclidean distance) are exactly the ones the all-pairs rebuild used,
+// so rows are element-identical to the brute-force O(n²) pass.
+func (nw *Network) refillRow(m packet.NodeID) {
+	s := &nw.snap
+	pos := nw.topo.Pos
+	pm := pos[int(m)]
+	cand := s.grid.AppendCandidates(s.cand[:0], m)
+	k := 0
+	for _, j := range cand {
+		if j != m && nw.chann.InRange(pm.Dist2(pos[int(j)])) {
+			cand[k] = j
+			k++
+		}
+	}
+	cand = cand[:k]
+	slices.Sort(cand)
+	s.cand = cand
+	row := &s.rows[int(m)]
+	row.nbr = append(row.nbr[:0], cand...)
+	row.qual = row.qual[:0]
+	rng := nw.chann.Range()
+	for _, j := range cand {
+		row.qual = append(row.qual, channel.Quality(pm.Dist(pos[int(j)]), rng))
+	}
+}
+
+// patchSnap brings the snapshot one epoch forward by re-deriving only
+// the moved nodes' rows. Every changed edge has a moved endpoint, so
+// re-bucketing the movers, refilling their rows, and mirroring the
+// inserts/removes/quality refreshes into their neighbors' rows restores
+// exactly the state a full rebuild would produce — at O(moved·deg)
+// instead of O(V+E). The link-state version bumps only if some neighbor
+// set changed; pure within-range drift leaves every memoized routing
+// view valid.
+func (nw *Network) patchSnap(epoch uint64, moved []packet.NodeID) {
+	s := &nw.snap
+	// Re-bucket first: rows are derived from the grid, and a candidate
+	// gather must see every mover at its new cell.
+	for _, id := range moved {
+		s.grid.Move(id)
+	}
+	changed := false
+	for _, id := range moved {
+		if nw.patchRow(id) {
+			changed = true
+		}
+	}
+	s.epoch = epoch
+	if changed {
+		nw.linkVer++
+	}
+	nw.obsRowsPatched.Add(uint64(len(moved)))
+	nw.obsPatchEpochs.Inc()
+}
+
+// patchRow re-derives node m's row after a move and mirrors the edge
+// differences into the affected neighbors' rows. Reports whether any
+// neighbor set changed (m's or a neighbor's — they change together).
+func (nw *Network) patchRow(m packet.NodeID) bool {
+	s := &nw.snap
+	pos := nw.topo.Pos
+	pm := pos[int(m)]
+	rng := nw.chann.Range()
+
+	// New neighbor set, ascending, into the scratch buffer.
+	cand := s.grid.AppendCandidates(s.cand[:0], m)
+	k := 0
+	for _, j := range cand {
+		if j != m && nw.chann.InRange(pm.Dist2(pos[int(j)])) {
+			cand[k] = j
+			k++
+		}
+	}
+	cand = cand[:k]
+	slices.Sort(cand)
+	s.cand = cand
+
+	// Merge-walk old vs new: removed neighbors lose their mirrored entry,
+	// added ones gain it, kept ones get their mirrored quality refreshed
+	// (m moved, so every incident distance changed).
+	old := s.rows[int(m)].nbr
+	changed := false
+	i, j := 0, 0
+	for i < len(old) || j < len(cand) {
+		switch {
+		case j == len(cand) || (i < len(old) && old[i] < cand[j]):
+			s.removeEdge(old[i], m)
+			changed = true
+			i++
+		case i == len(old) || cand[j] < old[i]:
+			s.insertEdge(cand[j], m, channel.Quality(pm.Dist(pos[int(cand[j])]), rng))
+			changed = true
+			j++
+		default:
+			s.setQual(old[i], m, channel.Quality(pm.Dist(pos[int(old[i])]), rng))
+			i++
+			j++
+		}
+	}
+
+	// Overwrite m's own row from the merged set.
+	row := &s.rows[int(m)]
+	row.nbr = append(row.nbr[:0], cand...)
+	row.qual = row.qual[:0]
+	for _, n := range cand {
+		row.qual = append(row.qual, channel.Quality(pm.Dist(pos[int(n)]), rng))
+	}
+	return changed
+}
+
+// findNbr returns the index of b in a's sorted neighbor row, or -1.
+func (s *linkSnapshot) findNbr(a, b packet.NodeID) int {
+	row := s.rows[int(a)].nbr
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == b {
+		return lo
+	}
+	return -1
+}
+
+// insertEdge adds b (with quality q) to a's sorted row.
+func (s *linkSnapshot) insertEdge(a, b packet.NodeID, q float64) {
+	row := &s.rows[int(a)]
+	lo, hi := 0, len(row.nbr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row.nbr[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	row.nbr = append(row.nbr, 0)
+	copy(row.nbr[lo+1:], row.nbr[lo:])
+	row.nbr[lo] = b
+	row.qual = append(row.qual, 0)
+	copy(row.qual[lo+1:], row.qual[lo:])
+	row.qual[lo] = q
+}
+
+// removeEdge deletes b from a's sorted row.
+func (s *linkSnapshot) removeEdge(a, b packet.NodeID) {
+	i := s.findNbr(a, b)
+	if i < 0 {
+		return
+	}
+	row := &s.rows[int(a)]
+	copy(row.nbr[i:], row.nbr[i+1:])
+	row.nbr = row.nbr[:len(row.nbr)-1]
+	copy(row.qual[i:], row.qual[i+1:])
+	row.qual = row.qual[:len(row.qual)-1]
+}
+
+// setQual refreshes the quality of the existing a→b entry.
+func (s *linkSnapshot) setQual(a, b packet.NodeID, q float64) {
+	if i := s.findNbr(a, b); i >= 0 {
+		s.rows[int(a)].qual[i] = q
+	}
 }
 
 // aliveNow reports whether a node currently has a working radio: not
@@ -392,19 +547,22 @@ func (nw *Network) aliveNow(id packet.NodeID) bool {
 }
 
 // Linked reports current radio-range adjacency (routing.Directory).
-// A failed or battery-dead node has no links. The range answer is an
-// O(1) bitset lookup in the epoch snapshot — no distance computation.
+// A failed or battery-dead node has no links. The range answer is one
+// squared-distance comparison on current positions — O(1), no n×n
+// structure; ensureSnap keeps the snapshot advancing one epoch at a
+// time so the incremental patch path stays engaged.
 func (nw *Network) Linked(a, b packet.NodeID) bool {
 	if a == b || !nw.aliveNow(a) || !nw.aliveNow(b) {
 		return false
 	}
 	nw.ensureSnap()
-	return nw.snap.inRange(a, b)
+	pos := nw.topo.Pos
+	return nw.chann.InRange(pos[int(a)].Dist2(pos[int(b)]))
 }
 
 // Neighbors returns u's current neighbors in ascending id order
 // (routing.NeighborDirectory) — exactly the ids for which Linked(u, ·)
-// is true. While every node is alive it is the snapshot's CSR row,
+// is true. While every node is alive it is the snapshot's neighbor row,
 // zero-copy; with failed or battery-dead nodes present it filters into
 // a scratch buffer that stays valid until the next Neighbors call.
 func (nw *Network) Neighbors(u packet.NodeID) []packet.NodeID {
@@ -481,18 +639,8 @@ func (nw *Network) LinkQuality(a, b packet.NodeID) float64 {
 		return 0
 	}
 	nw.ensureSnap()
-	row := nw.snap.row(a)
-	lo, hi := 0, len(row)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if row[mid] < b {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(row) && row[lo] == b {
-		return nw.snap.qual[int(nw.snap.off[int(a)])+lo]
+	if i := nw.snap.findNbr(a, b); i >= 0 {
+		return nw.snap.rows[int(a)].qual[i]
 	}
 	return 0
 }

@@ -197,6 +197,15 @@ type Cache struct {
 	// counts Fill calls, so fills − computes is the memoization hit count.
 	computes uint64
 	fills    uint64
+	// sweepVer is the directory version the entries were last swept at.
+	// When the version moves on, every entry memoized under a superseded
+	// version is evicted — its arrays recycled through the free lists
+	// below — so long mobile runs hold views only for currently-active
+	// sources instead of accumulating one per source ever routed.
+	sweepVer  uint64
+	evictions uint64
+	freeNext  [][]packet.NodeID
+	freeHops  [][]int
 }
 
 // cacheEntry is one source's memoized view.
@@ -221,6 +230,32 @@ func (c *Cache) Computes() uint64 { return c.computes }
 // Fills returns the number of Fill calls served (hits plus recomputes).
 func (c *Cache) Fills() uint64 { return c.fills }
 
+// Evictions returns the number of memoized views evicted because their
+// link-state version was superseded.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// sweep evicts every entry memoized under a version other than fresh,
+// recycling its arrays, so cache memory is bounded by the sources active
+// in the current version (plus the free lists, bounded by the peak
+// active-source count) instead of growing with every source ever routed
+// across the run.
+func (c *Cache) sweep(fresh uint64) {
+	for i := range c.ent {
+		e := &c.ent[i]
+		if !e.valid || e.version == fresh {
+			continue
+		}
+		if e.next != nil {
+			c.freeNext = append(c.freeNext, e.next)
+			c.freeHops = append(c.freeHops, e.hops)
+			e.next, e.hops = nil, nil
+		}
+		e.valid = false
+		c.evictions++
+	}
+	c.sweepVer = fresh
+}
+
 // Fill produces the current view from src into v (allocating one if v is
 // nil) and returns it. v's buffers are reused, so a router double-
 // buffering its views through Fill performs zero steady-state
@@ -237,12 +272,22 @@ func (c *Cache) Fill(v *View, src packet.NodeID, at sim.Time) *View {
 	fresh := e.version
 	if c.vdir != nil {
 		fresh = c.vdir.Version()
+		if fresh != c.sweepVer {
+			c.sweep(fresh)
+		}
 	}
 	if c.vdir == nil || !e.valid || e.version != fresh {
 		// Recompute through the shared view header: borrow the entry's
-		// arrays as the target buffers, BFS, and store them back.
+		// arrays as the target buffers (refilling evicted entries from the
+		// free lists), BFS, and store them back.
 		if cap(c.scratch) < n {
 			c.scratch = make([]packet.NodeID, 0, n)
+		}
+		if e.next == nil {
+			if k := len(c.freeNext); k > 0 {
+				e.next, c.freeNext = c.freeNext[k-1], c.freeNext[:k-1]
+				e.hops, c.freeHops = c.freeHops[k-1], c.freeHops[:k-1]
+			}
 		}
 		c.view.next, c.view.hops = e.next, e.hops
 		buildViewInto(&c.view, c.scratch, c.dir, src, at)
@@ -268,6 +313,16 @@ type Config struct {
 	UpdatePeriod sim.Duration
 	// UpdateJitter desynchronizes the refresh timers.
 	UpdateJitter sim.Duration
+	// OnDemand, when true, turns the router lazy: Start computes nothing
+	// and arms no timer; the view materializes on the first NextHop /
+	// HopsTo call and is refreshed in place once it is UpdatePeriod old
+	// (never, if UpdatePeriod is zero). Nodes that neither originate nor
+	// forward traffic then pay no view memory or BFS at all — at 10k+
+	// nodes the eager per-router O(n) views are the dominant cost, and
+	// almost all of them are never consulted. Staleness stays bounded by
+	// UpdatePeriod, but refresh happens at use time rather than on a
+	// jittered timer, so only scenarios built for scale opt in.
+	OnDemand bool
 }
 
 // Defaults returns 1 s refresh with 200 ms jitter (mobile scenarios);
@@ -304,8 +359,12 @@ func New(eng *sim.Engine, id packet.NodeID, dir Directory, cfg Config) *Router {
 func (r *Router) UseShared(c *Cache) { r.shared = c }
 
 // Start computes the initial view and, for a positive update period,
-// begins periodic refresh.
+// begins periodic refresh. An on-demand router does neither — its view
+// materializes at first use (see Config.OnDemand).
 func (r *Router) Start() {
+	if r.cfg.OnDemand {
+		return
+	}
 	r.Refresh()
 	if r.cfg.UpdatePeriod > 0 {
 		r.tick = r.eng.NewJitteredTicker(r.cfg.UpdatePeriod, r.cfg.UpdateJitter, r.Refresh)
@@ -340,18 +399,34 @@ func (r *Router) Refresh() {
 	r.view = next
 }
 
+// maybeRefresh materializes or refreshes an on-demand router's view: on
+// first use, and thereafter whenever the held view is at least
+// UpdatePeriod old. Deterministic — it depends only on virtual time.
+func (r *Router) maybeRefresh() {
+	if !r.cfg.OnDemand {
+		return
+	}
+	if r.view != nil &&
+		(r.cfg.UpdatePeriod <= 0 || r.eng.Now().Sub(r.view.UpdatedAt) < r.cfg.UpdatePeriod) {
+		return
+	}
+	r.Refresh()
+}
+
 // NextHop returns the next hop toward dst according to this node's
 // current (possibly stale) view.
 func (r *Router) NextHop(dst packet.NodeID) (packet.NodeID, bool) {
 	if dst == r.id {
 		return r.id, true
 	}
+	r.maybeRefresh()
 	return r.view.NextHop(dst)
 }
 
 // HopsTo returns this node's estimate of the remaining path length to
 // dst — the H_i of §3 — or -1 if dst is unreachable in the current view.
 func (r *Router) HopsTo(dst packet.NodeID) int {
+	r.maybeRefresh()
 	return r.view.Hops(dst)
 }
 

@@ -341,3 +341,103 @@ func TestSharedCacheAcrossRouters(t *testing.T) {
 		t.Fatal("r2 refresh should adopt the new snapshot")
 	}
 }
+
+// TestCacheEvictsSupersededVersions pins the memory bound under
+// mobility: when the link-state version moves on, every view memoized
+// under a superseded version is evicted (its arrays recycled), so the
+// cache holds views only for sources active in the current version
+// instead of one per source ever routed.
+func TestCacheEvictsSupersededVersions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := &verDir{gridDir: chain(8)}
+	c := NewCache(d)
+	for src := 0; src < 4; src++ {
+		c.Fill(nil, packet.NodeID(src), eng.Now())
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions=%d before any version change", c.Evictions())
+	}
+	// Version moves on; the next fill sweeps all four stale entries
+	// (including the refilled source's own).
+	d.ver++
+	c.Fill(nil, 2, eng.Now())
+	if c.Evictions() != 4 {
+		t.Fatalf("evictions=%d after version bump, want 4", c.Evictions())
+	}
+	live := 0
+	for _, e := range c.ent {
+		if e.valid {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live entries after sweep, want only the refilled source", live)
+	}
+	// Recycled arrays must serve recomputes correctly.
+	v := c.Fill(nil, 5, eng.Now())
+	if v.Hops(7) != 2 {
+		t.Fatalf("recycled-buffer view wrong: hops(7)=%d", v.Hops(7))
+	}
+	// Unchanged version: no further sweeps.
+	ev := c.Evictions()
+	c.Fill(nil, 5, eng.Now())
+	if c.Evictions() != ev {
+		t.Fatalf("evictions moved (%d->%d) without a version change", ev, c.Evictions())
+	}
+}
+
+// TestOnDemandRouter pins Config.OnDemand: Start computes nothing, the
+// view materializes at first use, stays within a refresh period, and
+// refreshes once the held view is UpdatePeriod old.
+func TestOnDemandRouter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := &verDir{gridDir: chain(5)}
+	c := NewCache(d)
+	r := New(eng, 0, d, Config{UpdatePeriod: sim.Second, OnDemand: true})
+	r.UseShared(c)
+	r.Start()
+	if r.View() != nil {
+		t.Fatal("on-demand Start must not compute a view")
+	}
+	if c.Computes() != 0 {
+		t.Fatal("on-demand Start must not touch the cache")
+	}
+	if nh, ok := r.NextHop(4); !ok || nh != 1 {
+		t.Fatalf("first use next hop = %v,%v", nh, ok)
+	}
+	if c.Computes() != 1 {
+		t.Fatalf("computes=%d after first use, want 1", c.Computes())
+	}
+	// Within the period the held view answers, even if stale.
+	d.unlink(3, 4)
+	d.ver++
+	eng.RunFor(sim.Second / 2)
+	if h := r.HopsTo(4); h != 4 {
+		t.Fatalf("within-period use must keep the stale view, hops=%d", h)
+	}
+	// Past the period the next use refreshes.
+	eng.RunFor(sim.Second)
+	if h := r.HopsTo(4); h != -1 {
+		t.Fatalf("past-period use must refresh, hops=%d", h)
+	}
+	// Self-route needs no view at all.
+	r2 := New(eng, 2, d, Config{OnDemand: true})
+	r2.UseShared(c)
+	r2.Start()
+	if nh, ok := r2.NextHop(2); !ok || nh != 2 {
+		t.Fatalf("self next hop = %v,%v", nh, ok)
+	}
+	if r2.View() != nil {
+		t.Fatal("self-route must not materialize a view")
+	}
+	// Zero update period: materialize once, never refresh again.
+	r3 := New(eng, 1, d, Config{OnDemand: true})
+	r3.UseShared(c)
+	r3.Start()
+	before := c.Fills()
+	r3.NextHop(0)
+	r3.NextHop(0)
+	if c.Fills() != before+1 {
+		t.Fatalf("static on-demand router filled %d times, want 1", c.Fills()-before)
+	}
+}

@@ -1,0 +1,198 @@
+package topology
+
+// The spatial-hash grid: positions bucketed into square cells whose side
+// is the radio range, so a node's candidate neighbor set is the 3×3 cell
+// neighborhood around its own cell instead of all n−1 other nodes. The
+// grid is the substrate of both the one-shot adjacency helpers below
+// (Adjacency, Connected, HopDistance) and the node package's
+// incrementally-patched link-state snapshot: Move re-buckets one node in
+// O(1), so a mobility delta of k nodes costs O(k·deg) instead of O(n²).
+//
+// Correctness hinges on one inequality: with cell side ≥ range, two
+// nodes within range differ by at most one cell index per axis
+// (|a−b| ≤ side ⇒ |⌊a/side⌋−⌊b/side⌋| ≤ 1), so the 3×3 neighborhood is
+// a complete candidate set — including nodes sitting exactly on a cell
+// boundary, which ⌊·⌋ assigns to exactly one cell.
+
+import (
+	"math"
+
+	"github.com/javelen/jtp/internal/geom"
+	"github.com/javelen/jtp/internal/packet"
+)
+
+// SpatialGrid is a spatial hash over a topology's positions. It indexes the
+// topology it was built from; after any SetPosition the caller must
+// Move (or Rebuild) before querying, since the grid does not observe
+// position writes on its own. Cells are sparse — only occupied cells
+// hold a bucket — so memory is O(V), independent of the field size.
+type SpatialGrid struct {
+	t    *Topology
+	side float64
+
+	cells   map[uint64]int32 // packed cell coords -> bucket index
+	buckets []gridBucket
+	free    []int32 // indices of empty buckets available for reuse
+
+	// Per-node bucket bookkeeping: the packed cell key, the bucket
+	// index, and the node's slot within the bucket, so Move and remove
+	// are O(1) with no searching.
+	cellKey []uint64
+	bucket  []int32
+	slot    []int32
+}
+
+// gridBucket holds the ids currently bucketed in one cell, unordered
+// (consumers that need determinism sort their gathered candidates).
+type gridBucket struct {
+	nodes []packet.NodeID
+}
+
+// gridSideFor maps a radio range to a cell side: the range's magnitude,
+// or 1 m for a degenerate range ≤ 0 (where only coincident nodes can be
+// adjacent, and any positive side buckets coincident nodes together).
+func gridSideFor(radioRange float64) float64 {
+	side := math.Abs(radioRange)
+	if side <= 0 {
+		side = 1
+	}
+	return side
+}
+
+// cellCoord buckets one coordinate. Floor (not truncation) keeps the
+// mapping consistent across negative coordinates.
+func cellCoord(v, side float64) int32 {
+	return int32(math.Floor(v / side))
+}
+
+// packCell packs signed cell coordinates into one map key; the uint32
+// casts make the packing a bijection on int32 pairs.
+func packCell(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// NewSpatialGrid builds a grid over t with the given cell side (use
+// gridSideFor(range) — a side below the radio range breaks candidate
+// completeness) and buckets every node.
+func NewSpatialGrid(t *Topology, side float64) *SpatialGrid {
+	if side <= 0 {
+		side = 1
+	}
+	n := t.N()
+	g := &SpatialGrid{
+		t:       t,
+		side:    side,
+		cells:   make(map[uint64]int32, n/2+1),
+		cellKey: make([]uint64, n),
+		bucket:  make([]int32, n),
+		slot:    make([]int32, n),
+	}
+	g.Rebuild()
+	return g
+}
+
+// Side returns the cell side in meters.
+func (g *SpatialGrid) Side() float64 { return g.side }
+
+// Rebuild re-buckets every node from the topology's current positions,
+// reusing the existing buckets and map.
+func (g *SpatialGrid) Rebuild() {
+	clear(g.cells)
+	g.free = g.free[:0]
+	for i := range g.buckets {
+		g.buckets[i].nodes = g.buckets[i].nodes[:0]
+		g.free = append(g.free, int32(i))
+	}
+	for i := range g.t.Pos {
+		g.insert(packet.NodeID(i))
+	}
+}
+
+// insert buckets id at its current position.
+func (g *SpatialGrid) insert(id packet.NodeID) {
+	p := g.t.Pos[int(id)]
+	key := packCell(cellCoord(p.X, g.side), cellCoord(p.Y, g.side))
+	bi, ok := g.cells[key]
+	if !ok {
+		if n := len(g.free); n > 0 {
+			bi = g.free[n-1]
+			g.free = g.free[:n-1]
+		} else {
+			g.buckets = append(g.buckets, gridBucket{})
+			bi = int32(len(g.buckets) - 1)
+		}
+		g.cells[key] = bi
+	}
+	b := &g.buckets[bi]
+	g.cellKey[int(id)] = key
+	g.bucket[int(id)] = bi
+	g.slot[int(id)] = int32(len(b.nodes))
+	b.nodes = append(b.nodes, id)
+}
+
+// remove unbuckets id (swap-delete; an emptied cell returns its bucket
+// to the free list and leaves the map).
+func (g *SpatialGrid) remove(id packet.NodeID) {
+	bi := g.bucket[int(id)]
+	b := &g.buckets[bi]
+	i := g.slot[int(id)]
+	last := int32(len(b.nodes) - 1)
+	if i != last {
+		moved := b.nodes[last]
+		b.nodes[i] = moved
+		g.slot[int(moved)] = i
+	}
+	b.nodes = b.nodes[:last]
+	if last == 0 {
+		delete(g.cells, g.cellKey[int(id)])
+		g.free = append(g.free, bi)
+	}
+}
+
+// Move re-buckets id after a position change and reports whether its
+// cell changed. A move within the cell is free: one coordinate hash and
+// a key compare, no map or bucket traffic — the fast path for the many
+// mobility steps that stay inside one cell.
+func (g *SpatialGrid) Move(id packet.NodeID) bool {
+	p := g.t.Pos[int(id)]
+	key := packCell(cellCoord(p.X, g.side), cellCoord(p.Y, g.side))
+	if key == g.cellKey[int(id)] {
+		return false
+	}
+	g.remove(id)
+	g.insert(id)
+	return true
+}
+
+// AppendCandidates appends every node bucketed in the 3×3 cell
+// neighborhood of id's current cell — a complete superset of id's
+// in-range neighbors, id itself included — to buf and returns it.
+// Order is bucket order (arbitrary); callers filter by distance and
+// sort.
+func (g *SpatialGrid) AppendCandidates(buf []packet.NodeID, id packet.NodeID) []packet.NodeID {
+	key := g.cellKey[int(id)]
+	cx, cy := int32(uint32(key>>32)), int32(uint32(key))
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if bi, ok := g.cells[packCell(cx+dx, cy+dy)]; ok {
+				buf = append(buf, g.buckets[bi].nodes...)
+			}
+		}
+	}
+	return buf
+}
+
+// AppendCandidatesAt is AppendCandidates for an arbitrary position
+// (flow placement probes, tests): every node bucketed within the 3×3
+// neighborhood of p's cell.
+func (g *SpatialGrid) AppendCandidatesAt(buf []packet.NodeID, p geom.Point) []packet.NodeID {
+	cx, cy := cellCoord(p.X, g.side), cellCoord(p.Y, g.side)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if bi, ok := g.cells[packCell(cx+dx, cy+dy)]; ok {
+				buf = append(buf, g.buckets[bi].nodes...)
+			}
+		}
+	}
+	return buf
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"github.com/javelen/jtp/internal/geom"
 	"github.com/javelen/jtp/internal/packet"
@@ -29,6 +30,13 @@ type Topology struct {
 	// bumps nothing.
 	epoch uint64
 	dirty bool
+	// pending holds the ids moved since the last fold (deduplicated via
+	// pendingMark); folded holds the ids that were folded into the
+	// current epoch — the per-node position delta consumers patch
+	// incrementally instead of rebuilding O(n²) state.
+	pending     []packet.NodeID
+	folded      []packet.NodeID
+	pendingMark []bool
 }
 
 // N returns the number of nodes.
@@ -39,27 +47,56 @@ func (t *Topology) Position(id packet.NodeID) geom.Point { return t.Pos[int(id)]
 
 // SetPosition moves a node (the mobility model calls this). Writing a
 // node's current position back is not a change and does not dirty the
-// epoch.
+// epoch. A real move records the id in the pending delta exactly once,
+// no matter how many times the node moves before the next fold.
 func (t *Topology) SetPosition(id packet.NodeID, p geom.Point) {
-	if t.Pos[int(id)] != p {
-		t.Pos[int(id)] = p
-		t.dirty = true
+	if t.Pos[int(id)] == p {
+		return
+	}
+	t.Pos[int(id)] = p
+	t.dirty = true
+	if len(t.pendingMark) < len(t.Pos) {
+		mark := make([]bool, len(t.Pos))
+		for _, m := range t.pending {
+			mark[int(m)] = true
+		}
+		t.pendingMark = mark
+	}
+	if !t.pendingMark[int(id)] {
+		t.pendingMark[int(id)] = true
+		t.pending = append(t.pending, id)
 	}
 }
 
 // Epoch returns the position epoch: a counter that advances exactly when
-// node positions have changed since the previous Epoch call. Consumers
-// caching position-derived state (the network's link-state snapshot)
-// compare epochs to decide whether their cache is current, so the O(n²)
-// adjacency rebuild happens once per mobility batch instead of once per
-// query.
+// node positions have changed since the previous Epoch call. Folding is
+// read-triggered by contract: SetPosition never bumps the epoch itself,
+// so an arbitrarily large batch of SetPosition calls — a whole mobility
+// step, or several steps with no reads in between — collapses into ONE
+// epoch bump at the next Epoch call, and a batch that moved nothing bumps
+// nothing. Consumers caching position-derived state (the network's
+// link-state snapshot) compare epochs to decide whether their cache is
+// current; the ids folded into the bump are available from LastDelta, so
+// a consumer exactly one epoch behind can patch instead of rebuilding.
 func (t *Topology) Epoch() uint64 {
 	if t.dirty {
 		t.epoch++
 		t.dirty = false
+		t.folded, t.pending = t.pending, t.folded[:0]
+		for _, id := range t.folded {
+			t.pendingMark[int(id)] = false
+		}
 	}
 	return t.epoch
 }
+
+// LastDelta returns the ids whose positions changed in the fold that
+// produced the current epoch, in first-moved order. The slice is valid
+// only until the next fold (the next Epoch call observing pending moves)
+// and must not be mutated or retained. A consumer whose cached state is
+// exactly one epoch old can bring it current by re-deriving only these
+// nodes' rows; anything older needs a full rebuild.
+func (t *Topology) LastDelta() []packet.NodeID { return t.folded }
 
 // IDs returns all node ids in order.
 func (t *Topology) IDs() []packet.NodeID {
@@ -70,7 +107,9 @@ func (t *Topology) IDs() []packet.NodeID {
 	return ids
 }
 
-// Clone returns a deep copy (mobility mutates positions in place).
+// Clone returns a deep copy (mobility mutates positions in place). The
+// clone starts at epoch zero with an empty delta — epoch state is an
+// observation of mutation history, not part of the layout.
 func (t *Topology) Clone() *Topology {
 	return &Topology{Field: t.Field, Pos: append([]geom.Point(nil), t.Pos...)}
 }
@@ -225,18 +264,36 @@ func Random(n int, radioRange float64, rng *rand.Rand, maxTries int) (*Topology,
 	return t, false
 }
 
-// Adjacency returns the unit-disk adjacency lists under the given range.
+// Adjacency returns the unit-disk adjacency lists under the given range,
+// each list in ascending id order (nil for an isolated node). It gathers
+// candidates through a spatial-hash grid, so the cost is O(V+E) rather
+// than the O(n²) all-pairs distance pass — the difference between
+// instant and minutes when generating 10k–65k-node random fields.
 func Adjacency(t *Topology, radioRange float64) [][]packet.NodeID {
 	n := t.N()
 	adj := make([][]packet.NodeID, n)
+	if n == 0 {
+		return adj
+	}
+	g := NewSpatialGrid(t, gridSideFor(radioRange))
 	r2 := radioRange * radioRange
+	var cand []packet.NodeID
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if t.Pos[i].Dist2(t.Pos[j]) <= r2 {
-				adj[i] = append(adj[i], packet.NodeID(j))
-				adj[j] = append(adj[j], packet.NodeID(i))
+		id := packet.NodeID(i)
+		cand = g.AppendCandidates(cand[:0], id)
+		k := 0
+		for _, j := range cand {
+			if j != id && t.Pos[i].Dist2(t.Pos[int(j)]) <= r2 {
+				cand[k] = j
+				k++
 			}
 		}
+		if k == 0 {
+			continue
+		}
+		cand = cand[:k]
+		slices.Sort(cand)
+		adj[i] = append([]packet.NodeID(nil), cand...)
 	}
 	return adj
 }
