@@ -12,6 +12,17 @@
 //	jtpsim gen -replay dump.json       # replay a dumped scenario exactly
 //	jtpsim bench -out BENCH_PR4.json   # perf harness: fig 9 campaign + alloc guards
 //	jtpsim bench -preset mobile        # perf harness: large-n mobile RGG tier
+//	jtpsim batch -matrix m.json -shard 0/3 -shard-out s0.json
+//	                                   # run one of three campaign shards
+//	jtpsim merge s0.json s1.json s2.json
+//	                                   # fold shard results into one report
+//
+// The campaign modes (experiments and batch) shard and resume: -shard
+// i/N executes one deterministic cell-granular slice of the sweep,
+// -shard-out writes the slice's versioned result file, `jtpsim merge`
+// folds a complete shard set into a report byte-identical to the
+// unsharded run's, and -checkpoint makes progress durable across
+// SIGINT/SIGTERM (rerunning the same command auto-resumes).
 //
 // Every mode accepts -cpuprofile/-memprofile to write pprof profiles of
 // the run. The campaign modes (experiments, batch, bench) also accept
@@ -84,6 +95,8 @@ func main() {
 			os.Exit(genMain(os.Args[2:]))
 		case "bench":
 			os.Exit(benchMain(os.Args[2:]))
+		case "merge":
+			os.Exit(mergeMain(os.Args[2:]))
 		}
 	}
 	os.Exit(expMain())
@@ -101,12 +114,29 @@ func expMain() int {
 	flag.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(flag.CommandLine)
 	addTelemetryFlags(flag.CommandLine)
+	addShardFlags(flag.CommandLine)
 	flag.Parse()
 	defer stopProfiles()
 	if err := startProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
 		return 1
 	}
+	// Shard state (slice selection, checkpoint frontier, shard-out) is
+	// per campaign; "all" runs many.
+	if shardingRequested() && *expID == "all" {
+		fmt.Fprintln(os.Stderr, "jtpsim: -shard/-shard-out/-checkpoint need a single -exp, not 'all'")
+		return 2
+	}
+	if err := applyShardFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
+		return 2
+	}
+	// SIGINT/SIGTERM cancel the running campaign; with -checkpoint the
+	// fold frontier is persisted first, so rerunning resumes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cliHooks.Ctx = ctx
+	cliHooks.OnInterrupted = expInterrupted
 	defer stopTelemetry()
 	if err := startTelemetry(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim: %v\n", err)
@@ -122,7 +152,9 @@ func expMain() int {
 		fmt.Fprintln(os.Stderr, "or: jtpsim batch -matrix <file.json> [-par N] [-csv|-json]")
 		fmt.Fprintln(os.Stderr, "or: jtpsim gen [-spec wl.json | -family chain|grid|rgg|star -nodes N] [-seed S] [-run|-replay dump.json] [-proto P] [-trace out.jsonl]")
 		fmt.Fprintln(os.Stderr, "or: jtpsim bench [-preset fig9|mobile|telemetry] [-scale S] [-par N] [-out report.json] [-check]")
+		fmt.Fprintln(os.Stderr, "or: jtpsim merge [-csv|-json] shard0.json shard1.json ...")
 		fmt.Fprintln(os.Stderr, "campaign telemetry: [-telemetry out.jsonl] [-progress] [-debug-addr :8484]")
+		fmt.Fprintln(os.Stderr, "campaign sharding: [-shard i/N] [-shard-out file.json] [-checkpoint ck.json]")
 		fmt.Fprintf(os.Stderr, "registered protocols: %s\n",
 			strings.Join(experiments.RegisteredProtocols(), ", "))
 		if !*list {
@@ -167,11 +199,16 @@ func batchMain(args []string) int {
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
 	addProfileFlags(fs)
 	addTelemetryFlags(fs)
+	addShardFlags(fs)
 	fs.Parse(args)
 	defer stopProfiles()
 	if err := startProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
 		return 1
+	}
+	if err := applyShardFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 2
 	}
 	defer stopTelemetry()
 	if err := startTelemetry(); err != nil {
@@ -210,6 +247,11 @@ func batchMain(args []string) int {
 	m := spec.Matrix()
 	fmt.Fprintf(os.Stderr, "jtpsim batch: %s: %d cells × %d runs = %d simulations\n",
 		spec.Name, m.NumCells(), spec.Runs, m.NumRuns())
+	if cliHooks.Shard.Enabled() {
+		lo, hi := cliHooks.Shard.CellRange(m.NumCells())
+		fmt.Fprintf(os.Stderr, "jtpsim batch: shard %s: cells [%d,%d), %d simulations\n",
+			cliHooks.Shard, lo, hi, (hi-lo)*spec.Runs)
+	}
 
 	// Ctrl-C cancels the campaign; the partial report is still emitted.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -229,9 +271,18 @@ func batchMain(args []string) int {
 	}
 
 	rep, err := spec.Execute(ctx, par, onResult)
+	if err != nil && rep == nil {
+		// Pre-execution failure (bad spec, unresumable checkpoint, ...).
+		fmt.Fprintf(os.Stderr, "jtpsim batch: %v\n", err)
+		return 1
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "jtpsim batch: cancelled: %v (%d/%d runs aggregated)\n",
-			err, rep.Runs, m.NumRuns())
+		fmt.Fprintf(os.Stderr, "jtpsim batch: cancelled: %v (%d/%d runs aggregated, %d discarded)\n",
+			err, rep.Runs, m.NumRuns(), rep.Interrupted)
+		if checkpointFlag != "" {
+			fmt.Fprintf(os.Stderr, "jtpsim batch: checkpoint saved to %s; rerun the same command to resume\n",
+				checkpointFlag)
+		}
 	}
 
 	switch {

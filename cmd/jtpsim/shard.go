@@ -1,0 +1,123 @@
+package main
+
+// Sharding & checkpointing for the campaign modes:
+//
+//	jtpsim batch -matrix m.json -shard 0/3 -shard-out s0.json \
+//	             -checkpoint s0.ck.json
+//	jtpsim merge s0.json s1.json s2.json        # fold shard results
+//
+// -shard i/N executes only the i-th of N deterministic, cell-granular
+// slices of the campaign, so a million-run sweep spreads across
+// machines. -shard-out writes the shard's versioned result file when the
+// slice completes; `jtpsim merge` folds a complete set of shard files
+// into one report that is byte-identical to the unsharded run's.
+// -checkpoint makes progress durable: the fold frontier is persisted
+// atomically as the campaign runs and once more on SIGINT/SIGTERM, and
+// rerunning the same command auto-resumes from it — a killed shard loses
+// at most the runs inside the reorder window, and those rerun with the
+// same seeds.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/javelen/jtp/internal/campaign"
+)
+
+var (
+	shardFlag      string
+	shardOutFlag   string
+	checkpointFlag string
+)
+
+// addShardFlags registers the sharding flags on a campaign-mode FlagSet.
+func addShardFlags(fs *flag.FlagSet) {
+	fs.StringVar(&shardFlag, "shard", "", "execute only shard i/N of the campaign (e.g. 0/3)")
+	fs.StringVar(&shardOutFlag, "shard-out", "", "write this shard's result file here on completion (fold with 'jtpsim merge')")
+	fs.StringVar(&checkpointFlag, "checkpoint", "", "durable checkpoint file; auto-resumes when it already exists")
+}
+
+// applyShardFlags parses the shard flags into the process-wide campaign
+// hooks (installed by startTelemetry).
+func applyShardFlags() error {
+	if shardFlag != "" {
+		sh, err := campaign.ParseShard(shardFlag)
+		if err != nil {
+			return err
+		}
+		cliHooks.Shard = sh
+	}
+	cliHooks.Checkpoint = checkpointFlag
+	cliHooks.ShardOut = shardOutFlag
+	return nil
+}
+
+// shardingRequested reports whether any sharding flag is in play.
+func shardingRequested() bool {
+	return shardFlag != "" || shardOutFlag != "" || checkpointFlag != ""
+}
+
+// expInterrupted handles a cancelled figure campaign: report what was
+// saved and exit without surfacing the mustExecute panic.
+func expInterrupted(rep *campaign.Report, err error) {
+	fmt.Fprintf(os.Stderr, "jtpsim: cancelled: %v (%d runs folded, %d discarded)\n",
+		err, rep.Runs, rep.Interrupted)
+	if checkpointFlag != "" {
+		fmt.Fprintf(os.Stderr, "jtpsim: checkpoint saved to %s; rerun the same command to resume\n",
+			checkpointFlag)
+	}
+	os.Exit(1)
+}
+
+// mergeMain folds shard result files into one report: jtpsim merge
+// [-csv|-json] shard0.json shard1.json ... The merged report is
+// byte-identical to the one a single unsharded process would have
+// emitted (see campaign.MergeReports for the determinism contract).
+func mergeMain(args []string) int {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the merged report as JSON")
+	fs.BoolVar(&asCSV, "csv", false, "emit the merged report as CSV")
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "jtpsim merge: usage: jtpsim merge [-csv|-json] shard0.json shard1.json ...")
+		fmt.Fprintln(os.Stderr, "shard files come from campaign runs with -shard i/N -shard-out <file>")
+		return 2
+	}
+	files := make([]*campaign.ShardFile, len(paths))
+	for i, p := range paths {
+		f, err := campaign.ReadShardFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim merge: %v\n", err)
+			return 1
+		}
+		files[i] = f
+	}
+	rep, err := campaign.MergeReports(files...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim merge: %v\n", err)
+		return 1
+	}
+
+	switch {
+	case *asJSON:
+		js, jerr := rep.JSON()
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim merge: %v\n", jerr)
+			return 1
+		}
+		fmt.Println(string(js))
+	case asCSV:
+		fmt.Print(rep.CSV())
+	default:
+		title := fmt.Sprintf("campaign %s (%d shards, %d runs, %d failures)",
+			rep.Name, len(files), rep.Runs, rep.Failures)
+		show(rep.Table(title))
+	}
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "jtpsim merge: %v\n", rep.Err())
+		return 1
+	}
+	return 0
+}

@@ -60,6 +60,12 @@ var (
 	expvarPublishOnce sync.Once
 )
 
+// cliHooks accumulates the process-wide campaign configuration the CLI
+// assembles from its flags — telemetry sinks here, shard/checkpoint
+// selection in shard.go, the signal context in the mode mains — before
+// startTelemetry installs it for every campaign the process runs.
+var cliHooks experiments.CampaignHooks
+
 // addTelemetryFlags registers the telemetry flags on a FlagSet.
 func addTelemetryFlags(fs *flag.FlagSet) {
 	fs.StringVar(&telemetryPath, "telemetry", "", "write per-run telemetry as JSON lines to this file")
@@ -81,11 +87,10 @@ type telemetryLine struct {
 }
 
 // startTelemetry opens the sinks selected by the flags and installs the
-// campaign hooks. Call stopTelemetry (deferred) to flush.
+// accumulated campaign hooks (telemetry and sharding alike — it always
+// installs, so shard/checkpoint flags work without any telemetry flag).
+// Call stopTelemetry (deferred) to flush.
 func startTelemetry() error {
-	if telemetryPath == "" && !progressFlag && debugAddr == "" {
-		return nil
-	}
 	if telemetryPath != "" {
 		f, err := os.Create(telemetryPath)
 		if err != nil {
@@ -101,13 +106,14 @@ func startTelemetry() error {
 		}
 		fmt.Fprintf(os.Stderr, "jtpsim: debug server on http://%s/debug/pprof/ and /debug/vars\n", bound)
 	}
-	experiments.SetCampaignHooks(experiments.CampaignHooks{
-		// Counter collection is only worth its (small) cost when
-		// something consumes the counters; a bare -progress ticker
-		// needs just the stream itself.
-		Telemetry:  telemetryPath != "" || debugAddr != "",
-		OnProgress: onCampaignProgress,
-	})
+	// Counter collection is only worth its (small) cost when something
+	// consumes the counters; a bare -progress ticker needs just the
+	// stream itself.
+	cliHooks.Telemetry = telemetryPath != "" || debugAddr != ""
+	if telemetryPath != "" || progressFlag || debugAddr != "" {
+		cliHooks.OnProgress = onCampaignProgress
+	}
+	experiments.SetCampaignHooks(cliHooks)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Axis is one dimension of a scenario matrix. Values may be strings,
@@ -128,16 +129,46 @@ func (c Cell) Float(name string) float64 {
 func (c Cell) Int(name string) int { return int(c.Float(name)) }
 
 // Key renders the cell as "axis=value/axis=value", a stable identifier
-// used in logs and seed derivation.
+// used in logs, telemetry records, and shard/checkpoint files. The
+// delimiters "/" and "=" (and the escape character "%") are
+// percent-escaped inside names and values, so two distinct cells can
+// never render the same key: axes {"a": "b/c"} and {"a": "b", "c": ""}
+// stay distinguishable even though both would naively print "a=b/c".
 func (c Cell) Key() string {
-	s := ""
+	var b strings.Builder
 	for i, n := range c.names {
 		if i > 0 {
-			s += "/"
+			b.WriteByte('/')
 		}
-		s += n + "=" + FormatValue(c.values[i])
+		b.WriteString(escapeKeyPart(n))
+		b.WriteByte('=')
+		b.WriteString(escapeKeyPart(FormatValue(c.values[i])))
 	}
-	return s
+	return b.String()
+}
+
+// escapeKeyPart percent-escapes the cell-key delimiters. Values without
+// "/", "=" or "%" (every axis value the repo's matrices use today) pass
+// through unchanged, so existing keys, logs and goldens are unaffected.
+func escapeKeyPart(s string) string {
+	if !strings.ContainsAny(s, "/=%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '%':
+			b.WriteString("%25")
+		case '/':
+			b.WriteString("%2F")
+		case '=':
+			b.WriteString("%3D")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 // RunSpec identifies one simulation run of a campaign.
@@ -167,7 +198,11 @@ type Matrix struct {
 	Name string
 	// Axes are crossed in order; the first axis varies slowest.
 	Axes []Axis
-	// Runs is the number of independent seeds per cell (min 1).
+	// Runs is the number of independent seeds per cell. Zero is legal
+	// and clamps to 1 (a zero-value Matrix still runs each cell once);
+	// negative values are rejected by Validate. NumRuns and Expand both
+	// apply the same clamp, so "runs": 0 in a JSON matrix means exactly
+	// one run per cell, never an empty campaign.
 	Runs int
 	// BaseSeed feeds seed derivation; the same matrix and base seed
 	// always produce the same run list.
@@ -185,6 +220,8 @@ func (m *Matrix) AddAxis(name string, values ...any) *Matrix {
 // Validate reports structural problems: empty axes, duplicate axis
 // names, or a negative run count — the malformed matrices that would
 // otherwise expand to a silently empty (or wrong-sized) campaign.
+// Runs == 0 is explicitly accepted: it clamps to one run per cell
+// (see Matrix.Runs), matching what NumRuns and Expand execute.
 func (m *Matrix) Validate() error {
 	if m.Runs < 0 {
 		return fmt.Errorf("campaign: negative runs %d", m.Runs)
@@ -214,7 +251,8 @@ func (m *Matrix) NumCells() int {
 	return n
 }
 
-// runsPerCell returns Runs clamped to at least 1.
+// runsPerCell returns Runs clamped to at least 1 (the authoritative
+// per-cell repetition count used by NumRuns, Expand, and Execute).
 func (m *Matrix) runsPerCell() int {
 	if m.Runs < 1 {
 		return 1
@@ -222,7 +260,9 @@ func (m *Matrix) runsPerCell() int {
 	return m.Runs
 }
 
-// NumRuns returns the total number of runs in the expanded matrix.
+// NumRuns returns the total number of runs in the expanded matrix:
+// NumCells() × max(Runs, 1). A matrix with Runs == 0 therefore counts
+// (and executes) one run per cell, not zero.
 func (m *Matrix) NumRuns() int { return m.NumCells() * m.runsPerCell() }
 
 // AxisNames returns the axis names in order.

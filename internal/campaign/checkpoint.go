@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint is the durable resume state of one (possibly sharded)
+// campaign execution: the aggregator's fold frontier plus the exact
+// per-cell aggregate state at that frontier, written atomically every
+// CheckpointEvery folds or CheckpointInterval seconds and once more
+// when Execute returns (so a SIGTERM-cancelled shard loses at most the
+// runs inside the reorder window — and those rerun on resume).
+//
+// The fold-frontier invariant: NextSeq is the count of shard-local runs
+// whose results are folded into State; every run before the frontier is
+// in, no run at or after it is. Because folding is strictly in-order,
+// resuming means restoring State and dispatching the expanded run list
+// from NextSeq — re-executed runs reuse their deterministic seeds, so a
+// resumed campaign's final report is byte-identical to an uninterrupted
+// one.
+type Checkpoint struct {
+	// Version is ShardFileVersion; readers reject anything else.
+	Version int `json:"version"`
+	// Fingerprint hashes the campaign identity: name, axes, run count,
+	// shard coordinates, and the full expanded (index, cell, run, seed)
+	// list of this shard — so a checkpoint can never silently resume a
+	// different matrix, seed schedule, or shard assignment.
+	Fingerprint string `json:"fingerprint"`
+	// NextSeq is the fold frontier, in shard-local run positions.
+	NextSeq int `json:"nextSeq"`
+	// State is the per-cell aggregate at the frontier, in the shard
+	// result schema.
+	State ShardFile `json:"state"`
+}
+
+// LoadCheckpoint reads and version-checks a checkpoint file. A missing
+// file returns (nil, nil): Execute treats that as a fresh start.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	if cp.Version != ShardFileVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s: version %d, this build reads %d",
+			path, cp.Version, ShardFileVersion)
+	}
+	return &cp, nil
+}
+
+// writeCheckpoint atomically persists the current fold frontier.
+// Called under the aggregation lock: folding pauses while the state is
+// serialized, which is the price of a frontier that exactly matches the
+// persisted aggregates.
+func writeCheckpoint(path, fingerprint string, nextSeq int, rep *Report) error {
+	cp := Checkpoint{
+		Version:     ShardFileVersion,
+		Fingerprint: fingerprint,
+		NextSeq:     nextSeq,
+		State:       *BuildShardFile(rep),
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restore loads the checkpoint's aggregate state into a fresh report
+// skeleton, returning the fold frontier to resume from.
+func (cp *Checkpoint) restore(rep *Report) int {
+	rep.Runs = cp.State.Runs
+	rep.Failures = cp.State.Failures
+	for i := range cp.State.Cells {
+		sc := &cp.State.Cells[i]
+		sc.restoreInto(rep.Cells[sc.Index])
+	}
+	return cp.NextSeq
+}
+
+// campaignFingerprint hashes everything that must match for a
+// checkpoint to be resumable: matrix name, axes (names and canonical
+// values), runs per cell, shard coordinates, and this shard's full
+// expanded run list (which captures BaseSeed and any custom SeedFn).
+func campaignFingerprint(m *Matrix, sh Shard, specs []RunSpec) string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	wStr(m.Name)
+	wInt(int64(len(m.Axes)))
+	for _, ax := range m.Axes {
+		wStr(ax.Name)
+		wInt(int64(len(ax.Values)))
+		for _, v := range ax.Values {
+			wStr(FormatValue(v))
+		}
+	}
+	wInt(int64(m.runsPerCell()))
+	sh = sh.norm()
+	wInt(int64(sh.Index))
+	wInt(int64(sh.Of))
+	wInt(int64(len(specs)))
+	for i := range specs {
+		wInt(int64(specs[i].Index))
+		wInt(int64(specs[i].CellIndex))
+		wInt(int64(specs[i].Run))
+		wInt(specs[i].Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -31,15 +32,39 @@ type Options struct {
 	// the out-of-order buffer O(workers), so campaign memory stays
 	// O(cells), never O(runs).
 	Window int
-	// OnResult, when non-nil, observes every run result. It is invoked
-	// in ascending RunSpec.Index order under the aggregation lock, so
+	// OnResult, when non-nil, observes every folded run result. It is
+	// invoked in ascending fold order under the aggregation lock, so
 	// callers get a deterministic progress stream without locking.
+	// Results discarded by cancellation (see Report.Interrupted) are not
+	// observed — they never fold, and rerun on resume.
 	OnResult func(spec RunSpec, s Sample, err error)
 	// OnProgress, when non-nil, observes campaign progress: one call per
 	// run, after OnResult, in the same deterministic fold order and under
 	// the same lock. Wall-clock timing is only measured when OnProgress is
 	// set; it never influences the simulation or the report.
 	OnProgress func(p Progress)
+	// Shard restricts execution to one deterministic slice of the
+	// matrix (see Shard). The zero value runs the whole matrix.
+	Shard Shard
+	// Checkpoint, when non-empty, enables durable checkpoint/resume at
+	// this path: Execute auto-resumes from an existing checkpoint
+	// (validating its fingerprint against the matrix and shard), writes
+	// the fold frontier atomically every CheckpointEvery folds or
+	// CheckpointInterval of wall clock, and writes a final checkpoint
+	// before returning — including on cancellation, so a killed shard
+	// loses at most the in-window runs.
+	Checkpoint string
+	// CheckpointEvery is the number of folds between periodic
+	// checkpoints; <= 0 means 256.
+	CheckpointEvery int
+	// CheckpointInterval is the maximum wall-clock time between
+	// periodic checkpoints; <= 0 means 30s.
+	CheckpointInterval time.Duration
+	// ShardOut, when non-empty, atomically writes the shard's versioned
+	// result file (see ShardFile) there when the shard completes all its
+	// runs. Interrupted executions skip it — the checkpoint carries the
+	// partial state for resume instead.
+	ShardOut string
 }
 
 // Progress is one tick of the campaign progress stream: the run that
@@ -60,13 +85,16 @@ type Progress struct {
 	CellWallSeconds float64
 	// ElapsedSeconds is wall time since Execute started.
 	ElapsedSeconds float64
-	// RunsPerSec is Done/ElapsedSeconds; ETASeconds extrapolates it over
-	// the remaining runs (0 until a rate exists).
+	// RunsPerSec is this session's fold rate (runs restored from a
+	// checkpoint are excluded); ETASeconds extrapolates it over the
+	// remaining runs (0 until a rate exists).
 	RunsPerSec float64
 	ETASeconds float64
-	// Done counts folded runs (including this one), Total the campaign
-	// size, Failures the folded errors so far.
-	Done, Total, Failures int
+	// Done counts folded runs including any restored from a checkpoint;
+	// Total is the campaign (or shard) size; Failures the folded errors
+	// so far; Interrupted the results discarded by cancellation so far
+	// (normally 0 in ticks — cancellation also stops the tick stream).
+	Done, Total, Failures, Interrupted int
 }
 
 // workers resolves the pool size.
@@ -88,40 +116,109 @@ func (o Options) window(workers int) int {
 	return 4 * workers
 }
 
-// Execute expands the matrix and runs every RunSpec on a worker pool,
-// streaming results into per-cell aggregates. It returns when all runs
-// have been folded, or earlier with ctx.Err() when ctx is cancelled (the
-// returned report then holds the runs folded so far).
+// checkpointEvery resolves the periodic checkpoint fold count.
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 256
+}
+
+// checkpointInterval resolves the periodic checkpoint wall-clock bound.
+func (o Options) checkpointInterval() time.Duration {
+	if o.CheckpointInterval > 0 {
+		return o.CheckpointInterval
+	}
+	return 30 * time.Second
+}
+
+// workItem pairs a run spec with its dense position in the shard's
+// dispatch order. Sharded spec lists have non-contiguous global
+// indices, so folding orders by seq, not RunSpec.Index.
+type workItem struct {
+	seq  int
+	spec RunSpec
+}
+
+// Execute expands the matrix (restricted to opt.Shard when set) and runs
+// every selected RunSpec on a worker pool, streaming results into
+// per-cell aggregates. It returns when all runs have been folded, or
+// earlier with ctx.Err() when ctx is cancelled (the returned report then
+// holds the runs folded so far).
 //
-// Determinism: results are folded strictly in RunSpec.Index order — a
-// result that arrives early waits in a bounded reorder buffer — so the
-// report is byte-identical for any Workers/Window setting, including
+// Determinism: results are folded strictly in dispatch order — a result
+// that arrives early waits in a bounded reorder buffer — so the report
+// is byte-identical for any Workers/Window setting, including
 // Workers=1. Worker admission is throttled by the same window, bounding
 // in-flight plus buffered results to Window runs.
+//
+// Cancellation: runs that return the campaign context's cancellation
+// error are classified as interrupted, not failed — they (and any
+// completed results stuck behind them in fold order) are discarded,
+// counted in Report.Interrupted, and rerun on resume. User cancellation
+// therefore never shows up as cell failures, and a checkpoint written
+// at cancellation resumes to a byte-identical final report.
 func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, error) {
 	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Shard.Validate(); err != nil {
 		return nil, err
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("campaign: nil RunFunc")
 	}
-	specs := m.Expand()
+	all := m.Expand()
+	specs := opt.Shard.filterSpecs(all, m.NumCells(), m.runsPerCell())
 	rep := newReport(&m)
+	rep.Shard = opt.Shard.norm()
 
+	// Resume: restore the fold frontier and aggregate state from an
+	// existing checkpoint for this exact campaign and shard.
+	startSeq := 0
+	var fingerprint string
+	if opt.Checkpoint != "" {
+		fingerprint = campaignFingerprint(&m, opt.Shard, specs)
+		cp, err := LoadCheckpoint(opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			if cp.Fingerprint != fingerprint {
+				return nil, fmt.Errorf("campaign: checkpoint %s was written by a different campaign, seed schedule, or shard; refusing to resume", opt.Checkpoint)
+			}
+			if cp.NextSeq < 0 || cp.NextSeq > len(specs) {
+				return nil, fmt.Errorf("campaign: checkpoint %s frontier %d outside [0,%d]", opt.Checkpoint, cp.NextSeq, len(specs))
+			}
+			startSeq = cp.restore(rep)
+		}
+	}
+
+	remaining := len(specs) - startSeq
 	nw := opt.workers()
-	if nw > len(specs) && len(specs) > 0 {
-		nw = len(specs)
+	if nw > remaining {
+		nw = remaining
 	}
 	window := opt.window(nw)
 
 	agg := &aggregator{
+		ctx:        ctx,
 		rep:        rep,
-		runs:       m.runsPerCell(),
 		total:      len(specs),
+		startSeq:   startSeq,
+		next:       startSeq,
+		failures:   rep.Failures,
 		pending:    make(map[int]foldItem, window),
 		released:   make(chan struct{}, window),
 		onResult:   opt.OnResult,
 		onProgress: opt.OnProgress,
+		ckPath:     opt.Checkpoint,
+		ckPrint:    fingerprint,
+		ckEvery:    opt.checkpointEvery(),
+		ckInterval: opt.checkpointInterval(),
+	}
+	if agg.ckPath != "" {
+		agg.ckLast = time.Now()
 	}
 	if agg.onProgress != nil {
 		agg.start = time.Now()
@@ -133,33 +230,34 @@ func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, e
 		agg.released <- struct{}{}
 	}
 
-	work := make(chan RunSpec)
+	work := make(chan workItem)
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
 		go func() {
 			defer wg.Done()
-			for spec := range work {
+			for it := range work {
 				var begin time.Time
 				if agg.onProgress != nil {
 					begin = time.Now()
 				}
-				s, err := runSafely(ctx, fn, spec)
+				s, err := runSafely(ctx, fn, it.spec)
 				var wall float64
 				if agg.onProgress != nil {
 					wall = time.Since(begin).Seconds()
 				}
-				agg.deliver(spec, s, err, wall)
+				agg.deliver(it.seq, it.spec, s, err, wall)
 			}
 		}()
 	}
 
-	// Dispatcher: admit runs in index order, one token per run. Tokens
-	// are recycled by the aggregator as results fold, so dispatch never
-	// outruns aggregation by more than the window.
+	// Dispatcher: admit runs in fold order from the resume frontier, one
+	// token per run. Tokens are recycled by the aggregator as results
+	// fold (or are discarded), so dispatch never outruns aggregation by
+	// more than the window.
 	var dispatchErr error
 dispatch:
-	for _, spec := range specs {
+	for seq := startSeq; seq < len(specs); seq++ {
 		select {
 		case <-ctx.Done():
 			dispatchErr = ctx.Err()
@@ -170,11 +268,37 @@ dispatch:
 		case <-ctx.Done():
 			dispatchErr = ctx.Err()
 			break dispatch
-		case work <- spec:
+		case work <- workItem{seq: seq, spec: specs[seq]}:
 		}
 	}
 	close(work)
 	wg.Wait()
+
+	// Finalize: surface the discarded-run count, persist the final
+	// checkpoint, and emit the shard result file when complete.
+	agg.mu.Lock()
+	rep.Interrupted = agg.interrupted
+	frontier := agg.frontierLocked()
+	stopped := agg.stopped
+	ckErr := agg.ckErr
+	agg.mu.Unlock()
+
+	// Cancellation can land after the dispatcher has already handed out
+	// every run; the aggregator still froze and discarded the tail, so
+	// the execution is interrupted, never silently partial.
+	if dispatchErr == nil && stopped {
+		dispatchErr = ctx.Err()
+	}
+
+	if opt.Checkpoint != "" && ckErr == nil {
+		ckErr = writeCheckpoint(opt.Checkpoint, fingerprint, frontier, rep)
+	}
+	if dispatchErr == nil {
+		dispatchErr = ckErr
+	}
+	if dispatchErr == nil && frontier == len(specs) && opt.ShardOut != "" {
+		dispatchErr = WriteShardFile(opt.ShardOut, rep)
+	}
 	return rep, dispatchErr
 }
 
@@ -199,36 +323,83 @@ type foldItem struct {
 	wall float64 // run execution wall seconds (0 unless OnProgress is set)
 }
 
-// aggregator folds results into cell aggregates in ascending global run
+// aggregator folds results into cell aggregates in ascending dispatch
 // order, buffering out-of-order arrivals. The buffer is bounded by the
 // admission window: a token is only recycled when a result folds.
 type aggregator struct {
-	mu         sync.Mutex
-	rep        *Report
-	runs       int // runs per cell, to map global index -> cell
-	next       int // next global index to fold
-	total      int
-	failures   int
-	pending    map[int]foldItem
-	released   chan struct{}
-	onResult   func(RunSpec, Sample, error)
-	onProgress func(Progress)
-	start      time.Time // campaign start (set only when onProgress != nil)
-	cellWall   []float64 // cumulative run wall seconds per cell
+	mu          sync.Mutex
+	ctx         context.Context
+	rep         *Report
+	total       int
+	startSeq    int // resume frontier (first seq executed this session)
+	next        int // next seq to fold
+	failures    int
+	interrupted int  // results discarded because the campaign was cancelled
+	stopped     bool // a cancelled run reached the fold frontier; fold is frozen
+	frontier    int  // frozen fold frontier (valid when stopped)
+	pending     map[int]foldItem
+	released    chan struct{}
+	onResult    func(RunSpec, Sample, error)
+	onProgress  func(Progress)
+	start       time.Time // campaign start (set only when onProgress != nil)
+	cellWall    []float64 // cumulative run wall seconds per cell
+
+	ckPath     string
+	ckPrint    string
+	ckEvery    int
+	ckInterval time.Duration
+	ckLast     time.Time
+	ckFolds    int
+	ckErr      error
+}
+
+// interruptedRun reports whether a run error is the campaign context's
+// own cancellation (user interruption) rather than a scenario failure.
+// A run returning context.Canceled while the campaign context is still
+// live (e.g. from some internal sub-context) stays a real failure.
+func (a *aggregator) interruptedRun(err error) bool {
+	if err == nil || a.ctx.Err() == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// frontierLocked returns the durable fold frontier: where folding
+// actually stopped, immune to the post-cancellation discard advance.
+func (a *aggregator) frontierLocked() int {
+	if a.stopped {
+		return a.frontier
+	}
+	return a.next
 }
 
 // deliver accepts one completed run from a worker and folds every
-// in-order result now available.
-func (a *aggregator) deliver(spec RunSpec, s Sample, err error, wall float64) {
+// in-order result now available. Once a cancelled run reaches the fold
+// frontier, folding freezes: that result and everything after it —
+// including completed results stuck behind it — is discarded and
+// counted as interrupted, so a resume (which reruns from the frozen
+// frontier with the same derived seeds) converges to the exact report
+// an uninterrupted execution would have produced.
+func (a *aggregator) deliver(seq int, spec RunSpec, s Sample, err error, wall float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.pending[spec.Index] = foldItem{spec: spec, s: s, err: err, wall: wall}
+	a.pending[seq] = foldItem{spec: spec, s: s, err: err, wall: wall}
 	for {
 		item, ok := a.pending[a.next]
 		if !ok {
 			return
 		}
 		delete(a.pending, a.next)
+		if a.stopped || a.interruptedRun(item.err) {
+			if !a.stopped {
+				a.stopped = true
+				a.frontier = a.next
+			}
+			a.interrupted++
+			a.next++
+			a.released <- struct{}{}
+			continue
+		}
 		a.rep.fold(item.spec, item.s, item.err)
 		if item.err != nil {
 			a.failures++
@@ -240,8 +411,27 @@ func (a *aggregator) deliver(spec RunSpec, s Sample, err error, wall float64) {
 		if a.onProgress != nil {
 			a.onProgress(a.progress(item))
 		}
+		a.maybeCheckpoint()
 		a.released <- struct{}{}
 	}
+}
+
+// maybeCheckpoint writes a periodic checkpoint when enough folds or
+// wall clock accumulated since the last one. Called under the
+// aggregation lock, so the persisted frontier exactly matches the
+// persisted aggregates; a write failure is remembered and surfaced by
+// Execute rather than silently dropping durability.
+func (a *aggregator) maybeCheckpoint() {
+	if a.ckPath == "" || a.ckErr != nil {
+		return
+	}
+	a.ckFolds++
+	if a.ckFolds < a.ckEvery && time.Since(a.ckLast) < a.ckInterval {
+		return
+	}
+	a.ckFolds = 0
+	a.ckLast = time.Now()
+	a.ckErr = writeCheckpoint(a.ckPath, a.ckPrint, a.next, a.rep)
 }
 
 // progress assembles the Progress tick for a just-folded run. Called
@@ -259,9 +449,10 @@ func (a *aggregator) progress(item foldItem) Progress {
 		Done:            a.next,
 		Total:           a.total,
 		Failures:        a.failures,
+		Interrupted:     a.interrupted,
 	}
 	if p.ElapsedSeconds > 0 {
-		p.RunsPerSec = float64(p.Done) / p.ElapsedSeconds
+		p.RunsPerSec = float64(p.Done-a.startSeq) / p.ElapsedSeconds
 	}
 	if p.RunsPerSec > 0 {
 		p.ETASeconds = float64(p.Total-p.Done) / p.RunsPerSec

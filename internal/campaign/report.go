@@ -108,7 +108,10 @@ func (c *CellResult) foldTelemetry(k string, v float64) {
 }
 
 // Report is a campaign's aggregate outcome: one CellResult per matrix
-// cell, in deterministic cell order.
+// cell, in deterministic cell order. A sharded execution's report still
+// spans every matrix cell — cells outside the shard simply hold zero
+// runs — so emission shapes (table rows, CSV lines) match the unsharded
+// run and shard files always know the full cell geometry.
 type Report struct {
 	// Name is the campaign name from the matrix.
 	Name string
@@ -119,12 +122,29 @@ type Report struct {
 	// Runs counts all folded runs; Failures those that errored.
 	Runs     int
 	Failures int
+	// Interrupted counts run results discarded because the campaign was
+	// cancelled (the run returned the campaign context's error, or its
+	// completed result was stuck behind one in fold order). Interrupted
+	// runs are not failures — they rerun on resume — and never
+	// contribute to Err().
+	Interrupted int
+	// Shard is the execution's shard coordinates (0/1 when unsharded)
+	// and RunsPerCell the matrix's clamped per-cell repetition count;
+	// both feed the shard result file.
+	Shard       Shard
+	RunsPerCell int
 }
 
 // newReport allocates the report skeleton for a matrix.
 func newReport(m *Matrix) *Report {
 	cells := m.Cells()
-	rep := &Report{Name: m.Name, Axes: m.AxisNames(), Cells: make([]*CellResult, len(cells))}
+	rep := &Report{
+		Name:        m.Name,
+		Axes:        m.AxisNames(),
+		Cells:       make([]*CellResult, len(cells)),
+		Shard:       Shard{0, 1},
+		RunsPerCell: m.runsPerCell(),
+	}
 	for i, c := range cells {
 		rep.Cells[i] = &CellResult{Cell: c, obs: map[string]*stats.Running{}}
 	}
@@ -141,7 +161,9 @@ func (r *Report) fold(spec RunSpec, s Sample, err error) {
 }
 
 // Err returns nil when every folded run succeeded, else an error
-// describing the first failure and the failure count.
+// describing the first failure and the failure count. Interrupted
+// (cancelled) runs are not failures and never make Err non-nil: a
+// user's Ctrl-C must not masquerade as simulation failure.
 func (r *Report) Err() error {
 	if r.Failures == 0 {
 		return nil
@@ -260,18 +282,21 @@ type jsonCell struct {
 	Telemetry   map[string]float64        `json:"telemetry,omitempty"`
 }
 
-// jsonReport is the JSON shape of a report.
+// jsonReport is the JSON shape of a report. Interrupted is omitted
+// when zero, so complete runs emit byte-identical documents whether or
+// not they were ever sharded or resumed.
 type jsonReport struct {
-	Name     string     `json:"name"`
-	Axes     []string   `json:"axes"`
-	Runs     int        `json:"runs"`
-	Failures int        `json:"failures,omitempty"`
-	Cells    []jsonCell `json:"cells"`
+	Name        string     `json:"name"`
+	Axes        []string   `json:"axes"`
+	Runs        int        `json:"runs"`
+	Failures    int        `json:"failures,omitempty"`
+	Interrupted int        `json:"interrupted,omitempty"`
+	Cells       []jsonCell `json:"cells"`
 }
 
 // JSON renders the report as deterministic, indented JSON.
 func (r *Report) JSON() ([]byte, error) {
-	out := jsonReport{Name: r.Name, Axes: r.Axes, Runs: r.Runs, Failures: r.Failures}
+	out := jsonReport{Name: r.Name, Axes: r.Axes, Runs: r.Runs, Failures: r.Failures, Interrupted: r.Interrupted}
 	for _, c := range r.Cells {
 		jc := jsonCell{
 			Cell:        map[string]string{},

@@ -1,0 +1,425 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/javelen/jtp/internal/obs"
+	"github.com/javelen/jtp/internal/stats"
+)
+
+// Shard selects a deterministic slice of a campaign for one process:
+// shard Index of Of. The zero value (Of == 0) means unsharded and is
+// treated as shard 0 of 1 everywhere.
+//
+// Selection is cell-granular: the matrix's cell index space [0, C) is
+// partitioned into Of contiguous, balanced ranges, and shard i executes
+// exactly the expanded runs whose cells fall in range i. Because the
+// expansion is cell-major, each shard's run list is a contiguous slice
+// of the global run-index space — and because a cell's runs never
+// straddle shards, merging shard results concatenates disjoint cell
+// aggregates, which is what makes merged reports byte-identical to an
+// unsharded run (see MergeReports).
+type Shard struct {
+	Index int `json:"index"`
+	Of    int `json:"of"`
+}
+
+// Enabled reports whether the shard actually restricts the campaign.
+func (s Shard) Enabled() bool { return s.Of > 1 }
+
+// norm maps the zero value to the canonical unsharded 0/1.
+func (s Shard) norm() Shard {
+	if s.Of == 0 {
+		return Shard{0, 1}
+	}
+	return s
+}
+
+// Validate rejects impossible shard coordinates.
+func (s Shard) Validate() error {
+	s = s.norm()
+	if s.Of < 1 {
+		return fmt.Errorf("campaign: shard count %d < 1", s.Of)
+	}
+	if s.Index < 0 || s.Index >= s.Of {
+		return fmt.Errorf("campaign: shard index %d outside [0,%d)", s.Index, s.Of)
+	}
+	return nil
+}
+
+// String renders the shard as "i/N".
+func (s Shard) String() string {
+	s = s.norm()
+	return fmt.Sprintf("%d/%d", s.Index, s.Of)
+}
+
+// ParseShard parses "i/N" (e.g. "0/3") into a validated Shard.
+func ParseShard(v string) (Shard, error) {
+	i := strings.IndexByte(v, '/')
+	if i < 0 {
+		return Shard{}, fmt.Errorf("campaign: shard %q not of the form i/N", v)
+	}
+	idx, err1 := strconv.Atoi(v[:i])
+	of, err2 := strconv.Atoi(v[i+1:])
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("campaign: shard %q not of the form i/N", v)
+	}
+	if of < 1 {
+		return Shard{}, fmt.Errorf("campaign: shard count %d < 1", of)
+	}
+	sh := Shard{Index: idx, Of: of}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// CellRange returns the half-open cell-index range [lo, hi) this shard
+// owns out of numCells. Ranges are contiguous, disjoint, balanced to
+// within one cell, and their union over all shards covers every cell.
+// Shards beyond the cell count get empty ranges.
+func (s Shard) CellRange(numCells int) (lo, hi int) {
+	s = s.norm()
+	return s.Index * numCells / s.Of, (s.Index + 1) * numCells / s.Of
+}
+
+// selects reports whether the shard owns the given cell.
+func (s Shard) selects(cellIndex, numCells int) bool {
+	lo, hi := s.CellRange(numCells)
+	return cellIndex >= lo && cellIndex < hi
+}
+
+// filterSpecs returns the sub-slice of the expanded run list this shard
+// executes. Because expansion is cell-major and the cell range is
+// contiguous, the result is a contiguous window of specs.
+func (s Shard) filterSpecs(specs []RunSpec, numCells, runsPerCell int) []RunSpec {
+	lo, hi := s.CellRange(numCells)
+	return specs[lo*runsPerCell : hi*runsPerCell]
+}
+
+// ShardFileVersion is the current shard result / checkpoint state
+// schema version. Readers reject other versions.
+const ShardFileVersion = 1
+
+// ShardFile is the exported, versioned result format one shard writes
+// and `campaign.MergeReports` (CLI: `jtpsim merge`) folds back into a
+// single Report. It is self-contained: everything needed to rebuild the
+// merged report — axis names, per-cell axis values (in canonical
+// FormatValue form), and each cell's exact stats.Running state — rides
+// in the file, so merging needs no access to the original matrix.
+type ShardFile struct {
+	// Version is ShardFileVersion; readers reject anything else.
+	Version int `json:"version"`
+	// Campaign and Axes mirror the matrix; merge validates they agree
+	// across shards.
+	Campaign string   `json:"campaign"`
+	Axes     []string `json:"axes"`
+	// Shard is this file's coordinates; merge requires one file per
+	// index of a single Of.
+	Shard Shard `json:"shard"`
+	// NumCells and RunsPerCell describe the full (unsharded) matrix.
+	NumCells    int `json:"numCells"`
+	RunsPerCell int `json:"runsPerCell"`
+	// Runs/Failures/Interrupted are this shard's folded totals.
+	Runs        int `json:"runs"`
+	Failures    int `json:"failures,omitempty"`
+	Interrupted int `json:"interrupted,omitempty"`
+	// Cells holds every cell this shard owns (including zero-run cells
+	// of an interrupted shard), in ascending cell index order.
+	Cells []ShardCell `json:"cells"`
+}
+
+// ShardCell is one cell's aggregate state in a shard file.
+type ShardCell struct {
+	// Index is the cell's position in the full matrix's cell order.
+	Index int `json:"index"`
+	// Values are the cell's axis values rendered with FormatValue, in
+	// axis order. Reports rebuilt from shard files carry these strings;
+	// since every emission path (Table/CSV/JSON) renders values through
+	// FormatValue — the identity on strings — output is byte-identical
+	// to the original report's.
+	Values []string `json:"values"`
+	// Runs/Failures/FirstError mirror CellResult.
+	Runs       int    `json:"runs"`
+	Failures   int    `json:"failures,omitempty"`
+	FirstError string `json:"firstError,omitempty"`
+	// Observables are the exact accumulator states, bit-exact through
+	// JSON (see stats.RunningState).
+	Observables map[string]stats.RunningState `json:"observables,omitempty"`
+	// Telemetry is the cell's folded telemetry block, if any.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+}
+
+// shardCellState exports one CellResult as a ShardCell.
+func shardCellState(index int, c *CellResult) ShardCell {
+	sc := ShardCell{
+		Index:      index,
+		Values:     make([]string, c.Cell.Len()),
+		Runs:       c.Runs,
+		Failures:   c.Failures,
+		FirstError: c.FirstError,
+	}
+	for i := 0; i < c.Cell.Len(); i++ {
+		sc.Values[i] = FormatValue(c.Cell.Value(i))
+	}
+	if len(c.obs) > 0 {
+		sc.Observables = make(map[string]stats.RunningState, len(c.obs))
+		for k, r := range c.obs {
+			sc.Observables[k] = r.State()
+		}
+	}
+	if len(c.Telemetry) > 0 {
+		sc.Telemetry = make(map[string]float64, len(c.Telemetry))
+		for k, v := range c.Telemetry {
+			sc.Telemetry[k] = v
+		}
+	}
+	return sc
+}
+
+// restoreInto loads the shard cell's state into a CellResult that was
+// freshly allocated by newReport (empty aggregates, correct Cell).
+func (sc *ShardCell) restoreInto(c *CellResult) {
+	c.Runs = sc.Runs
+	c.Failures = sc.Failures
+	c.FirstError = sc.FirstError
+	for _, k := range sortedKeys(sc.Observables) {
+		r := stats.Restore(sc.Observables[k])
+		c.obs[k] = &r
+	}
+	if len(sc.Telemetry) > 0 {
+		c.Telemetry = make(map[string]float64, len(sc.Telemetry))
+		for k, v := range sc.Telemetry {
+			c.Telemetry[k] = v
+		}
+	}
+}
+
+// mergeInto folds the shard cell's state into an already-populated
+// CellResult (the overlapping-cells merge path; cell-granular sharding
+// never takes it, but merge handles it for robustness — results are
+// then statistically identical rather than bit-exact, per
+// stats.Running.Merge).
+func (sc *ShardCell) mergeInto(c *CellResult) {
+	c.Runs += sc.Runs
+	c.Failures += sc.Failures
+	if c.FirstError == "" {
+		c.FirstError = sc.FirstError
+	}
+	for _, k := range sortedKeys(sc.Observables) {
+		o := stats.Restore(sc.Observables[k])
+		if r, ok := c.obs[k]; ok {
+			r.Merge(o)
+		} else {
+			c.obs[k] = &o
+		}
+	}
+	for _, k := range sortedKeys(sc.Telemetry) {
+		v := sc.Telemetry[k]
+		if c.Telemetry == nil {
+			c.Telemetry = map[string]float64{}
+		}
+		if obs.IsMax(k) {
+			if old, ok := c.Telemetry[k]; !ok || v > old {
+				c.Telemetry[k] = v
+			}
+		} else {
+			c.Telemetry[k] += v
+		}
+	}
+}
+
+// BuildShardFile exports a report's shard-owned cells as a ShardFile.
+// The report must carry its shard coordinates (Execute stamps them).
+func BuildShardFile(rep *Report) *ShardFile {
+	sh := rep.Shard.norm()
+	lo, hi := sh.CellRange(len(rep.Cells))
+	f := &ShardFile{
+		Version:     ShardFileVersion,
+		Campaign:    rep.Name,
+		Axes:        rep.Axes,
+		Shard:       sh,
+		NumCells:    len(rep.Cells),
+		RunsPerCell: rep.RunsPerCell,
+		Runs:        rep.Runs,
+		Failures:    rep.Failures,
+		Interrupted: rep.Interrupted,
+		Cells:       make([]ShardCell, 0, hi-lo),
+	}
+	for ci := lo; ci < hi; ci++ {
+		f.Cells = append(f.Cells, shardCellState(ci, rep.Cells[ci]))
+	}
+	return f
+}
+
+// WriteShardFile atomically writes the report's shard result file
+// (indented JSON via a same-directory temp file + rename).
+func WriteShardFile(path string, rep *Report) error {
+	data, err := json.MarshalIndent(BuildShardFile(rep), "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: shard file: %w", err)
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// ReadShardFile reads and version-checks one shard result file.
+func ReadShardFile(path string) (*ShardFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: shard file: %w", err)
+	}
+	var f ShardFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("campaign: shard file %s: %w", path, err)
+	}
+	if f.Version != ShardFileVersion {
+		return nil, fmt.Errorf("campaign: shard file %s: version %d, this build reads %d",
+			path, f.Version, ShardFileVersion)
+	}
+	return &f, nil
+}
+
+// MergeReports folds a complete set of shard files (one per index of
+// the same Of, any argument order) back into a single Report.
+//
+// Determinism contract: with cell-granular sharding each matrix cell's
+// whole aggregate lives in exactly one file, so the merged report's
+// Table/CSV/JSON output is byte-identical to the unsharded run's — the
+// merge only re-assembles disjoint state, every float round-trips
+// bit-exactly through stats.RunningState, and cell axis values render
+// through FormatValue on both paths. Shards interrupted mid-campaign
+// merge too (their zero-run cells stay zero-run, Interrupted sums), so
+// partial sweeps still produce a coherent partial report.
+func MergeReports(files ...*ShardFile) (*Report, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("campaign: merge: no shard files")
+	}
+	first := files[0]
+	of := first.Shard.norm().Of
+	if len(files) != of {
+		return nil, fmt.Errorf("campaign: merge: got %d files for %d shards", len(files), of)
+	}
+	seen := make([]bool, of)
+	for _, f := range files {
+		if f.Version != ShardFileVersion {
+			return nil, fmt.Errorf("campaign: merge: shard file version %d, this build reads %d",
+				f.Version, ShardFileVersion)
+		}
+		if f.Campaign != first.Campaign {
+			return nil, fmt.Errorf("campaign: merge: campaign %q vs %q", f.Campaign, first.Campaign)
+		}
+		if strings.Join(f.Axes, "\x00") != strings.Join(first.Axes, "\x00") {
+			return nil, fmt.Errorf("campaign: merge: axis mismatch (%v vs %v)", f.Axes, first.Axes)
+		}
+		if f.NumCells != first.NumCells || f.RunsPerCell != first.RunsPerCell {
+			return nil, fmt.Errorf("campaign: merge: matrix shape mismatch (%d×%d vs %d×%d cells×runs)",
+				f.NumCells, f.RunsPerCell, first.NumCells, first.RunsPerCell)
+		}
+		sh := f.Shard.norm()
+		if sh.Of != of {
+			return nil, fmt.Errorf("campaign: merge: shard %s does not belong to a %d-way split", sh, of)
+		}
+		if seen[sh.Index] {
+			return nil, fmt.Errorf("campaign: merge: duplicate shard %s", sh)
+		}
+		seen[sh.Index] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("campaign: merge: missing shard %d/%d", i, of)
+		}
+	}
+	// Merge in ascending shard index order so any overlapping-cell
+	// FirstError resolution is deterministic.
+	sorted := append([]*ShardFile{}, files...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Shard.norm().Index < sorted[j].Shard.norm().Index
+	})
+
+	rep := &Report{
+		Name:        first.Campaign,
+		Axes:        first.Axes,
+		Cells:       make([]*CellResult, first.NumCells),
+		RunsPerCell: first.RunsPerCell,
+	}
+	for _, f := range sorted {
+		rep.Runs += f.Runs
+		rep.Failures += f.Failures
+		rep.Interrupted += f.Interrupted
+		for i := range f.Cells {
+			sc := &f.Cells[i]
+			if sc.Index < 0 || sc.Index >= first.NumCells {
+				return nil, fmt.Errorf("campaign: merge: shard %s cell index %d outside [0,%d)",
+					f.Shard.norm(), sc.Index, first.NumCells)
+			}
+			if len(sc.Values) != len(first.Axes) {
+				return nil, fmt.Errorf("campaign: merge: shard %s cell %d has %d values for %d axes",
+					f.Shard.norm(), sc.Index, len(sc.Values), len(first.Axes))
+			}
+			if rep.Cells[sc.Index] == nil {
+				c := &CellResult{
+					Cell: cellFromStrings(first.Axes, sc.Values),
+					obs:  map[string]*stats.Running{},
+				}
+				sc.restoreInto(c)
+				rep.Cells[sc.Index] = c
+			} else {
+				sc.mergeInto(rep.Cells[sc.Index])
+			}
+		}
+	}
+	for i, c := range rep.Cells {
+		if c == nil {
+			return nil, fmt.Errorf("campaign: merge: no shard covered cell %d (corrupt shard set)", i)
+		}
+	}
+	return rep, nil
+}
+
+// cellFromStrings rebuilds a Cell from canonical formatted values.
+// FormatValue is the identity on strings, so a rebuilt cell renders
+// byte-identically to the original in every emission path.
+func cellFromStrings(names []string, values []string) Cell {
+	vs := make([]any, len(values))
+	for i, v := range values {
+		vs[i] = v
+	}
+	return Cell{names: names, values: vs}
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so readers (and crash recovery) only ever observe
+// the old or the complete new content.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

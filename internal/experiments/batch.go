@@ -355,9 +355,16 @@ func (b *BatchSpec) Execute(ctx context.Context, par int, onResult func(campaign
 	if err := b.validate(); err != nil {
 		return nil, err
 	}
-	return campaign.Execute(ctx, b.Matrix(),
-		campaign.Options{Workers: par, OnResult: onResult, OnProgress: campaignHooks.OnProgress},
-		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+	opt := campaignHooks.options(par)
+	opt.OnResult = onResult
+	return campaign.Execute(ctx, b.Matrix(), opt,
+		func(ctx context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+			// Bail before simulating when the campaign was cancelled: the
+			// run is then classified interrupted (rerun on resume), not
+			// recorded as a cell failure.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sc, err := b.scenario(spec.Cell, spec.Seed)
 			if err != nil {
 				return nil, err

@@ -32,14 +32,25 @@ func protocolValues(ps []Protocol) []any {
 
 // mustExecute runs a figure campaign with par workers and panics on any
 // failed run, preserving the panic-on-bad-scenario behavior the serial
-// figure loops had.
+// figure loops had. Execution honors the process-wide campaignHooks:
+// context (cancellation), shard selection, checkpoint/resume and the
+// shard result file. A cancelled campaign is routed to OnInterrupted
+// (when set) before the panic, so the CLI can exit cleanly instead.
 func mustExecute(m campaign.Matrix, par int, run func(spec campaign.RunSpec) campaign.Sample) *campaign.Report {
-	rep, err := campaign.Execute(context.Background(), m,
-		campaign.Options{Workers: par, OnProgress: campaignHooks.OnProgress},
-		func(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+	ctx := campaignHooks.ctx()
+	rep, err := campaign.Execute(ctx, m, campaignHooks.options(par),
+		func(ctx context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+			// A run admitted after cancellation bails immediately and is
+			// classified interrupted, never failed.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			return run(spec), nil
 		})
 	if err != nil {
+		if ctx.Err() != nil && campaignHooks.OnInterrupted != nil {
+			campaignHooks.OnInterrupted(rep, err)
+		}
 		panic("experiments: " + err.Error())
 	}
 	if err := rep.Err(); err != nil {

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/javelen/jtp/internal/campaign"
+)
+
+// shardSpec is a small real-simulation matrix for shard equivalence:
+// 3 cells × 2 runs of actual JTP chains, cheap enough for the unit tier.
+func shardSpec() *BatchSpec {
+	w := 5.0
+	return &BatchSpec{
+		Name:      "shard-equiv",
+		Protocols: []string{"jtp"},
+		Nodes:     []int{3, 4, 5},
+		Flows:     1,
+		Seconds:   60,
+		Warmup:    &w,
+		Runs:      2,
+		Seed:      11,
+	}
+}
+
+// execWithHooks runs the batch spec with the given process-wide campaign
+// hooks installed, restoring the previous hooks afterwards.
+func execWithHooks(t *testing.T, h CampaignHooks, par int) *campaign.Report {
+	t.Helper()
+	prev := campaignHooks
+	SetCampaignHooks(h)
+	defer SetCampaignHooks(prev)
+	rep, err := shardSpec().Execute(context.Background(), par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestBatchShardMergeMatchesUnsharded executes a real batch campaign as
+// three shards via the hooks plumbing the CLI uses, merges the shard
+// files, and requires the merged CSV and JSON to be byte-identical to
+// the unsharded run's.
+func TestBatchShardMergeMatchesUnsharded(t *testing.T) {
+	base := execWithHooks(t, CampaignHooks{}, 4)
+	wantCSV := base.CSV()
+	wantJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const of = 3
+	files := make([]*campaign.ShardFile, of)
+	for i := 0; i < of; i++ {
+		out := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		execWithHooks(t, CampaignHooks{
+			Shard:    campaign.Shard{Index: i, Of: of},
+			ShardOut: out,
+		}, 2)
+		if files[i], err = campaign.ReadShardFile(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := campaign.MergeReports(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.CSV(); got != wantCSV {
+		t.Fatalf("merged CSV differs from unsharded:\n--- merged ---\n%s--- unsharded ---\n%s", got, wantCSV)
+	}
+	gotJSON, err := merged.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("merged JSON differs from unsharded:\n--- merged ---\n%s\n--- unsharded ---\n%s", gotJSON, wantJSON)
+	}
+}
+
+// TestBatchCheckpointResumeMatchesClean runs a real batch campaign with
+// a checkpoint, then re-executes against the now-complete checkpoint:
+// the memoized report must match the clean run byte-for-byte without
+// simulating anything again (the second Execute dispatches zero runs).
+func TestBatchCheckpointResumeMatchesClean(t *testing.T) {
+	base := execWithHooks(t, CampaignHooks{}, 4)
+	wantCSV := base.CSV()
+
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	first := execWithHooks(t, CampaignHooks{Checkpoint: ck}, 4)
+	if got := first.CSV(); got != wantCSV {
+		t.Fatalf("checkpointed run differs from plain run:\n%s\nvs\n%s", got, wantCSV)
+	}
+	resumed := execWithHooks(t, CampaignHooks{Checkpoint: ck}, 4)
+	if got := resumed.CSV(); got != wantCSV {
+		t.Fatalf("resumed run differs from plain run:\n%s\nvs\n%s", got, wantCSV)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"github.com/javelen/jtp/internal/campaign"
@@ -24,6 +25,44 @@ type CampaignHooks struct {
 	// (runs-completed / runs-per-sec / ETA / per-cell wall time, in
 	// deterministic fold order).
 	OnProgress func(p campaign.Progress)
+	// Ctx, when non-nil, is the context every figure campaign executes
+	// under (nil means context.Background()); the CLI threads its
+	// SIGINT/SIGTERM context here so figure campaigns cancel cleanly.
+	// Batch mode takes its context as an explicit argument instead.
+	Ctx context.Context
+	// Shard, Checkpoint and ShardOut mirror the campaign.Options fields
+	// of the same names: deterministic slice selection for multi-process
+	// sweeps, the durable checkpoint/resume path, and the per-shard
+	// result file `jtpsim merge` folds back together.
+	Shard      campaign.Shard
+	Checkpoint string
+	ShardOut   string
+	// OnInterrupted, when non-nil, observes a cancelled figure campaign
+	// (its partial report and the cancellation error) before mustExecute
+	// panics. The CLI uses it to report the saved checkpoint and exit;
+	// if the handler returns, the panic proceeds.
+	OnInterrupted func(rep *campaign.Report, err error)
+}
+
+// options assembles the campaign.Options every campaign entry point in
+// this package shares, so shard/checkpoint configuration set once by the
+// CLI reaches figure and batch campaigns alike.
+func (h CampaignHooks) options(par int) campaign.Options {
+	return campaign.Options{
+		Workers:    par,
+		OnProgress: h.OnProgress,
+		Shard:      h.Shard,
+		Checkpoint: h.Checkpoint,
+		ShardOut:   h.ShardOut,
+	}
+}
+
+// ctx resolves the figure-campaign context.
+func (h CampaignHooks) ctx() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
 }
 
 // campaignHooks is read by campaign workers while they run; callers must

@@ -227,7 +227,10 @@ func (t *Table) String() string {
 func (t *Table) Rows() int { return len(t.rows) }
 
 // CSV renders the table as comma-separated values (header + rows; the
-// title is omitted). Cells containing commas or quotes are quoted.
+// title is omitted). Cells containing commas, quotes, or either newline
+// character are quoted per RFC 4180 — a bare "\r" (possible in error
+// strings carried into report cells) must not escape unquoted, or the
+// emitted row count changes under CR-sensitive readers.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -235,7 +238,7 @@ func (t *Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				b.WriteByte('"')
 				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
 				b.WriteByte('"')

@@ -98,6 +98,40 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestTableCSVQuoting is the RFC-4180 quoting table: every delimiter
+// class — including a bare "\r", which previously escaped unquoted and
+// changed the emitted row count under CR-sensitive readers — must force
+// the cell into quotes; clean cells must stay bare.
+func TestTableCSVQuoting(t *testing.T) {
+	cases := []struct {
+		name string
+		cell string
+		want string
+	}{
+		{"plain", "abc", "abc"},
+		{"comma", "a,b", `"a,b"`},
+		{"quote", `a"b`, `"a""b"`},
+		{"newline", "a\nb", "\"a\nb\""},
+		{"bare CR", "a\rb", "\"a\rb\""},
+		{"CRLF", "a\r\nb", "\"a\r\nb\""},
+		{"leading CR", "\rrun failed", "\"\rrun failed\""},
+		{"trailing CR", "boom\r", "\"boom\r\""},
+		{"empty", "", ""},
+		{"spaces stay bare", "a b", "a b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTable("", "c")
+			tb.AddRow(tc.cell)
+			got := tb.CSV()
+			want := "c\n" + tc.want + "\n"
+			if got != want {
+				t.Fatalf("CSV = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
 func TestTableFormatsFloats(t *testing.T) {
 	tb := NewTable("", "v")
 	tb.AddRow(3.14159265)

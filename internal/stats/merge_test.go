@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// foldAll returns a Running fed the samples one at a time (the
+// single-stream Welford baseline every merge is checked against).
+func foldAll(xs []float64) Running {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r
+}
+
+// TestStateRoundTrip pins the export/restore contract: State→Restore
+// reproduces the accumulator bit-for-bit, through JSON too.
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = (rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+		r := foldAll(xs)
+		st := r.State()
+
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back RunningState
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != st {
+			t.Fatalf("trial %d: JSON round trip changed state: %+v vs %+v", trial, back, st)
+		}
+
+		got := Restore(back)
+		if got != r {
+			t.Fatalf("trial %d: Restore(State()) = %+v, want %+v", trial, got, r)
+		}
+		// Continuing to fold after restore behaves like the original.
+		r.Add(1.5)
+		got.Add(1.5)
+		if got != r {
+			t.Fatalf("trial %d: post-restore fold diverged", trial)
+		}
+	}
+}
+
+// TestMergeEmptySidesBitExact pins the byte-identity case campaign
+// sharding relies on: merging with an empty accumulator (either side)
+// copies the non-empty state verbatim.
+func TestMergeEmptySidesBitExact(t *testing.T) {
+	xs := []float64{3.25, -1.5, 9.875, 2.0625, 3.25}
+	full := foldAll(xs)
+
+	var a Running
+	a.Merge(full) // empty.Merge(full)
+	if a != full {
+		t.Fatalf("empty.Merge(full) = %+v, want %+v", a, full)
+	}
+
+	b := full
+	b.Merge(Running{}) // full.Merge(empty)
+	if b != full {
+		t.Fatalf("full.Merge(empty) = %+v, want %+v", b, full)
+	}
+
+	var c, d Running
+	c.Merge(d)
+	if c != (Running{}) {
+		t.Fatalf("empty.Merge(empty) = %+v, want zero", c)
+	}
+}
+
+// TestMergeMatchesSingleStream is the Chan et al. property test: for
+// random streams and any split point, merging the two partial folds is
+// statistically identical to folding the whole stream — exact counts,
+// min/max and sum, and mean/variance/CI95 within a few ulps.
+func TestMergeMatchesSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	approx := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-12*scale
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix magnitudes so catastrophic cancellation would show.
+			xs[i] = (rng.NormFloat64() + 5) * math.Pow(10, float64(rng.Intn(8)-4))
+		}
+		whole := foldAll(xs)
+		cut := rng.Intn(n + 1)
+		merged := foldAll(xs[:cut])
+		merged.Merge(foldAll(xs[cut:]))
+
+		if merged.N() != whole.N() || merged.Sum() != whole.Sum() && !approx(merged.Sum(), whole.Sum()) {
+			t.Fatalf("trial %d: n/sum mismatch: %+v vs %+v", trial, merged, whole)
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: min/max mismatch: [%g,%g] vs [%g,%g]",
+				trial, merged.Min(), merged.Max(), whole.Min(), whole.Max())
+		}
+		if !approx(merged.Mean(), whole.Mean()) {
+			t.Fatalf("trial %d (n=%d cut=%d): mean %g vs %g", trial, n, cut, merged.Mean(), whole.Mean())
+		}
+		if !approx(merged.Variance(), whole.Variance()) {
+			t.Fatalf("trial %d (n=%d cut=%d): variance %g vs %g", trial, n, cut, merged.Variance(), whole.Variance())
+		}
+		if !approx(merged.CI95(), whole.CI95()) {
+			t.Fatalf("trial %d: CI95 %g vs %g", trial, merged.CI95(), whole.CI95())
+		}
+		// Boundary splits must be bit-exact, not just approximate.
+		if cut == 0 || cut == n {
+			if merged != whole {
+				t.Fatalf("trial %d: empty-side split (cut=%d) not bit-exact", trial, cut)
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeAcrossShards folds one stream through 2, 3, and 8
+// partitions and checks all partitionings agree with each other within
+// floating-point tolerance (the merged-report contract for shard counts
+// used by the campaign runner).
+func TestMergeAssociativeAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]float64, 240)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	whole := foldAll(xs)
+	for _, shards := range []int{1, 2, 3, 8} {
+		var merged Running
+		per := len(xs) / shards
+		for s := 0; s < shards; s++ {
+			lo, hi := s*per, (s+1)*per
+			if s == shards-1 {
+				hi = len(xs)
+			}
+			merged.Merge(foldAll(xs[lo:hi]))
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("shards=%d: n=%d want %d", shards, merged.N(), whole.N())
+		}
+		if d := math.Abs(merged.Mean() - whole.Mean()); d > 1e-12*math.Abs(whole.Mean()) {
+			t.Fatalf("shards=%d: mean drift %g", shards, d)
+		}
+		if d := math.Abs(merged.Variance() - whole.Variance()); d > 1e-10*whole.Variance() {
+			t.Fatalf("shards=%d: variance drift %g", shards, d)
+		}
+	}
+}
