@@ -510,7 +510,9 @@ func BenchmarkEngineEvents(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Schedule(sim.Microsecond, fn)
-	eng.Drain()
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkEngineStopChurn measures the cancel/re-arm path every pacing

@@ -10,7 +10,7 @@ package main
 //	jtpsim bench                        # fig9 preset (BENCH_PR4.json)
 //	jtpsim bench -preset mobile         # large-n mobile RGG tier (BENCH_PR5.json)
 //	jtpsim bench -preset telemetry      # obs overhead gate (BENCH_PR6.json)
-//	jtpsim bench -preset huge -scale 1  # 1k+10k-node tier (BENCH_PR7.json)
+//	jtpsim bench -preset huge -scale 1  # 1k+10k-node tier (BENCH_PR9.json)
 //	jtpsim bench -preset huge -full     # adds the 65536-node ceiling tier
 //	jtpsim bench -scale 0.5 -par 8      # heavier sweep, 8 workers
 //	jtpsim bench -out report.json       # where to write the report
@@ -26,8 +26,12 @@ package main
 //     gates the telemetry overhead at 3% (see bench_telemetry.go).
 //   - huge: 1k-node (and, at -scale ≥ 0.5, 10k-node; with -full, the
 //     65536-node addressing-ceiling) mobile RGGs — the spatial-hash
-//     link-state tier; -check also gates peak RSS so an O(n²)
-//     regression in snapshot memory fails loudly.
+//     link-state tier. With -kernel-par N (default 4) it runs two arms
+//     — a serial baseline reconstructing the pre-parallel-kernel engine
+//     and an N-partition kernel arm — and reports their speedup; -check
+//     gates the speedup at ≥2× and also gates peak RSS so an O(n²)
+//     regression in snapshot memory fails loudly. -seconds shortens the
+//     virtual run (the CI gate uses 12 s).
 //
 // The guarded hot paths (steady-state kernel scheduling, packet codec
 // round-trip, per-slot MAC tick via an idle chain, epoch-cached router
@@ -41,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -78,6 +83,25 @@ type BenchReport struct {
 	// tier fitting comfortably under the gate is the no-n×n proof.
 	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
 
+	// KernelPar through KernelTelemetry are the huge preset's two-arm
+	// fields (BENCH_PR9.json). The preset interleaves two arms: a
+	// serial-baseline arm on the classic engine with the pre-PR9 costs
+	// reconstructed (eager per-node cache RNG, mirror-walk row patches,
+	// full-adjacency endpoint BFS), and a parallel-kernel arm at
+	// KernelPar spatial partitions; each arm keeps its best wall of two
+	// repetitions. The headline Runs/WallSeconds measure the kernel arm;
+	// Speedup is serial wall over kernel wall, and `bench -check` gates
+	// it at ≥2×.
+	KernelPar         int     `json:"kernel_par,omitempty"`
+	SerialWallSeconds float64 `json:"serial_wall_seconds,omitempty"`
+	SerialRunsPerSec  float64 `json:"serial_runs_per_sec,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+	// KernelTelemetry is the kernel arm's folded kernel_* accounting:
+	// window/stall totals plus per-partition lookahead stalls
+	// (kernel_p<i>_stalls) and heap-depth high-water marks
+	// (kernel_p<i>_heap_depth_hwm).
+	KernelTelemetry map[string]float64 `json:"kernel_telemetry,omitempty"`
+
 	// AllocsPerOp are the guarded hot paths; all must be 0.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
 }
@@ -89,10 +113,12 @@ func benchMain(args []string) int {
 		preset = fs.String("preset", "fig9", "campaign preset: fig9, mobile, telemetry or huge")
 		scale  = fs.Float64("scale", 0.15, "fraction of the preset's full sweep (0..1]")
 		out    = fs.String("out", "", "report path ('-' for stdout only; default BENCH_PR4.json for fig9, BENCH_PR5.json for mobile, BENCH_PR7.json for huge)")
-		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates (huge: also gates peak RSS)")
+		check  = fs.Bool("check", false, "exit non-zero if any guarded hot path allocates (huge: also gates peak RSS and the >=2x kernel speedup)")
 		full   = fs.Bool("full", false, "huge preset: include the 65536-node addressing-ceiling tier")
+		secs   = fs.Float64("seconds", 0, "huge preset: virtual seconds per run (0 = preset default)")
 	)
 	fs.IntVar(&par, "par", 0, "campaign worker-pool size (0 = all CPUs)")
+	fs.IntVar(&kernelPar, "kernel-par", 4, "huge preset: parallel-kernel partitions for the kernel arm (0 = single classic arm, no speedup gate)")
 	addProfileFlags(fs)
 	addTelemetryFlags(fs)
 	fs.Parse(args)
@@ -113,9 +139,10 @@ func benchMain(args []string) int {
 		return 1
 	}
 
-	var res experiments.CampaignBenchResult
+	var res, serialRes experiments.CampaignBenchResult
 	var start time.Time
 	var rssGate uint64
+	var serialWall float64
 	switch *preset {
 	case "fig9":
 		if *out == "" {
@@ -139,15 +166,60 @@ func benchMain(args []string) int {
 		res = experiments.MobileCampaignBench(cfg)
 	case "huge":
 		if *out == "" {
-			*out = "BENCH_PR7.json"
+			*out = "BENCH_PR9.json"
 		}
 		cfg := experiments.HugeBenchDefaults(*scale, *full)
 		cfg.Par = par
+		if *secs > 0 {
+			cfg.Seconds = *secs
+		}
 		rssGate = hugeRSSGate(cfg.Sizes)
-		fmt.Fprintf(os.Stderr, "jtpsim bench: huge campaign sizes=%v × %d speeds × %d protocols × %d runs, par=%d\n",
-			cfg.Sizes, len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
-		start = time.Now()
-		res = experiments.HugeCampaignBench(cfg)
+		if kernelPar > 0 {
+			// Two arms. The baseline reconstructs the serial engine as it
+			// stood before the parallel-kernel PR — classic run loop plus
+			// the historical construction and patch costs — so Speedup
+			// measures the PR's huge-tier wall-clock gain end to end.
+			// Campaign telemetry is forced on for both arms (equal
+			// overhead; every result byte is identical either way) so the
+			// kernel arm's partition accounting reaches the report. Arms
+			// are interleaved twice and each keeps its best wall — the
+			// classic minimum-of-repetitions noise-floor estimate, so a
+			// scheduling hiccup in either arm can't skew the ratio.
+			hooks := cliHooks
+			hooks.Telemetry = true
+			experiments.SetCampaignHooks(hooks)
+			base := cfg
+			base.LegacyBaseline = true
+			kcfg := cfg
+			kcfg.KernelPartitions = kernelPar
+			fmt.Fprintf(os.Stderr, "jtpsim bench: huge serial baseline vs %d-partition kernel arm, sizes=%v × %d speeds × %d protocols × %d runs, par=%d\n",
+				kernelPar, cfg.Sizes, len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
+			kernelWall := 0.0
+			for rep := 0; rep < 2; rep++ {
+				// Collect the previous arm's garbage before timing starts
+				// so neither arm is billed for sweeping the other's heap.
+				runtime.GC()
+				t0 := time.Now()
+				serialRes = experiments.HugeCampaignBench(base)
+				if w := time.Since(t0).Seconds(); serialWall == 0 || w < serialWall {
+					serialWall = w
+				}
+				runtime.GC()
+				t0 = time.Now()
+				res = experiments.HugeCampaignBench(kcfg)
+				if w := time.Since(t0).Seconds(); kernelWall == 0 || w < kernelWall {
+					kernelWall = w
+				}
+			}
+			// start is re-based so the generic wall computation below
+			// reports the kernel arm's best repetition.
+			start = time.Now().Add(-time.Duration(kernelWall * float64(time.Second)))
+		} else {
+			fmt.Fprintf(os.Stderr, "jtpsim bench: huge campaign sizes=%v × %d speeds × %d protocols × %d runs, par=%d\n",
+				cfg.Sizes, len(cfg.Speeds), len(cfg.Protocols), cfg.Runs, par)
+			start = time.Now()
+			res = experiments.HugeCampaignBench(cfg)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "jtpsim bench: unknown preset %q (want fig9, mobile, telemetry or huge)\n", *preset)
 		return 1
@@ -174,6 +246,13 @@ func benchMain(args []string) int {
 			"router_refresh_epoch_cached": benchRouterRefreshAllocs(),
 			"linkstate_patch_within_cell": benchPatchWithinCellAllocs(),
 		},
+	}
+	if serialWall > 0 {
+		rep.KernelPar = kernelPar
+		rep.SerialWallSeconds = serialWall
+		rep.SerialRunsPerSec = float64(serialRes.Runs) / serialWall
+		rep.Speedup = serialWall / wall
+		rep.KernelTelemetry = kernelTelemetry(res.Telemetry)
 	}
 
 	js, err := json.MarshalIndent(rep, "", "  ")
@@ -203,8 +282,25 @@ func benchMain(args []string) int {
 				rep.PeakRSSBytes, rssGate)
 			return 1
 		}
+		if rep.KernelPar > 0 && rep.Speedup < 2 {
+			fmt.Fprintf(os.Stderr, "jtpsim bench: huge-tier speedup %.2fx at %d partitions is under the 2x gate (serial %.3fs, kernel %.3fs)\n",
+				rep.Speedup, rep.KernelPar, rep.SerialWallSeconds, rep.WallSeconds)
+			return 1
+		}
 	}
 	return 0
+}
+
+// kernelTelemetry filters a campaign telemetry fold down to the parallel
+// kernel's accounting keys for the report.
+func kernelTelemetry(tel map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range tel {
+		if strings.HasPrefix(k, "kernel_") {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // hugeRSSGate maps the huge preset's largest network size to a peak-RSS

@@ -98,7 +98,7 @@ func TestDebugServerServesCampaignState(t *testing.T) {
 
 func TestTelemetryCountersStripPrefix(t *testing.T) {
 	s := campaign.Sample{
-		"goodput": 2,
+		"goodput":                              2,
 		campaign.TelemetryPrefix + "pool_gets": 9,
 	}
 	got := telemetryCounters(s)

@@ -234,7 +234,7 @@ func NewSender(nw *node.Network, cfg Config) *Sender {
 	s := &Sender{
 		cfg:    cfg,
 		net:    nw,
-		eng:    nw.Engine(),
+		eng:    nw.EngineFor(cfg.Src),
 		rate:   cfg.InitialRate,
 		inPend: make(map[uint32]bool),
 	}
@@ -447,7 +447,7 @@ func NewReceiver(nw *node.Network, cfg Config) *Receiver {
 	return &Receiver{
 		cfg:      cfg,
 		net:      nw,
-		eng:      nw.Engine(),
+		eng:      nw.EngineFor(cfg.Dst),
 		received: make(map[uint32]bool),
 	}
 }

@@ -74,7 +74,7 @@ func NewSender(nw *node.Network, cfg Config) *Sender {
 	s := &Sender{
 		cfg:          cfg,
 		net:          nw,
-		eng:          nw.Engine(),
+		eng:          nw.EngineFor(cfg.Src),
 		pool:         nw.PacketPool(),
 		rate:         cfg.InitialRate,
 		energyBudget: cfg.InitialEnergyBudget,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/ijtp"
 	"github.com/javelen/jtp/internal/metrics"
 )
 
@@ -35,6 +36,18 @@ type HugeBenchConfig struct {
 	Seed int64
 	// Par is the worker-pool size (0 = GOMAXPROCS).
 	Par int
+	// KernelPartitions runs every scenario on the parallel discrete-event
+	// kernel with that many spatial partitions (0 = classic serial).
+	// Results are byte-identical at every count; only wall-clock and the
+	// kernel_* accounting differ.
+	KernelPartitions int
+	// LegacyBaseline reconstructs the historical serial engine for the
+	// baseline arm the `bench -preset huge` speedup gate measures
+	// against: eager per-node cache-RNG construction
+	// (ijtp.Config.EagerCacheRNG), duplicate patch-row quality
+	// arithmetic, and full-adjacency endpoint/connectivity BFS
+	// (Scenario.LegacyBaseline). Results are identical either way.
+	LegacyBaseline bool
 }
 
 // MaxNodes is the hard network-size ceiling: node ids travel in a
@@ -105,6 +118,7 @@ func HugeCampaignBench(cfg HugeBenchConfig) CampaignBenchResult {
 		r := c.Running(obsEvents)
 		res.Events += uint64(r.Sum())
 	}
+	res.foldCellTelemetry(rep)
 	return res
 }
 
@@ -114,19 +128,33 @@ func HugeCampaignBench(cfg HugeBenchConfig) CampaignBenchResult {
 // from the mobile tier, and the one that keeps per-router view memory
 // proportional to the nodes that actually carry traffic.
 func runHugeBenchOnce(proto Protocol, n int, speed float64, seed int64, cfg HugeBenchConfig) *metrics.RunRecord {
+	// Flows keep the mobile tier's 10 s stagger when the run is long
+	// enough (the 1k cell stays shape-identical to the historical
+	// yardstick); shorter runs compress the stagger so every flow still
+	// starts before the end.
+	stagger := 10.0
+	if last := cfg.Warmup + float64(cfg.Flows-1)*stagger; last >= cfg.Seconds && cfg.Flows > 0 {
+		stagger = (cfg.Seconds - cfg.Warmup) / float64(cfg.Flows)
+	}
 	flows := make([]FlowSpec, cfg.Flows)
 	for i := range flows {
-		flows[i] = FlowSpec{Src: -1, Dst: -1, StartAt: cfg.Warmup + float64(i)*10}
+		flows[i] = FlowSpec{Src: -1, Dst: -1, StartAt: cfg.Warmup + float64(i)*stagger}
 	}
-	return must(Run(Scenario{
-		Name:            "huge-bench",
-		Proto:           proto,
-		Topo:            Random,
-		Nodes:           n,
-		MobilitySpeed:   speed,
-		RoutingOnDemand: true,
-		Seconds:         cfg.Seconds,
-		Seed:            seed,
-		Flows:           flows,
-	}))
+	sc := Scenario{
+		Name:             "huge-bench",
+		Proto:            proto,
+		Topo:             Random,
+		Nodes:            n,
+		MobilitySpeed:    speed,
+		RoutingOnDemand:  true,
+		Seconds:          cfg.Seconds,
+		Seed:             seed,
+		Flows:            flows,
+		KernelPartitions: cfg.KernelPartitions,
+		LegacyBaseline:   cfg.LegacyBaseline,
+	}
+	if cfg.LegacyBaseline {
+		sc.IJTPTune = func(c *ijtp.Config) { c.EagerCacheRNG = true }
+	}
+	return must(Run(sc))
 }

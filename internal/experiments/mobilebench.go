@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/metrics"
+	"github.com/javelen/jtp/internal/obs"
 )
 
 // This file is the mobile large-n bench tier: random geometric graphs at
@@ -20,6 +21,31 @@ type CampaignBenchResult struct {
 	Runs   int
 	Cells  int
 	Events uint64
+	// Telemetry is the campaign's folded per-run telemetry (counters
+	// summed, _hwm/_max keys maxed, across cells in deterministic cell
+	// order). Populated only when campaign telemetry was enabled for the
+	// execution; the huge preset uses it to surface the parallel kernel's
+	// per-partition stall and heap-depth accounting in BENCH_PR9.json.
+	Telemetry map[string]float64
+}
+
+// foldCellTelemetry merges every cell's telemetry aggregate into the
+// result, in the report's deterministic cell order.
+func (r *CampaignBenchResult) foldCellTelemetry(rep *campaign.Report) {
+	for _, c := range rep.Cells {
+		for k, v := range c.Telemetry {
+			if r.Telemetry == nil {
+				r.Telemetry = map[string]float64{}
+			}
+			if obs.IsMax(k) {
+				if old, ok := r.Telemetry[k]; !ok || v > old {
+					r.Telemetry[k] = v
+				}
+				continue
+			}
+			r.Telemetry[k] += v
+		}
+	}
 }
 
 // Fig9BenchResult is the historical name of CampaignBenchResult, kept

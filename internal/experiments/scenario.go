@@ -113,6 +113,23 @@ type Scenario struct {
 	// huge bench tiers use it so a 10k-node network doesn't build 10k
 	// O(n) views for the handful of nodes that ever see traffic.
 	RoutingOnDemand bool
+	// KernelPartitions, when > 0, runs the scenario on the conservative
+	// parallel kernel with that many spatial partitions
+	// (node.Network.PartitionKernel). Outputs are byte-identical at any
+	// partition count — the partition-invariance suite enforces it —
+	// so the knob trades nothing but wall-clock. The shared packet pool
+	// is disabled in kernel mode (its free-list order would depend on
+	// worker interleaving); transports fall back to plain allocation.
+	KernelPartitions int
+	// LegacyBaseline prices the historical serial engine inside the
+	// current binary, for the bench harness's baseline arm: duplicate
+	// patch-row quality arithmetic (node.Config.LegacyPatchQual) and the
+	// full-adjacency materialization endpoint placement and the
+	// connectivity check used to pay before the lazy grid BFS. Every
+	// result byte is identical either way; only wall-clock differs.
+	// (The third historical cost, eager per-node cache RNG construction,
+	// is priced by ijtp.Config.EagerCacheRNG via IJTPTune.)
+	LegacyBaseline bool
 	// Seconds is the run duration in virtual seconds.
 	Seconds float64
 	// Seed drives all randomness; same seed, same run.
@@ -337,6 +354,12 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 			return nil, fmt.Errorf("experiments: could not build connected random topology n=%d", sc.Nodes)
 		}
 		topo = t
+		if sc.LegacyBaseline {
+			// Historical baseline: Connected used to materialize the full
+			// adjacency for its reachability sweep. Price one build (the
+			// accepted placement's; rejected retries are not re-priced).
+			_ = topology.Adjacency(topo, chCfg.Range)
+		}
 	default:
 		return nil, fmt.Errorf("experiments: unknown topology kind %d", sc.Topo)
 	}
@@ -354,11 +377,19 @@ func BuildScenario(sc Scenario, hooks Hooks) (*BuiltScenario, error) {
 		Routing: rtCfg,
 		Energy:  energy.JAVeLEN(),
 		Budgets: sc.EnergyBudgets,
+
+		LegacyPatchQual: sc.LegacyBaseline,
 	})
+
 	// All scenario traffic comes from the built-in drivers, whose
 	// endpoints obey the free-list ownership rules, so harness runs are
-	// always pooled.
-	nw.EnablePacketPool()
+	// pooled — except under the parallel kernel, where partition workers
+	// would interleave Get/Put nondeterministically.
+	if sc.KernelPartitions > 0 {
+		nw.PartitionKernel(sc.KernelPartitions)
+	} else {
+		nw.EnablePacketPool()
+	}
 	if sc.Obs != nil {
 		nw.Observe(sc.Obs)
 	}
@@ -592,6 +623,37 @@ func (b *BuiltScenario) collectObs(reg *obs.Registry) {
 	reg.Counter("pool_puts").Add(puts)
 	reg.Counter("pool_misses").Add(misses)
 
+	// Parallel-kernel accounting, folded in partition index order. Every
+	// kernel_* key is partition-count-VARIANT by nature (stalls, window
+	// counts, per-partition high-water marks depend on how the node set
+	// was split); the invariance suite strips the prefix before
+	// comparing telemetry across partition counts, and the bench report
+	// surfaces them per run.
+	if ks := b.eng.KernelStats(); ks.Partitions > 0 {
+		reg.Counter("kernel_partitions").Add(uint64(ks.Partitions))
+		reg.Counter("kernel_serial_steps").Add(ks.SerialSteps)
+		reg.Counter("kernel_parallel_windows").Add(ks.ParallelWindows)
+		var fired, stalls, boundary, hwm uint64
+		for i, p := range ks.Parts {
+			fired += p.Fired
+			stalls += p.Stalls
+			boundary += p.Boundary
+			if p.HeapHWM > hwm {
+				hwm = p.HeapHWM
+			}
+			// Per-partition lookahead stalls and heap-depth high-water
+			// marks, keyed by partition index (the fold order), so the
+			// bench report can show where the conservative windows lose
+			// progress.
+			reg.Counter(fmt.Sprintf("kernel_p%d_stalls", i)).Add(p.Stalls)
+			reg.Gauge(fmt.Sprintf("kernel_p%d_heap_depth", i)).Update(p.HeapHWM)
+		}
+		reg.Counter("kernel_window_events").Add(fired)
+		reg.Counter("kernel_stalls").Add(stalls)
+		reg.Counter("kernel_boundary_msgs").Add(boundary)
+		reg.Gauge("kernel_part_heap_depth").Update(hwm)
+	}
+
 	// Energy by activity, exported uniformly in nanojoules so telemetry
 	// stays integral (obs counters are uint64).
 	var txJ, rxJ float64
@@ -636,6 +698,12 @@ func pickEndpoints(spec FlowSpec, sc Scenario, eng *sim.Engine, topo *topology.T
 		b := r.Intn(sc.Nodes)
 		if a == b {
 			continue
+		}
+		if sc.LegacyBaseline {
+			// Historical baseline: HopDistance used to materialize (and
+			// sort) the full adjacency before its BFS. Price that build;
+			// the distance itself is unchanged.
+			_ = topology.Adjacency(topo, rng)
 		}
 		if topology.HopDistance(topo, rng, packet.NodeID(a), packet.NodeID(b)) >= 1 {
 			return a, b

@@ -68,6 +68,14 @@ type Config struct {
 	// dead battery: it stops transmitting, receiving and routing, like a
 	// failed node. Spent energy therefore never exceeds the budget.
 	Budgets []float64
+	// LegacyPatchQual reconstructs the historical row-patch arithmetic:
+	// patchRow recomputing every merged neighbor's distance and quality a
+	// second time when refilling the moved node's own row, instead of
+	// reusing the qualities the merge walk already produced. Results are
+	// identical either way. The bench harness's serial baseline arm sets
+	// it (alongside ijtp.Config.EagerCacheRNG) to price the
+	// pre-optimization engine inside the current binary.
+	LegacyPatchQual bool
 	// MaxHops drops segments that traversed more than this many hops
 	// (loop backstop). Zero defaults to 4×N.
 	MaxHops int
@@ -147,6 +155,9 @@ type Network struct {
 	nbrScratch []packet.NodeID
 	// views is the network-wide routing view cache all routers share.
 	views *routing.Cache
+	// owner maps node id → kernel partition when the parallel kernel is
+	// enabled (PartitionKernel); nil in classic serial mode.
+	owner []int32
 
 	// pool, when enabled, is the engine-wide packet free-list transports
 	// draw from and terminal consumers recycle into (see packet.Pool for
@@ -228,6 +239,67 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // Engine returns the simulation engine the network runs on.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// PartitionKernel switches the network onto the conservative parallel
+// kernel (sim/kernel.go) with the given partition count: nodes are
+// assigned to partitions by spatial-grid cell (topology.PartitionByCell
+// over the radio range), the engine is configured with the lookahead
+// bound the channel and MAC timing admit
+// (topology.MinCrossPartitionLatency), per-node routers are re-pointed
+// at their partition's view so on-demand refreshes read the exact event
+// time, and a barrier hook pre-folds the lazy link substrate (snapshot
+// epoch, dead-bit sweep) before every parallel window so window
+// handlers only read it. parts <= 0 restores classic serial mode.
+//
+// Call after New and before Start / transport attachment: per-endpoint
+// transports must capture EngineFor(node) so their timers land in their
+// node's partition queue.
+func (nw *Network) PartitionKernel(parts int) {
+	if parts <= 0 {
+		nw.owner = nil
+		nw.eng.ConfigurePartitions(0, 0)
+		return
+	}
+	if n := nw.topo.N(); parts > n {
+		parts = n
+	}
+	nw.owner = topology.PartitionByCell(nw.topo, nw.cfg.Channel.Range, parts)
+	la := topology.MinCrossPartitionLatency(0, nw.cfg.MAC.SlotDuration)
+	nw.eng.ConfigurePartitions(parts, la)
+	// Version() brings the snapshot to the current epoch and rescans the
+	// budget dead bits — the two lazily-folded pieces of shared state a
+	// window handler may read.
+	nw.eng.SetBarrierHook(func() { nw.Version() })
+	// Only on-demand routers move onto partition views: their refresh
+	// decisions are pure functions of virtual time, so reading the
+	// partition clock gives exact event times inside windows. Periodic
+	// routers stay on the root — their jittered tickers draw from the
+	// engine RNG, which must remain a single globally-ordered stream.
+	if nw.cfg.Routing.OnDemand {
+		for i, nd := range nw.nodes {
+			nd.Router.SetEngine(nw.eng.PartitionView(int(nw.owner[i])))
+		}
+	}
+}
+
+// EngineFor returns the engine a per-node actor must schedule against:
+// the node's partition view under the parallel kernel, the root engine
+// otherwise. Transports capture it at attach time.
+func (nw *Network) EngineFor(id packet.NodeID) *sim.Engine {
+	if nw.owner == nil {
+		return nw.eng
+	}
+	return nw.eng.PartitionView(int(nw.owner[int(id)]))
+}
+
+// PartitionOf returns the node's kernel partition, or -1 in classic
+// serial mode.
+func (nw *Network) PartitionOf(id packet.NodeID) int {
+	if nw.owner == nil {
+		return -1
+	}
+	return int(nw.owner[int(id)])
+}
 
 // EnablePacketPool switches the network's transports onto the shared
 // packet free-list. The experiment harness enables it for every scenario
@@ -314,6 +386,7 @@ type linkSnapshot struct {
 	grid  *topology.SpatialGrid
 	rows  []linkRow
 	cand  []packet.NodeID // scratch: grid candidates of the row in rebuild
+	qcand []float64       // scratch: merged-row qualities, aligned with cand
 }
 
 // row returns a's geometric neighbor list.
@@ -397,6 +470,36 @@ func (nw *Network) refillRow(m packet.NodeID) {
 	}
 }
 
+// refillRowChanged is refillRow plus set-change detection: it reports
+// whether m's neighbor SET differs from the previous epoch's row. Used
+// by the whole-network fold fast path, where every row is refilled and
+// the mirror updates would be dead stores.
+func (nw *Network) refillRowChanged(m packet.NodeID) bool {
+	s := &nw.snap
+	pos := nw.topo.Pos
+	pm := pos[int(m)]
+	cand := s.grid.AppendCandidates(s.cand[:0], m)
+	k := 0
+	for _, j := range cand {
+		if j != m && nw.chann.InRange(pm.Dist2(pos[int(j)])) {
+			cand[k] = j
+			k++
+		}
+	}
+	cand = cand[:k]
+	slices.Sort(cand)
+	s.cand = cand
+	row := &s.rows[int(m)]
+	changed := !slices.Equal(row.nbr, cand)
+	row.nbr = append(row.nbr[:0], cand...)
+	row.qual = row.qual[:0]
+	rng := nw.chann.Range()
+	for _, j := range cand {
+		row.qual = append(row.qual, channel.Quality(pm.Dist(pos[int(j)]), rng))
+	}
+	return changed
+}
+
 // patchSnap brings the snapshot one epoch forward by re-deriving only
 // the moved nodes' rows. Every changed edge has a moved endpoint, so
 // re-bucketing the movers, refilling their rows, and mirroring the
@@ -413,9 +516,25 @@ func (nw *Network) patchSnap(epoch uint64, moved []packet.NodeID) {
 		s.grid.Move(id)
 	}
 	changed := false
-	for _, id := range moved {
-		if nw.patchRow(id) {
-			changed = true
+	if len(moved) == s.n && !nw.cfg.LegacyPatchQual {
+		// Whole-network folds (random-waypoint moves every node every
+		// tick) re-derive every row below, so the mirrored bookkeeping
+		// patchRow does per edge — find the neighbor's row, splice or
+		// refresh the reverse entry — is overwritten the moment that
+		// neighbor's own refill runs. Refill each row directly and detect
+		// set changes by comparing against the previous row: the final
+		// state and the version-bump verdict are exactly the mirror
+		// path's, without any findNbr searches or row splices.
+		for _, id := range moved {
+			if nw.refillRowChanged(id) {
+				changed = true
+			}
+		}
+	} else {
+		for _, id := range moved {
+			if nw.patchRow(id) {
+				changed = true
+			}
 		}
 	}
 	s.epoch = epoch
@@ -450,8 +569,12 @@ func (nw *Network) patchRow(m packet.NodeID) bool {
 
 	// Merge-walk old vs new: removed neighbors lose their mirrored entry,
 	// added ones gain it, kept ones get their mirrored quality refreshed
-	// (m moved, so every incident distance changed).
+	// (m moved, so every incident distance changed). The merge visits every
+	// surviving neighbor exactly once, in ascending (= cand) order, so the
+	// qualities it computes double as m's own row — collected in qcand and
+	// copied below instead of recomputing each distance and quality.
 	old := s.rows[int(m)].nbr
+	qcand := s.qcand[:0]
 	changed := false
 	i, j := 0, 0
 	for i < len(old) || j < len(cand) {
@@ -461,40 +584,51 @@ func (nw *Network) patchRow(m packet.NodeID) bool {
 			changed = true
 			i++
 		case i == len(old) || cand[j] < old[i]:
-			s.insertEdge(cand[j], m, channel.Quality(pm.Dist(pos[int(cand[j])]), rng))
+			q := channel.Quality(pm.Dist(pos[int(cand[j])]), rng)
+			s.insertEdge(cand[j], m, q)
+			qcand = append(qcand, q)
 			changed = true
 			j++
 		default:
-			s.setQual(old[i], m, channel.Quality(pm.Dist(pos[int(old[i])]), rng))
+			q := channel.Quality(pm.Dist(pos[int(old[i])]), rng)
+			s.setQual(old[i], m, q)
+			qcand = append(qcand, q)
 			i++
 			j++
 		}
 	}
+	s.qcand = qcand
 
 	// Overwrite m's own row from the merged set.
 	row := &s.rows[int(m)]
 	row.nbr = append(row.nbr[:0], cand...)
-	row.qual = row.qual[:0]
-	for _, n := range cand {
-		row.qual = append(row.qual, channel.Quality(pm.Dist(pos[int(n)]), rng))
+	if nw.cfg.LegacyPatchQual {
+		// Historical baseline: recompute each distance and quality from
+		// scratch (see Config.LegacyPatchQual). Same values, twice the
+		// arithmetic.
+		row.qual = row.qual[:0]
+		for _, n := range cand {
+			row.qual = append(row.qual, channel.Quality(pm.Dist(pos[int(n)]), rng))
+		}
+	} else {
+		row.qual = append(row.qual[:0], qcand...)
 	}
 	return changed
 }
 
 // findNbr returns the index of b in a's sorted neighbor row, or -1.
+// Linear scan with a sortedness early-exit: geometric rows hold a few
+// dozen uint16 ids (one or two cache lines), where the scan's perfectly
+// predicted loop beats binary search's data-dependent branches — findNbr
+// is the patch path's hottest leaf at the 65k bench tier.
 func (s *linkSnapshot) findNbr(a, b packet.NodeID) int {
-	row := s.rows[int(a)].nbr
-	lo, hi := 0, len(row)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if row[mid] < b {
-			lo = mid + 1
-		} else {
-			hi = mid
+	for i, id := range s.rows[int(a)].nbr {
+		if id >= b {
+			if id == b {
+				return i
+			}
+			return -1
 		}
-	}
-	if lo < len(row) && row[lo] == b {
-		return lo
 	}
 	return -1
 }
@@ -592,7 +726,13 @@ func (nw *Network) Neighbors(u packet.NodeID) []packet.NodeID {
 // views, which is what lets routers share cached BFS results.
 func (nw *Network) Version() uint64 {
 	nw.ensureSnap()
-	if len(nw.budgets) > 0 {
+	// Inside a parallel kernel window the dead-bit rescan is skipped:
+	// energy meters only move in globally-ordered events (MAC transmit
+	// and receive), and the kernel's barrier hook re-runs Version before
+	// every window, so the bitmap a window reads is already current —
+	// and rescanning here would be a shared write from partition
+	// workers.
+	if len(nw.budgets) > 0 && !nw.eng.InParallelWindow() {
 		nw.refreshDeadBits()
 	}
 	return nw.linkVer
@@ -718,6 +858,12 @@ func (nw *Network) TransmitsAllowed(id packet.NodeID) bool {
 // the route (mac.Env).
 func (nw *Network) DeliverUp(at packet.NodeID, fr *mac.Frame) {
 	nd := nw.nodes[int(at)]
+	if nw.owner != nil && nw.owner[int(fr.From)] != nw.owner[int(at)] {
+		// Cross-partition delivery: the frame was sent from another
+		// partition and arrives here through a globally-ordered slot
+		// tick — the kernel's inter-partition message channel.
+		nw.eng.NoteBoundary(int(nw.owner[int(at)]))
+	}
 	nd.MAC.Receive(fr)
 	seg := fr.Seg
 	if seg.Dest() == at {

@@ -7,16 +7,21 @@
 //
 //   - Handles are pointers resolved once at setup (Registry.Counter and
 //     friends). Hot-path instrumentation holds the pointer, never the
-//     name, so an increment is one predictable nil-check plus one plain
-//     add — no map lookup, no interface call, no atomic.
+//     name, so an increment is one predictable nil-check plus one atomic
+//     add — no map lookup, no interface call.
 //   - Every handle method is a no-op on a nil receiver, and a nil
 //     *Registry hands out nil handles, so uninstrumented runs execute
 //     the exact disabled path with no configuration plumbing.
-//   - Values are plain uint64s because the simulator is single-goroutine
-//     (sim.Engine's ownership rule). Campaign workers each own a private
-//     Registry; per-run Snapshots are merged by the campaign's
-//     deterministic in-order fold, which is also what makes concurrent
-//     readers (expvar) race-free — they only ever see folded aggregates.
+//   - Values are updated atomically: the partitioned simulation kernel
+//     (sim/kernel.go) lets partition workers share one registry's handles
+//     inside parallel windows. Every exported aggregate is commutative —
+//     counters and histogram counts/sums add, gauges and histogram maxima
+//     take maxima — so concurrent updates fold to partition-count-
+//     invariant values no matter how workers interleave. Campaign workers
+//     still each own a private Registry; per-run Snapshots are merged by
+//     the campaign's deterministic in-order fold, which is what makes
+//     concurrent readers (expvar) race-free — they only ever see folded
+//     aggregates.
 //
 // Snapshot flattens everything into a map[string]uint64: a counter
 // exports its name, a gauge exports "<name>_hwm" (its high-water mark),
@@ -26,25 +31,28 @@
 // yields exactly the aggregate a single shared registry would have seen.
 package obs
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Counter is a monotonically increasing event count. The zero value is
 // ready; a nil *Counter ignores all writes (disabled telemetry).
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -53,14 +61,16 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge tracks an instantaneous level and its high-water mark (queue
-// depth, heap depth). A nil *Gauge ignores all writes.
+// depth, heap depth). A nil *Gauge ignores all writes. Only the
+// high-water mark is exported in snapshots; the instantaneous level is a
+// last-writer-wins convenience for live inspection.
 type Gauge struct {
-	v   uint64
-	hwm uint64
+	v   atomic.Uint64
+	hwm atomic.Uint64
 }
 
 // Update sets the current level, advancing the high-water mark.
@@ -68,9 +78,12 @@ func (g *Gauge) Update(v uint64) {
 	if g == nil {
 		return
 	}
-	g.v = v
-	if v > g.hwm {
-		g.hwm = v
+	g.v.Store(v)
+	for {
+		cur := g.hwm.Load()
+		if v <= cur || g.hwm.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -79,7 +92,7 @@ func (g *Gauge) Value() uint64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // HighWater returns the maximum level ever Updated (0 on a nil gauge).
@@ -87,7 +100,7 @@ func (g *Gauge) HighWater() uint64 {
 	if g == nil {
 		return 0
 	}
-	return g.hwm
+	return g.hwm.Load()
 }
 
 // Histogram summarizes a value distribution: count, sum, max, and
@@ -95,10 +108,10 @@ func (g *Gauge) HighWater() uint64 {
 // 2^(i-1) <= v < 2^i; bucket 0 counts v <= 1). A nil *Histogram ignores
 // all writes.
 type Histogram struct {
-	count   uint64
-	sum     uint64
-	max     uint64
-	buckets [16]uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [16]atomic.Uint64
 }
 
 // Observe records one value.
@@ -106,16 +119,19 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
 	}
 	b := 0
 	for x := v; x > 1 && b < len(h.buckets)-1; x >>= 1 {
 		b++
 	}
-	h.buckets[b]++
+	h.buckets[b].Add(1)
 }
 
 // Count returns the number of observations.
@@ -123,7 +139,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of all observed values.
@@ -131,7 +147,7 @@ func (h *Histogram) Sum() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Max returns the largest observed value.
@@ -139,7 +155,7 @@ func (h *Histogram) Max() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.max
+	return h.max.Load()
 }
 
 // Bucket returns the i-th power-of-two bucket count (tests and live
@@ -148,14 +164,16 @@ func (h *Histogram) Bucket(i int) uint64 {
 	if h == nil || i < 0 || i >= len(h.buckets) {
 		return 0
 	}
-	return h.buckets[i]
+	return h.buckets[i].Load()
 }
 
 // Registry is a create-or-get directory of named instruments. The zero
 // value is unusable; construct with New. A nil *Registry hands out nil
 // handles, so callers wire telemetry unconditionally and pay nothing
-// when it is off. Not safe for concurrent use — one registry belongs to
-// one run (one simulation goroutine), mirroring sim.Engine.
+// when it is off. Handle creation and snapshotting are not safe for
+// concurrent use — one registry belongs to one run — but the handles
+// themselves may be written from the partitioned kernel's parallel
+// windows (see the package comment).
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -221,13 +239,19 @@ func (r *Registry) Reset() {
 		return
 	}
 	for _, c := range r.counters {
-		*c = Counter{}
+		c.v.Store(0)
 	}
 	for _, g := range r.gauges {
-		*g = Gauge{}
+		g.v.Store(0)
+		g.hwm.Store(0)
 	}
 	for _, h := range r.hists {
-		*h = Histogram{}
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
 	}
 }
 
@@ -250,15 +274,15 @@ func (r *Registry) SnapshotInto(m map[string]uint64) {
 		return
 	}
 	for name, c := range r.counters {
-		m[name] = c.v
+		m[name] = c.v.Load()
 	}
 	for name, g := range r.gauges {
-		m[name+"_hwm"] = g.hwm
+		m[name+"_hwm"] = g.hwm.Load()
 	}
 	for name, h := range r.hists {
-		m[name+"_count"] = h.count
-		m[name+"_sum"] = h.sum
-		m[name+"_max"] = h.max
+		m[name+"_count"] = h.count.Load()
+		m[name+"_sum"] = h.sum.Load()
+		m[name+"_max"] = h.max.Load()
 	}
 }
 

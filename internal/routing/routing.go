@@ -19,6 +19,8 @@
 package routing
 
 import (
+	"sync"
+
 	"github.com/javelen/jtp/internal/packet"
 	"github.com/javelen/jtp/internal/sim"
 )
@@ -67,7 +69,11 @@ type View struct {
 	// UpdatedAt is the virtual time of the snapshot.
 	UpdatedAt sim.Time
 	next      []packet.NodeID // next[dst], self for dst==self
-	hops      []int           // hops[dst], -1 unreachable
+	// hops[dst], -1 unreachable. int32 (max path length is bounded by the
+	// uint16 node-id space) so the per-BFS -1 fill and the per-Fill copy
+	// move half the memory an []int would — both are measurable at the
+	// 65536-node bench tier.
+	hops []int32
 }
 
 // NextHop returns the next hop toward dst and whether dst is reachable.
@@ -84,7 +90,7 @@ func (v *View) Hops(dst packet.NodeID) int {
 	if v == nil || int(dst) >= len(v.hops) {
 		return -1
 	}
-	return v.hops[dst]
+	return int(v.hops[dst])
 }
 
 // buildView computes shortest paths from src by BFS over the current
@@ -161,9 +167,9 @@ func resizeIDs(s []packet.NodeID, n int) []packet.NodeID {
 	return s[:n]
 }
 
-func resizeInts(s []int, n int) []int {
+func resizeInts(s []int32, n int) []int32 {
 	if cap(s) < n {
-		return make([]int, n)
+		return make([]int32, n)
 	}
 	return s[:n]
 }
@@ -183,9 +189,16 @@ func resizeInts(s []int, n int) []int {
 //     without version reporting gets no memoization — every Fill
 //     recomputes — but still benefits from the NeighborDirectory BFS.
 //
-// Cache is not safe for concurrent use; like the rest of the substrate
-// it lives on a single simulation goroutine.
+// Fill is serialized by an internal mutex: inside the partitioned
+// kernel's parallel windows (sim/kernel.go), on-demand routers on
+// different partition workers may refresh concurrently, and each Fill
+// both mutates the memo tables and copies out under the lock. The fill
+// itself is a pure function of (directory snapshot, src), so the worker
+// arrival order cannot change any router's adopted view — the lock is
+// for memory safety, not ordering. Stats accessors take the same lock;
+// everything else in the package remains single-goroutine.
 type Cache struct {
+	mu   sync.Mutex
 	dir  Directory
 	vdir VersionedDirectory // nil: no memoization
 	ent  []cacheEntry       // per source node
@@ -205,7 +218,7 @@ type Cache struct {
 	sweepVer  uint64
 	evictions uint64
 	freeNext  [][]packet.NodeID
-	freeHops  [][]int
+	freeHops  [][]int32
 }
 
 // cacheEntry is one source's memoized view.
@@ -213,7 +226,7 @@ type cacheEntry struct {
 	version uint64
 	valid   bool
 	next    []packet.NodeID
-	hops    []int
+	hops    []int32
 }
 
 // NewCache returns a view cache over dir.
@@ -225,14 +238,26 @@ func NewCache(dir Directory) *Cache {
 
 // Computes returns the number of BFS executions the cache has performed;
 // the gap between Computes and Fill calls is the memoization hit count.
-func (c *Cache) Computes() uint64 { return c.computes }
+func (c *Cache) Computes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computes
+}
 
 // Fills returns the number of Fill calls served (hits plus recomputes).
-func (c *Cache) Fills() uint64 { return c.fills }
+func (c *Cache) Fills() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fills
+}
 
 // Evictions returns the number of memoized views evicted because their
 // link-state version was superseded.
-func (c *Cache) Evictions() uint64 { return c.evictions }
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
 
 // sweep evicts every entry memoized under a version other than fresh,
 // recycling its arrays, so cache memory is bounded by the sources active
@@ -263,6 +288,8 @@ func (c *Cache) sweep(fresh uint64) {
 // stamped with at — adoption time is the caller's, not the compute
 // time's, preserving per-router staleness.
 func (c *Cache) Fill(v *View, src packet.NodeID, at sim.Time) *View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.fills++
 	n := c.dir.N()
 	if len(c.ent) < n {
@@ -357,6 +384,13 @@ func New(eng *sim.Engine, id packet.NodeID, dir Directory, cfg Config) *Router {
 // UseShared attaches the network-wide view cache. Call before Start;
 // all routers sharing a cache must share its directory.
 func (r *Router) UseShared(c *Cache) { r.shared = c }
+
+// SetEngine re-points the router's engine. The node layer calls it when
+// the partitioned kernel is enabled so an on-demand router's refresh
+// decisions read its own partition's clock (the exact current event
+// time inside parallel windows) instead of the root clock. Call before
+// Start.
+func (r *Router) SetEngine(eng *sim.Engine) { r.eng = eng }
 
 // Start computes the initial view and, for a positive update period,
 // begins periodic refresh. An on-demand router does neither — its view

@@ -1,0 +1,475 @@
+package sim
+
+import "math/rand"
+
+// This file is the conservative parallel kernel: spatial partitions with
+// lookahead-bounded windows.
+//
+// # Model
+//
+// The node set is split into P partitions (the assignment comes from
+// topology.PartitionByCell — spatial-grid cells striped into balanced
+// contiguous chunks). Each partition owns an event queue exposed as a
+// *partition view*, a lightweight *Engine sharing the root's virtual
+// timeline: per-node simulation actors (transport pacing/timeout/feedback
+// timers) schedule against their node's view and therefore always into
+// their own partition's queue. Everything global — MAC slot ticks,
+// mobility steps, churn, flow lifecycle — schedules against the root and
+// stays in the globally-ordered queue.
+//
+// # Conservative synchronization
+//
+// Classic conservative PDES lets a partition run to
+// min(neighbor clocks) + L, with L the minimum cross-partition link
+// latency. In this simulator every cross-partition interaction is
+// mediated by a global event: frames hop only inside MAC slot ticks, and
+// link state only changes inside mobility steps — both root-queue events.
+// The safe horizon for every partition is therefore exactly the next
+// root-queue event time, and while traffic flows that bound equals one
+// MAC slot (the minimum cross-partition latency the TDMA model admits;
+// topology.MinCrossPartitionLatency derives it). The run loop alternates:
+//
+//   - serial steps: the earliest pending event in the virtual global
+//     (time, seq) order is a root event — execute it alone, on the run
+//     goroutine, exactly where the classic serial engine would have;
+//   - parallel windows: the earliest pending event is a partition event —
+//     every partition independently executes its events that precede the
+//     horizon (the next root event, or the run boundary) in the global
+//     (time, seq) order, then all partitions barrier before the root
+//     advances.
+//
+// Sequence numbers span all queues as one virtual global scheduling
+// order (ScheduleAt): serial-phase scheduling draws from the root
+// counter, window handlers draw from view counters seeded from the root
+// counter at window open and folded back (max) at the barrier. Ties at
+// one instant therefore resolve exactly as the classic engine resolves
+// them — by scheduling order — whenever the tied events can interact
+// (same node, or node vs. a global actor like a MAC slot tick); only
+// same-instant events of different partitions can receive colliding
+// seqs, and those commute.
+//
+// Events inside a window are cross-partition independent by construction
+// (their handlers touch only their own node's state, partition-local
+// queues, and commutatively-merged shared substrates), so any execution
+// order across partitions — including true goroutine parallelism —
+// produces identical results; within one partition, local (time, seq)
+// order is preserved. That is what makes outputs byte-identical at every
+// partition count — and equal to the classic serial engine's: the window
+// boundaries, the per-partition event sub-orders and the globally-ordered
+// serial steps are all functions of the event population only, never of
+// P or of goroutine interleaving.
+//
+// # Determinism contract
+//
+// Handlers that run inside parallel windows must not draw from the global
+// RNG, must not mutate link state, and must schedule only against their
+// own view. All stochastic models in this repository (channel fades, MAC
+// schedule shuffles, mobility, jittered routing refresh) run from root
+// events and are untouched. The partition-invariance suite (experiments
+// package) enforces the contract end to end: fig9/10/11 campaign CSVs and
+// telemetry must be byte-identical at partition counts {1, 2, 4, 8},
+// under the race detector.
+
+// Stream is a splitmix64 pseudo-random stream: tiny, fast to seed, with
+// well-mixed 64-bit outputs. The kernel uses it to derive per-partition
+// seeds from (root seed, partition index) without touching the root
+// engine's rand.Rand sequence; it is exported for tests and future
+// per-entity stream needs.
+type Stream struct{ state uint64 }
+
+// NewStream returns a stream seeded with s.
+func NewStream(s uint64) *Stream { return &Stream{state: s} }
+
+// Next returns the next 64-bit output.
+func (s *Stream) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mixSeed derives a deterministic per-partition seed.
+func mixSeed(seed int64, part int32) int64 {
+	s := NewStream(uint64(seed) ^ (uint64(part+1) << 32))
+	return int64(s.Next())
+}
+
+// PartitionStats is one partition's kernel accounting, folded at barriers.
+type PartitionStats struct {
+	// Fired counts events executed from this partition's queue.
+	Fired uint64
+	// Stalls counts windows in which the partition had pending events but
+	// none executable before the horizon — it waited at the barrier.
+	Stalls uint64
+	// Boundary counts cross-partition deliveries charged to this
+	// partition (frames whose sender lives in another partition; the node
+	// layer reports them via NoteBoundary).
+	Boundary uint64
+	// HeapHWM is the partition queue's high-water event depth.
+	HeapHWM uint64
+}
+
+// KernelStats summarizes a partitioned run (zero value when the engine
+// runs classic serial).
+type KernelStats struct {
+	// Partitions is the configured partition count (0 = classic serial).
+	Partitions int
+	// Lookahead is the configured conservative lookahead bound.
+	Lookahead Duration
+	// SerialSteps counts globally-ordered root events executed.
+	SerialSteps uint64
+	// ParallelWindows counts lookahead windows opened.
+	ParallelWindows uint64
+	// Parts holds per-partition accounting.
+	Parts []PartitionStats
+}
+
+// kernel is the root engine's partitioned-mode state.
+type kernel struct {
+	views     []*Engine
+	lookahead Duration
+	spawnMin  int // min pending events before workers spawn
+
+	serialSteps     uint64
+	parallelWindows uint64
+
+	// barrier, when set, runs on the root goroutine immediately before
+	// each parallel window opens (the node layer pre-folds shared lazy
+	// state — link snapshots, dead-bit sweeps — so window handlers only
+	// ever read it). inWindow is true while window workers may be
+	// running; it is written by the root goroutine strictly before
+	// workers start and after they join, so reads from workers are
+	// ordered by the goroutine spawn/channel synchronization.
+	barrier  func()
+	inWindow bool
+
+	// scratch for window scheduling (reused; no per-window allocation)
+	active []*Engine
+}
+
+// kstats is the per-view accounting embedded in Engine.
+type kstats struct {
+	fired    uint64
+	stalls   uint64
+	boundary uint64
+	heapHWM  uint64
+	folded   uint64 // executed events already folded into the root
+}
+
+// DefaultSpawnThreshold is the minimum number of pending partition events
+// in a window before the run loop pays for worker goroutines; smaller
+// windows execute inline (identical semantics — window contents commute
+// across partitions — but no scheduling overhead).
+const DefaultSpawnThreshold = 64
+
+// ConfigurePartitions switches the engine between classic serial mode
+// (parts <= 0) and partitioned mode with the given partition count and
+// conservative lookahead bound. It must be called on a root engine while
+// no run is in progress, after Reset and before actors capture partition
+// views. Existing views are reused across runs (their queues keep
+// capacity); partition RNG streams are re-derived from the engine seed.
+func (e *Engine) ConfigurePartitions(parts int, lookahead Duration) {
+	if e.master != nil {
+		panic("sim: ConfigurePartitions on a partition view")
+	}
+	if parts <= 0 {
+		e.kern = nil
+		return
+	}
+	if e.kern != nil {
+		e.kern.barrier = nil
+		e.kern.inWindow = false
+	}
+	if e.kern == nil {
+		e.kern = &kernel{spawnMin: DefaultSpawnThreshold}
+	}
+	k := e.kern
+	k.lookahead = lookahead
+	k.serialSteps = 0
+	k.parallelWindows = 0
+	for len(k.views) < parts {
+		k.views = append(k.views, &Engine{part: int32(len(k.views)), master: e})
+	}
+	k.views = k.views[:parts]
+	for _, v := range k.views {
+		v.q.reset()
+		v.now = 0
+		v.Executed = 0
+		v.ks = kstats{}
+		v.rng = rand.New(rand.NewSource(mixSeed(e.seed, v.part)))
+	}
+	k.observe(e)
+}
+
+// Partitions returns the configured partition count (0 = classic serial).
+func (e *Engine) Partitions() int {
+	if e.kern == nil {
+		return 0
+	}
+	return len(e.kern.views)
+}
+
+// PartitionView returns partition p's view: an *Engine whose Schedule,
+// ScheduleAt, Now and tickers operate on the partition's own queue and
+// clock. Per-node actors must capture the view owning their node.
+func (e *Engine) PartitionView(p int) *Engine {
+	if e.kern == nil {
+		return e
+	}
+	return e.kern.views[p]
+}
+
+// SetPartitionSpawnThreshold overrides the worker-spawn threshold
+// (tests force 0 so tiny windows exercise the true parallel path under
+// the race detector).
+func (e *Engine) SetPartitionSpawnThreshold(n int) {
+	if e.kern != nil {
+		e.kern.spawnMin = n
+	}
+}
+
+// SetBarrierHook installs fn to run on the root goroutine immediately
+// before each parallel window opens. The node layer uses it to fold
+// lazily-maintained shared state (link snapshots, energy dead-bit
+// sweeps) at a deterministic, partition-count-invariant point so window
+// handlers only ever read that state. A nil fn clears the hook.
+func (e *Engine) SetBarrierHook(fn func()) {
+	if e.kern != nil {
+		e.kern.barrier = fn
+	}
+}
+
+// InParallelWindow reports whether a parallel window is currently
+// executing — i.e. whether the caller may be on a partition worker
+// rather than the root goroutine. Shared-substrate code uses it to
+// defer mutations to the next barrier. Callable on the root or on any
+// partition view.
+func (e *Engine) InParallelWindow() bool {
+	r := e
+	if r.master != nil {
+		r = r.master
+	}
+	return r.kern != nil && r.kern.inWindow
+}
+
+// NoteBoundary charges one cross-partition delivery to partition p. The
+// node layer calls it from globally-ordered delivery events.
+func (e *Engine) NoteBoundary(p int) {
+	if e.kern != nil && p >= 0 && p < len(e.kern.views) {
+		e.kern.views[p].ks.boundary++
+	}
+}
+
+// KernelStats returns the partitioned run's accounting (zero value in
+// classic mode). Deterministic: all counters are folded at barriers or
+// written partition-locally.
+func (e *Engine) KernelStats() KernelStats {
+	if e.kern == nil {
+		return KernelStats{}
+	}
+	k := e.kern
+	st := KernelStats{
+		Partitions:      len(k.views),
+		Lookahead:       k.lookahead,
+		SerialSteps:     k.serialSteps,
+		ParallelWindows: k.parallelWindows,
+		Parts:           make([]PartitionStats, len(k.views)),
+	}
+	for i, v := range k.views {
+		st.Parts[i] = PartitionStats{
+			Fired:    v.ks.fired,
+			Stalls:   v.ks.stalls,
+			Boundary: v.ks.boundary,
+			HeapHWM:  v.ks.heapHWM,
+		}
+	}
+	return st
+}
+
+// reset rewinds kernel state for engine reuse (Reset keeps the partition
+// configuration; ConfigurePartitions refreshes it per run).
+func (k *kernel) reset() {
+	k.serialSteps = 0
+	k.parallelWindows = 0
+	k.barrier = nil
+	k.inWindow = false
+	for _, v := range k.views {
+		v.q.reset()
+		v.now = 0
+		v.Executed = 0
+		v.ks = kstats{}
+		v.obsScheduled = nil
+		v.obsFired = nil
+		v.obsStopped = nil
+		v.obsHeapDepth = nil
+	}
+}
+
+// observe shares the root's telemetry handles with every view. Counters
+// are atomic (obs package), so parallel windows increment them race-free
+// and the folded totals are partition-count-invariant sums; the
+// heap-depth gauge stays root-only and is sampled at barriers.
+func (k *kernel) observe(e *Engine) {
+	for _, v := range k.views {
+		v.obsScheduled = e.obsScheduled
+		v.obsFired = e.obsFired
+		v.obsStopped = e.obsStopped
+		v.obsHeapDepth = nil
+	}
+}
+
+// peekMin returns the earliest pending entry across the root and all
+// partition queues — by the virtual global (time, seq) order — and the
+// queue holding it. Slot is -1 when everything is empty.
+func (k *kernel) peekMin(e *Engine) (heapEntry, *eventQueue) {
+	best, bq := e.q.peek(), &e.q
+	for _, v := range k.views {
+		if h := v.q.peek(); h.slot >= 0 && (best.slot < 0 || heapLess(h, best)) {
+			best, bq = h, &v.q
+		}
+	}
+	if best.slot < 0 {
+		return best, nil
+	}
+	return best, bq
+}
+
+// runPartitioned is RunUntil in partitioned mode: globally-ordered serial
+// steps for root events, conservative parallel windows for partition
+// events. See the file comment for the synchronization argument.
+func (e *Engine) runPartitioned(end Time) {
+	k := e.kern
+	for !e.stopped {
+		g := e.q.peek()
+		p := heapEntry{slot: -1}
+		for _, v := range k.views {
+			if h := v.q.peek(); h.slot >= 0 && (p.slot < 0 || heapLess(h, p)) {
+				p = h
+			}
+		}
+		gOK := g.slot >= 0 && g.at <= end
+		pOK := p.slot >= 0 && p.at <= end
+		if !gOK && !pOK {
+			break
+		}
+		if gOK && (!pOK || heapLess(g, p)) {
+			// Serial step: the earliest event in the virtual global
+			// (time, seq) order is a root event — execute it alone,
+			// exactly as the classic serial engine would have.
+			e.q.popRoot()
+			fn := e.q.slab[g.slot].fn
+			e.q.release(g.slot)
+			e.now = g.at
+			e.Executed++
+			e.obsFired.Inc()
+			k.serialSteps++
+			fn()
+			e.sampleDepth()
+			continue
+		}
+		// Parallel window: every partition may execute events strictly
+		// before the horizon in the global (time, seq) order — the next
+		// root event, or the run boundary when that comes first. The
+		// root queue cannot change during the window (views never
+		// schedule into it), so the horizon is fixed before workers
+		// start.
+		horizon := heapEntry{at: end + 1}
+		if g.slot >= 0 && heapLess(g, horizon) {
+			horizon = g
+		}
+		k.parallelWindows++
+		k.active = k.active[:0]
+		pending := 0
+		for _, v := range k.views {
+			if h := v.q.peek(); h.slot >= 0 {
+				if heapLess(h, horizon) {
+					k.active = append(k.active, v)
+					pending += len(v.q.heap)
+				} else {
+					v.ks.stalls++
+				}
+			}
+		}
+		if k.barrier != nil {
+			k.barrier()
+		}
+		// Seed every active view's seq counter from the root's: events
+		// the window schedules sort after every currently-pending root
+		// event — the order classic scheduling would have produced —
+		// and collide only with the other views' window events, whose
+		// relative order the window contract makes irrelevant.
+		for _, v := range k.active {
+			v.q.seq = e.q.seq
+		}
+		k.inWindow = true
+		if len(k.active) > 1 && pending >= k.spawnMin {
+			done := make(chan struct{}, len(k.active))
+			for _, v := range k.active {
+				v := v
+				go func() {
+					v.runWindow(horizon)
+					done <- struct{}{}
+				}()
+			}
+			for range k.active {
+				<-done
+			}
+		} else {
+			for _, v := range k.active {
+				v.runWindow(horizon)
+			}
+		}
+		k.inWindow = false
+		// Barrier: fold view progress into the root deterministically
+		// (partition index order), and advance the root seq counter past
+		// every seq a view handed out.
+		for _, v := range k.active {
+			e.Executed += v.Executed - v.ks.folded
+			v.ks.folded = v.Executed
+			if v.q.seq > e.q.seq {
+				e.q.seq = v.q.seq
+			}
+		}
+		e.sampleDepth()
+		if e.stopped {
+			break
+		}
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// runWindow executes the view's events strictly before horizon in the
+// global (time, seq) order, in local (time, seq) order. It runs either
+// inline on the root goroutine or on a worker — never both at once; the
+// barrier in runPartitioned is the only synchronization it needs.
+func (v *Engine) runWindow(horizon heapEntry) {
+	q := &v.q
+	for len(q.heap) > 0 && heapLess(q.heap[0], horizon) {
+		top := q.heap[0]
+		q.popRoot()
+		fn := q.slab[top.slot].fn
+		q.release(top.slot)
+		v.now = top.at
+		v.Executed++
+		v.ks.fired++
+		v.obsFired.Inc()
+		fn()
+		if d := uint64(len(q.heap)); d > v.ks.heapHWM {
+			v.ks.heapHWM = d
+		}
+	}
+}
+
+// sampleDepth updates the heap-depth gauge with the total pending-event
+// count across all queues. Called only at deterministic points (serial
+// steps and window barriers), so the high-water mark is
+// partition-count-invariant.
+func (e *Engine) sampleDepth() {
+	if e.obsHeapDepth == nil {
+		return
+	}
+	e.obsHeapDepth.Update(uint64(e.PendingEvents()))
+}

@@ -10,7 +10,7 @@
 // nanoseconds instead of float64 seconds makes event ordering exact and
 // keeps long runs (hours of virtual time) free of floating-point drift.
 //
-// The event queue is a concrete 4-ary min-heap over an engine-owned event
+// The event queue is a concrete 4-ary min-heap over a queue-owned event
 // slab with a free-list, so steady-state scheduling performs zero heap
 // allocations: a slot is recycled the moment its event fires or is
 // cancelled, and cancellation (EventRef.Stop) removes the event from the
@@ -19,6 +19,12 @@
 // Pending stay safe after the slot has been recycled. Engine.Reset rewinds
 // an engine for reuse across runs (campaign workers) without reallocating
 // the slab.
+//
+// An engine can also run partitioned (see kernel.go): ConfigurePartitions
+// splits the event population across per-partition queues — each exposed
+// as a lightweight partition view that is itself an *Engine — and
+// RunUntil alternates globally-ordered serial steps with conservative
+// parallel windows bounded by the next global event.
 package sim
 
 import (
@@ -68,8 +74,8 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
 // Handler is the callback attached to a scheduled event. It runs at the
-// event's virtual time on the single simulation goroutine; handlers must not
-// block and must not retain the engine across runs.
+// event's virtual time on the goroutine executing its queue; handlers must
+// not block and must not retain the engine across runs.
 type Handler func()
 
 // event is one slab slot. A slot is active while it sits in the heap
@@ -112,29 +118,37 @@ func (r EventRef) Stop() bool {
 
 // Pending reports whether the referenced event is scheduled and not cancelled.
 func (r EventRef) Pending() bool {
-	if r.eng == nil || int(r.slot) >= len(r.eng.slab) {
+	if r.eng == nil || int(r.slot) >= len(r.eng.q.slab) {
 		return false
 	}
-	ev := &r.eng.slab[r.slot]
+	ev := &r.eng.q.slab[r.slot]
 	return ev.gen == r.gen && ev.pos >= 0
 }
 
-// Engine is a discrete-event simulation engine. It is not safe for
-// concurrent use; all simulation state is owned by the goroutine calling
-// Run (the usual pattern for deterministic network simulators).
+// Engine is a discrete-event simulation engine. One engine (and, in
+// partitioned mode, each of its partition views) is owned by a single
+// goroutine at a time; the partitioned run loop in kernel.go is what
+// hands views to workers, always separated by barriers.
 type Engine struct {
 	now     Time
-	seq     uint64
+	seed    int64
 	rng     *rand.Rand
 	stopped bool
 
-	slab []event
-	free []int32
-	heap []heapEntry
+	q eventQueue
 
 	// Executed counts handlers run; useful for progress reporting and to
-	// bound runaway simulations in tests.
+	// bound runaway simulations in tests. On a partitioned engine the
+	// root's count folds in every view's executed events at each barrier.
 	Executed uint64
+
+	// Partitioned-kernel state (kernel.go). kern is non-nil on a root
+	// engine running partitioned; master is non-nil on a partition view
+	// and points back at the root.
+	kern   *kernel
+	master *Engine
+	part   int32
+	ks     kstats
 
 	// Telemetry handles (see Observe). All nil when telemetry is off, so
 	// the hot path pays one nil-check per site and nothing else. Never
@@ -148,7 +162,7 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 // The same seed always reproduces the same run.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed)), part: -1}
 }
 
 // Reset rewinds the engine to the state NewEngine(seed) would produce,
@@ -156,23 +170,12 @@ func NewEngine(seed int64) *Engine {
 // workers can reuse one engine across many runs without reallocating.
 // Every still-pending event is cancelled (its slot generation is bumped,
 // so EventRefs held across the reset turn inert) and all handler
-// references are dropped.
+// references are dropped. A partitioned engine keeps its partition views
+// (and their capacity) but rewinds each of them too; the partition
+// assignment itself is cleared by ConfigurePartitions(0, nil).
 func (e *Engine) Reset(seed int64) {
-	for i := range e.slab {
-		ev := &e.slab[i]
-		ev.fn = nil
-		if ev.pos >= 0 {
-			ev.pos = -1
-			ev.gen++
-		}
-	}
-	e.heap = e.heap[:0]
-	e.free = e.free[:0]
-	for i := len(e.slab) - 1; i >= 0; i-- {
-		e.free = append(e.free, int32(i))
-	}
+	e.q.reset()
 	e.now = 0
-	e.seq = 0
 	e.stopped = false
 	e.Executed = 0
 	// Pooled engines outlive the registry they were observed with; detach
@@ -181,26 +184,48 @@ func (e *Engine) Reset(seed int64) {
 	e.obsFired = nil
 	e.obsStopped = nil
 	e.obsHeapDepth = nil
+	if e.kern != nil {
+		e.kern.reset()
+	}
+	e.seed = seed
 	e.rng.Seed(seed)
 }
 
 // Observe attaches kernel telemetry to reg: counters for events
 // scheduled, fired and stopped, and a high-water gauge for heap depth.
 // Observing a nil registry detaches (all handles become no-ops). Reset
-// also detaches, so pooled engines start each run silent.
+// also detaches, so pooled engines start each run silent. In partitioned
+// mode the counters are shared with every partition view (obs handles are
+// atomic, so parallel windows fold in race-free) while the heap-depth
+// gauge is sampled by the root at deterministic barrier points only.
 func (e *Engine) Observe(reg *obs.Registry) {
 	e.obsScheduled = reg.Counter("sim_events_scheduled")
 	e.obsFired = reg.Counter("sim_events_fired")
 	e.obsStopped = reg.Counter("sim_events_stopped")
 	e.obsHeapDepth = reg.Gauge("sim_heap_depth")
+	if e.kern != nil {
+		e.kern.observe(e)
+	}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the current virtual time. On a partition view this is the
+// view's own clock, which trails the root's during serial phases — the
+// max of the two is always the caller's correct present.
+func (e *Engine) Now() Time {
+	if e.master != nil && e.master.now > e.now {
+		return e.master.now
+	}
+	return e.now
+}
 
 // Rand exposes the engine's deterministic random source. All stochastic
 // simulation decisions (link loss draws, jitter, placement) must come from
-// this source to keep runs reproducible.
+// this source to keep runs reproducible. Partition views carry their own
+// deterministically-derived stream (seeded from the root seed and the
+// partition index); note that the partition-invariance contract requires
+// handlers that run inside parallel windows to draw nothing — every
+// stochastic model in this repository (channel, MAC schedule, mobility)
+// runs in the globally-ordered serial phase.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Schedule runs fn after delay d. A negative delay is treated as zero
@@ -210,82 +235,100 @@ func (e *Engine) Schedule(d Duration, fn Handler) EventRef {
 	if d < 0 {
 		d = 0
 	}
-	return e.ScheduleAt(e.now.Add(d), fn)
+	return e.ScheduleAt(e.Now().Add(d), fn)
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to the current instant. Steady-state scheduling is
 // allocation-free: slots released by fired or cancelled events are
-// recycled before the slab grows.
+// recycled before the slab grows. On a partition view the event joins the
+// view's own queue; on the root it joins the global queue.
+//
+// Sequence numbers form one virtual global scheduling order across all
+// queues, so same-time ties pop exactly as the classic serial engine
+// would have popped them: scheduling from globally-ordered execution
+// (root events, and root handlers targeting a view) draws from the root
+// counter, while window handlers draw from their view's counter — which
+// the kernel seeds from the root counter at window open and folds back
+// at the barrier (runPartitioned). Every root event pending when a
+// window opens therefore precedes every event the window schedules, the
+// relative order classic scheduling would have produced; seq collisions
+// exist only between different views at the same instant, where the
+// window contract makes order irrelevant.
 func (e *Engine) ScheduleAt(at Time, fn Handler) EventRef {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil handler")
 	}
-	if at < e.now {
-		at = e.now
+	if now := e.Now(); at < now {
+		at = now
 	}
-	e.seq++
-	var slot int32
-	if n := len(e.free); n > 0 {
-		slot = e.free[n-1]
-		e.free = e.free[:n-1]
+	var seq uint64
+	if r := e.master; r != nil && (r.kern == nil || !r.kern.inWindow) {
+		r.q.seq++
+		seq = r.q.seq
 	} else {
-		e.slab = append(e.slab, event{pos: -1})
-		slot = int32(len(e.slab) - 1)
+		e.q.seq++
+		seq = e.q.seq
 	}
-	ev := &e.slab[slot]
-	ev.fn = fn
-	ev.at = at
-	ev.seq = e.seq
-	e.heapPush(heapEntry{at: at, seq: e.seq, slot: slot})
+	slot := e.q.push(at, fn, seq)
 	e.obsScheduled.Inc()
-	e.obsHeapDepth.Update(uint64(len(e.heap)))
-	return EventRef{eng: e, slot: slot, gen: ev.gen}
+	if e.master == nil && e.kern == nil {
+		e.obsHeapDepth.Update(uint64(len(e.q.heap)))
+	}
+	return EventRef{eng: e, slot: slot, gen: e.q.slab[slot].gen}
 }
 
 // cancel removes a still-pending event from the queue and recycles its
 // slot. It reports whether the reference was live.
 func (e *Engine) cancel(slot int32, gen uint32) bool {
-	if int(slot) >= len(e.slab) {
+	if int(slot) >= len(e.q.slab) {
 		return false
 	}
-	ev := &e.slab[slot]
+	ev := &e.q.slab[slot]
 	if ev.gen != gen || ev.pos < 0 {
 		return false
 	}
-	e.heapRemove(int(ev.pos))
-	e.release(slot)
+	e.q.remove(int(ev.pos))
+	e.q.release(slot)
 	e.obsStopped.Inc()
 	return true
 }
 
-// release recycles a slab slot onto the free-list, dropping the handler
-// reference and invalidating outstanding EventRefs.
-func (e *Engine) release(slot int32) {
-	ev := &e.slab[slot]
-	ev.fn = nil
-	ev.pos = -1
-	ev.gen++
-	e.free = append(e.free, slot)
-}
-
 // Stop halts the run loop after the currently executing handler returns.
-// Pending events remain queued; a subsequent RunUntil may resume them.
+//
+// The flag is NOT sticky across runs: RunUntil, RunFor and Drain each
+// clear it on entry, so a Stop only terminates the loop that is currently
+// executing (or the next one entered before any event fires — a Stop
+// issued between runs is erased by the next run's entry). Pending events
+// remain queued and a subsequent RunUntil resumes them; only Reset
+// discards them. TestEngineStopSemantics pins this contract. Stop must be
+// called from the run goroutine (a globally-ordered handler), never from
+// inside a parallel partition window.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last run (or
+// run entry) cleared it.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // RunUntil executes events in order until the queue is empty or the next
 // event is later than end. Virtual time is left at end (or at the last
 // event's time, whichever is larger) so repeated calls advance monotonically.
+// On a partitioned engine this is the conservative windowed run loop —
+// see kernel.go.
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		top := e.heap[0]
+	if e.kern != nil {
+		e.runPartitioned(end)
+		return
+	}
+	for len(e.q.heap) > 0 && !e.stopped {
+		top := e.q.heap[0]
 		if top.at > end {
 			break
 		}
-		e.heapPopRoot()
-		fn := e.slab[top.slot].fn
-		e.release(top.slot)
+		e.q.popRoot()
+		fn := e.q.slab[top.slot].fn
+		e.q.release(top.slot)
 		e.now = top.at
 		e.Executed++
 		e.obsFired.Inc()
@@ -299,35 +342,128 @@ func (e *Engine) RunUntil(end Time) {
 // RunFor executes events for a span of virtual time starting at Now.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
-// Drain executes all remaining events regardless of time. Intended for
-// tests; production runs should bound time with RunUntil.
-func (e *Engine) Drain() {
+// DrainEventCap bounds Drain: a drain that executes more than this many
+// events returns an error instead of hanging the caller (a handler that
+// unconditionally reschedules itself would otherwise spin CI forever,
+// since Drain has no time bound).
+const DrainEventCap = 50_000_000
+
+// Drain executes all remaining events regardless of time, up to
+// DrainEventCap events. Intended for tests; production runs should bound
+// time with RunUntil. It returns an error if the cap is reached, leaving
+// the remaining events queued.
+func (e *Engine) Drain() error {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		top := e.heap[0]
-		e.heapPopRoot()
-		fn := e.slab[top.slot].fn
-		e.release(top.slot)
+	var executed uint64
+	for !e.stopped {
+		top, q := e.q.peek(), &e.q
+		if e.kern != nil {
+			top, q = e.kern.peekMin(e)
+		}
+		if q == nil || top.slot < 0 {
+			return nil
+		}
+		if executed >= DrainEventCap {
+			return fmt.Errorf("sim: Drain exceeded %d events with %d still pending (self-rescheduling handler?)", DrainEventCap, e.PendingEvents())
+		}
+		q.popRoot()
+		fn := q.slab[top.slot].fn
+		q.release(top.slot)
 		e.now = top.at
 		e.Executed++
+		executed++
 		e.obsFired.Inc()
 		fn()
 	}
+	return nil
 }
 
 // PendingEvents reports the number of scheduled, uncancelled events.
 // Cancellation removes events eagerly, so this is exactly the queue
-// length.
-func (e *Engine) PendingEvents() int { return len(e.heap) }
+// length (summed over partition queues on a partitioned engine).
+func (e *Engine) PendingEvents() int {
+	n := len(e.q.heap)
+	if e.kern != nil {
+		for _, v := range e.kern.views {
+			n += len(v.q.heap)
+		}
+	}
+	return n
+}
 
-// ---- 4-ary min-heap over (at, seq) -----------------------------------
+// ---- event queue: 4-ary min-heap over (at, seq) ----------------------
 //
 // Children of node i are 4i+1..4i+4; parent of i is (i-1)/4. A 4-ary
 // layout halves tree depth versus binary, trading slightly wider sibling
 // scans (cache-friendly: 4 entries are contiguous) for fewer swaps. The
 // comparator is the strict total order (at, seq) — seq is unique per
-// engine — so pop order is independent of heap shape and identical to
-// the previous container/heap implementation.
+// queue — so pop order is independent of heap shape. Each queue owns its
+// slab, so a partitioned engine's queues never contend.
+
+type eventQueue struct {
+	slab []event
+	free []int32
+	heap []heapEntry
+	seq  uint64
+}
+
+// push claims a slot for (at, fn) under the given sequence number and
+// heaps it, returning the slot index. The caller supplies seq so the
+// partitioned engine can keep one virtual global ordering across all
+// queues (see ScheduleAt); the classic engine just passes ++q.seq.
+func (q *eventQueue) push(at Time, fn Handler, seq uint64) int32 {
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slab = append(q.slab, event{pos: -1})
+		slot = int32(len(q.slab) - 1)
+	}
+	ev := &q.slab[slot]
+	ev.fn = fn
+	ev.at = at
+	ev.seq = seq
+	q.heapPush(heapEntry{at: at, seq: seq, slot: slot})
+	return slot
+}
+
+// peek returns the minimum entry without removing it; slot is -1 when the
+// queue is empty.
+func (q *eventQueue) peek() heapEntry {
+	if len(q.heap) == 0 {
+		return heapEntry{slot: -1}
+	}
+	return q.heap[0]
+}
+
+// release recycles a slab slot onto the free-list, dropping the handler
+// reference and invalidating outstanding EventRefs.
+func (q *eventQueue) release(slot int32) {
+	ev := &q.slab[slot]
+	ev.fn = nil
+	ev.pos = -1
+	ev.gen++
+	q.free = append(q.free, slot)
+}
+
+// reset cancels everything and rewinds the queue, keeping capacity.
+func (q *eventQueue) reset() {
+	for i := range q.slab {
+		ev := &q.slab[i]
+		ev.fn = nil
+		if ev.pos >= 0 {
+			ev.pos = -1
+			ev.gen++
+		}
+	}
+	q.heap = q.heap[:0]
+	q.free = q.free[:0]
+	for i := len(q.slab) - 1; i >= 0; i-- {
+		q.free = append(q.free, int32(i))
+	}
+	q.seq = 0
+}
 
 func heapLess(a, b heapEntry) bool {
 	if a.at != b.at {
@@ -336,59 +472,59 @@ func heapLess(a, b heapEntry) bool {
 	return a.seq < b.seq
 }
 
-func (e *Engine) heapPush(h heapEntry) {
-	e.heap = append(e.heap, h)
-	e.siftUp(len(e.heap) - 1)
+func (q *eventQueue) heapPush(h heapEntry) {
+	q.heap = append(q.heap, h)
+	q.siftUp(len(q.heap) - 1)
 }
 
-// heapPopRoot removes the minimum entry (heap[0]).
-func (e *Engine) heapPopRoot() {
-	last := len(e.heap) - 1
+// popRoot removes the minimum entry (heap[0]).
+func (q *eventQueue) popRoot() {
+	last := len(q.heap) - 1
 	if last == 0 {
-		e.heap = e.heap[:0]
+		q.heap = q.heap[:0]
 		return
 	}
-	e.heap[0] = e.heap[last]
-	e.slab[e.heap[0].slot].pos = 0
-	e.heap = e.heap[:last]
-	e.siftDown(0)
+	q.heap[0] = q.heap[last]
+	q.slab[q.heap[0].slot].pos = 0
+	q.heap = q.heap[:last]
+	q.siftDown(0)
 }
 
-// heapRemove removes the entry at position i (cancellation).
-func (e *Engine) heapRemove(i int) {
-	last := len(e.heap) - 1
+// remove removes the entry at position i (cancellation).
+func (q *eventQueue) remove(i int) {
+	last := len(q.heap) - 1
 	if i == last {
-		e.heap = e.heap[:last]
+		q.heap = q.heap[:last]
 		return
 	}
-	moved := e.heap[last]
-	e.heap[i] = moved
-	e.slab[moved.slot].pos = int32(i)
-	e.heap = e.heap[:last]
-	if !e.siftDown(i) {
-		e.siftUp(i)
+	moved := q.heap[last]
+	q.heap[i] = moved
+	q.slab[moved.slot].pos = int32(i)
+	q.heap = q.heap[:last]
+	if !q.siftDown(i) {
+		q.siftUp(i)
 	}
 }
 
-func (e *Engine) siftUp(i int) {
-	h := e.heap[i]
+func (q *eventQueue) siftUp(i int) {
+	h := q.heap[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !heapLess(h, e.heap[parent]) {
+		if !heapLess(h, q.heap[parent]) {
 			break
 		}
-		e.heap[i] = e.heap[parent]
-		e.slab[e.heap[i].slot].pos = int32(i)
+		q.heap[i] = q.heap[parent]
+		q.slab[q.heap[i].slot].pos = int32(i)
 		i = parent
 	}
-	e.heap[i] = h
-	e.slab[h.slot].pos = int32(i)
+	q.heap[i] = h
+	q.slab[h.slot].pos = int32(i)
 }
 
 // siftDown restores heap order below i, reporting whether the entry moved.
-func (e *Engine) siftDown(i int) bool {
-	h := e.heap[i]
-	n := len(e.heap)
+func (q *eventQueue) siftDown(i int) bool {
+	h := q.heap[i]
+	n := len(q.heap)
 	start := i
 	for {
 		first := 4*i + 1
@@ -401,19 +537,19 @@ func (e *Engine) siftDown(i int) bool {
 			stop = n
 		}
 		for c := first + 1; c < stop; c++ {
-			if heapLess(e.heap[c], e.heap[min]) {
+			if heapLess(q.heap[c], q.heap[min]) {
 				min = c
 			}
 		}
-		if !heapLess(e.heap[min], h) {
+		if !heapLess(q.heap[min], h) {
 			break
 		}
-		e.heap[i] = e.heap[min]
-		e.slab[e.heap[i].slot].pos = int32(i)
+		q.heap[i] = q.heap[min]
+		q.slab[q.heap[i].slot].pos = int32(i)
 		i = min
 	}
-	e.heap[i] = h
-	e.slab[h.slot].pos = int32(i)
+	q.heap[i] = h
+	q.slab[h.slot].pos = int32(i)
 	return i > start
 }
 

@@ -185,7 +185,9 @@ func TestDrain(t *testing.T) {
 	ran := 0
 	e.Schedule(1000*Second, func() { ran++ })
 	e.Schedule(2000*Second, func() { ran++ })
-	e.Drain()
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	if ran != 2 {
 		t.Fatalf("Drain ran %d events, want 2", ran)
 	}
@@ -260,7 +262,7 @@ func TestStopRemovesEagerly(t *testing.T) {
 		t.Fatalf("schedule/cancel churn grew the queue to %d events, want ≤ 1", maxPending)
 	}
 	// The slab must also stay bounded: churn recycles one slot.
-	if n := len(e.slab); n > 2 {
+	if n := len(e.q.slab); n > 2 {
 		t.Fatalf("slab grew to %d slots under 1-deep churn, want ≤ 2", n)
 	}
 }
@@ -367,7 +369,9 @@ func TestHeapOrderRandomized(t *testing.T) {
 			want[j], want[j-1] = want[j-1], want[j]
 		}
 	}
-	e.Drain()
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("executed %d events, want %d", len(got), len(want))
 	}

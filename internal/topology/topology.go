@@ -299,25 +299,30 @@ func Adjacency(t *Topology, radioRange float64) [][]packet.NodeID {
 }
 
 // Connected reports whether the unit-disk graph under the given range is
-// connected.
+// connected. Lazy traversal over grid candidates: no per-node adjacency
+// rows are materialized or sorted (connectivity is order-independent),
+// which matters because topology.Random re-checks every rejected
+// placement at bench-tier sizes.
 func Connected(t *Topology, radioRange float64) bool {
 	n := t.N()
 	if n <= 1 {
 		return true
 	}
-	adj := Adjacency(t, radioRange)
+	g := NewSpatialGrid(t, gridSideFor(radioRange))
+	r2 := radioRange * radioRange
 	seen := make([]bool, n)
-	stack := []int{0}
+	queue := []packet.NodeID{0}
 	seen[0] = true
 	count := 1
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range adj[v] {
-			if !seen[w] {
+	var cand []packet.NodeID
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		cand = g.AppendCandidates(cand[:0], v)
+		for _, w := range cand {
+			if !seen[w] && w != v && t.Pos[int(v)].Dist2(t.Pos[int(w)]) <= r2 {
 				seen[w] = true
 				count++
-				stack = append(stack, int(w))
+				queue = append(queue, w)
 			}
 		}
 	}
@@ -325,29 +330,36 @@ func Connected(t *Topology, radioRange float64) bool {
 }
 
 // HopDistance returns the minimum hop count between two nodes under the
-// given range, or -1 if unreachable. BFS; used by tests and flow placement.
+// given range, or -1 if unreachable. BFS; used by tests and flow
+// placement. Like Connected it expands grid candidates lazily instead of
+// materializing the full adjacency — BFS layer order makes the hop count
+// independent of within-row visit order, and the early exit at b means a
+// nearby pair never touches most of the graph.
 func HopDistance(t *Topology, radioRange float64, a, b packet.NodeID) int {
 	if a == b {
 		return 0
 	}
-	adj := Adjacency(t, radioRange)
-	dist := make([]int, t.N())
+	g := NewSpatialGrid(t, gridSideFor(radioRange))
+	r2 := radioRange * radioRange
+	dist := make([]int32, t.N())
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[a] = 0
 	queue := []packet.NodeID{a}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range adj[v] {
-			if dist[w] < 0 {
-				dist[w] = dist[v] + 1
-				if w == b {
-					return dist[w]
-				}
-				queue = append(queue, w)
+	var cand []packet.NodeID
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		cand = g.AppendCandidates(cand[:0], v)
+		for _, w := range cand {
+			if dist[w] >= 0 || w == v || t.Pos[int(v)].Dist2(t.Pos[int(w)]) > r2 {
+				continue
 			}
+			dist[w] = dist[v] + 1
+			if w == b {
+				return int(dist[w])
+			}
+			queue = append(queue, w)
 		}
 	}
 	return -1
