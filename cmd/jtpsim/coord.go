@@ -1,0 +1,242 @@
+package main
+
+// jtpsim coord: the fault-tolerant shard coordinator. It splits a
+// campaign into N shards, runs each as a supervised child jtpsim worker
+// on a bounded process pool, restarts crashed or hung workers from their
+// checkpoints with backoff, journals its own state so it can itself be
+// killed and resumed, and auto-merges the shard files into a report
+// byte-identical to the unsharded run's:
+//
+//	jtpsim coord -shards 8 -workers 4 -matrix sweep.json -out sweep.d
+//	jtpsim coord -shards 4 -exp fig9 -scale 0.05 -out fig9.d -csv
+//	jtpsim coord ... -chaos 0.5 -chaos-seed 7   # fault injection
+//
+// Interrupting the coordinator (or SIGKILLing it) and rerunning the same
+// command resumes: done shards are trusted (their result files are
+// re-validated), in-flight shards relaunch from their checkpoints.
+// When shards exhaust their retry budget the coordinator still finishes
+// the rest, emits a partial merge with explicit missing-shard
+// accounting, and exits non-zero.
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/javelen/jtp/internal/coordinator"
+	"github.com/javelen/jtp/internal/obs"
+)
+
+func coordMain(args []string) int {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	var (
+		matrixPath = fs.String("matrix", "", "JSON scenario matrix to shard (batch mode)")
+		expID      = fs.String("exp", "", "figure experiment id to shard (alternative to -matrix)")
+		scale      = fs.Float64("scale", 0.25, "scale for -exp workers")
+		runs       = fs.Int("runs", 0, "override the matrix's runs per cell (batch mode)")
+		seconds    = fs.Float64("seconds", 0, "override the matrix's virtual run length (batch mode)")
+		seed       = fs.Int64("seed", 0, "base seed override for the workers")
+		shards     = fs.Int("shards", 0, "number of campaign shards (required, >= 1)")
+		workers    = fs.Int("workers", 0, "concurrent worker processes (0 = min(shards, CPUs))")
+		outDir     = fs.String("out", "", "coordination directory for shard files, checkpoints, status, logs, journal (required)")
+		retries    = fs.Int("retries", 3, "restarts each shard may consume before failing permanently")
+		backoff    = fs.Duration("backoff", 500*time.Millisecond, "restart backoff base (doubles per attempt, plus jitter)")
+		backoffMax = fs.Duration("backoff-max", 15*time.Second, "restart backoff cap")
+		stall      = fs.Duration("stall-timeout", 2*time.Minute, "declare a worker dead when neither its heartbeat nor its checkpoint advances for this long")
+		ckInterval = fs.Duration("checkpoint-interval", 2*time.Second, "worker periodic checkpoint interval (short, so crashed workers lose little)")
+		chaos      = fs.Float64("chaos", 0, "fault injection: per-second probability of SIGKILLing each running worker")
+		chaosSeed  = fs.Int64("chaos-seed", 0, "seed for the chaos kill schedule and backoff jitter")
+		poll       = fs.Duration("poll", 0, "supervision tick interval (liveness, chaos, backoff expiry; 0 = 200ms)")
+		asJSON     = fs.Bool("json", false, "emit the merged report as JSON")
+		quiet      = fs.Bool("q", false, "suppress the per-event supervision log on stderr")
+	)
+	fs.BoolVar(&asCSV, "csv", false, "emit the merged report as CSV")
+	fs.IntVar(&par, "par", 1, "campaign worker-pool size inside each worker process")
+	fs.StringVar(&debugAddr, "debug-addr", "", "serve pprof/expvar with live coordinator state (jtpsim_coord) on this address")
+	fs.Parse(args)
+
+	if (*matrixPath == "") == (*expID == "") {
+		fmt.Fprintln(os.Stderr, "jtpsim coord: exactly one of -matrix or -exp is required")
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "jtpsim coord: -shards N (>= 1) is required")
+		return 2
+	}
+	if *outDir == "" {
+		fmt.Fprintln(os.Stderr, "jtpsim coord: -out <dir> is required")
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim coord: %v\n", err)
+		return 1
+	}
+
+	// The worker command line: this binary, in batch or figure mode,
+	// with a short checkpoint interval so a killed worker re-executes
+	// little. The coordinator appends the per-shard flags per launch.
+	var workerArgs []string
+	if *matrixPath != "" {
+		workerArgs = []string{"batch", "-matrix", *matrixPath}
+		if *runs > 0 {
+			workerArgs = append(workerArgs, "-runs", fmt.Sprint(*runs))
+		}
+		if *seconds > 0 {
+			workerArgs = append(workerArgs, "-seconds", fmt.Sprint(*seconds))
+		}
+	} else {
+		workerArgs = []string{"-exp", *expID, "-scale", fmt.Sprint(*scale)}
+	}
+	if *seed != 0 {
+		workerArgs = append(workerArgs, "-seed", fmt.Sprint(*seed))
+	}
+	workerArgs = append(workerArgs,
+		"-par", fmt.Sprint(par),
+		"-checkpoint-interval", ckInterval.String(),
+	)
+
+	reg := obs.New()
+	var logw = os.Stderr
+	cfg := coordinator.Config{
+		WorkerBin:     self,
+		WorkerArgs:    workerArgs,
+		Shards:        *shards,
+		Workers:       *workers,
+		OutDir:        *outDir,
+		RetryBudget:   *retries,
+		BackoffBase:   *backoff,
+		BackoffMax:    *backoffMax,
+		StallTimeout:  *stall,
+		Poll:          *poll,
+		ChaosKillRate: *chaos,
+		ChaosSeed:     *chaosSeed,
+		Obs:           reg,
+	}
+	if !*quiet {
+		cfg.Log = logw
+	}
+	co, err := coordinator.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jtpsim coord: %v\n", err)
+		return 1
+	}
+	if debugAddr != "" {
+		bound, derr := startDebugServer(debugAddr)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim coord: debug-addr: %v\n", derr)
+			return 1
+		}
+		expvar.Publish("jtpsim_coord", expvar.Func(func() any { return co.Snapshot() }))
+		fmt.Fprintf(os.Stderr, "jtpsim coord: debug server on http://%s/debug/vars (jtpsim_coord)\n", bound)
+	}
+
+	// First SIGINT/SIGTERM: stop workers gracefully (they checkpoint),
+	// journal, and exit — rerunning the same command resumes. Second:
+	// force quit 130.
+	ctx, stop := watchSignals(context.Background())
+	defer stop()
+
+	res, runErr := co.Run(ctx)
+	if res != nil {
+		printCoordSummary(res, *shards)
+	}
+	switch {
+	case runErr != nil && ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "jtpsim coord: interrupted; rerun the same command to resume from %s\n", *outDir)
+		return 1
+	case runErr != nil:
+		fmt.Fprintf(os.Stderr, "jtpsim coord: %v\n", runErr)
+		return 1
+	}
+
+	if res.Report != nil {
+		switch {
+		case *asJSON:
+			js, jerr := res.Report.JSON()
+			if jerr != nil {
+				fmt.Fprintf(os.Stderr, "jtpsim coord: %v\n", jerr)
+				return 1
+			}
+			fmt.Println(string(js))
+		case asCSV:
+			fmt.Print(res.Report.CSV())
+		default:
+			title := fmt.Sprintf("campaign %s (%d shards, %d runs, %d failures)",
+				res.Report.Name, *shards, res.Report.Runs, res.Report.Failures)
+			if res.Degraded() {
+				title = fmt.Sprintf("campaign %s (PARTIAL: %d/%d shards, %d runs, %d failures)",
+					res.Report.Name, len(res.Done), *shards, res.Report.Runs, res.Report.Failures)
+			}
+			show(res.Report.Table(title))
+		}
+	}
+	if res.Degraded() {
+		return 1
+	}
+	if res.Report != nil && res.Report.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "jtpsim coord: %v\n", res.Report.Err())
+		return 1
+	}
+	return 0
+}
+
+// printCoordSummary reports the supervision outcome on stderr: shard
+// classification, missing-work accounting for partial merges, and the
+// coordinator telemetry counters.
+func printCoordSummary(res *coordinator.Result, shards int) {
+	fmt.Fprintf(os.Stderr, "jtpsim coord: %d/%d shards done", len(res.Done), shards)
+	if len(res.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, ", failed %s", intList(res.Failed))
+	}
+	if len(res.Interrupted) > 0 {
+		fmt.Fprintf(os.Stderr, ", interrupted %s", intList(res.Interrupted))
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, st := range res.Table {
+		if st.LastError != "" && st.State == "failed" {
+			fmt.Fprintf(os.Stderr, "jtpsim coord: shard %d failed after %d attempts: %s\n",
+				st.Index, st.Attempts, st.LastError)
+		}
+	}
+	if res.Gaps != nil && !res.Gaps.Complete() {
+		fmt.Fprintf(os.Stderr, "jtpsim coord: PARTIAL result: missing shards %s (%d cells, %d runs)\n",
+			intList(res.Gaps.Missing), res.Gaps.MissingCells, res.Gaps.MissingRuns)
+	}
+	if len(res.Counters) > 0 {
+		// The counters a robustness post-mortem wants, in one line:
+		// restarts, dead detections, total backoff, heartbeat-age HWM.
+		keys := make([]string, 0, len(res.Counters))
+		for k := range res.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			v := res.Counters[k]
+			switch k {
+			case "coord_backoff_ms_total":
+				parts = append(parts, fmt.Sprintf("backoff_seconds_total=%.2f", float64(v)/1000))
+			case "coord_heartbeat_age_ms_hwm":
+				parts = append(parts, fmt.Sprintf("heartbeat_age_hwm=%.2fs", float64(v)/1000))
+			default:
+				parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(k, "coord_"), v))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "jtpsim coord: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// intList renders shard indices compactly.
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

@@ -55,10 +55,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 
 	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/experiments"
@@ -106,6 +104,8 @@ func main() {
 			os.Exit(benchMain(os.Args[2:]))
 		case "merge":
 			os.Exit(mergeMain(os.Args[2:]))
+		case "coord":
+			os.Exit(coordMain(os.Args[2:]))
 		}
 	}
 	os.Exit(expMain())
@@ -142,8 +142,9 @@ func expMain() int {
 		return 2
 	}
 	// SIGINT/SIGTERM cancel the running campaign; with -checkpoint the
-	// fold frontier is persisted first, so rerunning resumes.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// fold frontier is persisted first, so rerunning resumes. A second
+	// signal force-quits (exit 130).
+	ctx, stopSignals := watchSignals(context.Background())
 	defer stopSignals()
 	cliHooks.Ctx = ctx
 	cliHooks.OnInterrupted = expInterrupted
@@ -263,8 +264,10 @@ func batchMain(args []string) int {
 			cliHooks.Shard, lo, hi, (hi-lo)*spec.Runs)
 	}
 
-	// Ctrl-C cancels the campaign; the partial report is still emitted.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Ctrl-C cancels the campaign; the partial report is still emitted
+	// after the final checkpoint write. A second Ctrl-C force-quits
+	// (exit 130).
+	ctx, stop := watchSignals(context.Background())
 	defer stop()
 
 	var onResult func(campaign.RunSpec, campaign.Sample, error)

@@ -21,14 +21,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/javelen/jtp/internal/campaign"
 )
 
 var (
-	shardFlag      string
-	shardOutFlag   string
-	checkpointFlag string
+	shardFlag        string
+	shardOutFlag     string
+	checkpointFlag   string
+	checkpointIvFlag time.Duration
+	statusFlag       string
 )
 
 // addShardFlags registers the sharding flags on a campaign-mode FlagSet.
@@ -36,6 +39,8 @@ func addShardFlags(fs *flag.FlagSet) {
 	fs.StringVar(&shardFlag, "shard", "", "execute only shard i/N of the campaign (e.g. 0/3)")
 	fs.StringVar(&shardOutFlag, "shard-out", "", "write this shard's result file here on completion (fold with 'jtpsim merge')")
 	fs.StringVar(&checkpointFlag, "checkpoint", "", "durable checkpoint file; auto-resumes when it already exists")
+	fs.DurationVar(&checkpointIvFlag, "checkpoint-interval", 0, "max wall clock between periodic checkpoints (0 = campaign default)")
+	fs.StringVar(&statusFlag, "status", "", "append heartbeat frames (fold frontier, rate) to this file for a supervising coordinator")
 }
 
 // applyShardFlags parses the shard flags into the process-wide campaign
@@ -50,12 +55,18 @@ func applyShardFlags() error {
 	}
 	cliHooks.Checkpoint = checkpointFlag
 	cliHooks.ShardOut = shardOutFlag
-	return nil
+	cliHooks.CheckpointInterval = checkpointIvFlag
+	// Non-fatal campaign diagnostics (e.g. a corrupt checkpoint being
+	// discarded for a cold start) surface on stderr.
+	cliHooks.Warn = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "jtpsim: warning: "+format+"\n", args...)
+	}
+	return startStatusWriter()
 }
 
 // shardingRequested reports whether any sharding flag is in play.
 func shardingRequested() bool {
-	return shardFlag != "" || shardOutFlag != "" || checkpointFlag != ""
+	return shardFlag != "" || shardOutFlag != "" || checkpointFlag != "" || statusFlag != ""
 }
 
 // expInterrupted handles a cancelled figure campaign: report what was

@@ -1,0 +1,58 @@
+package main
+
+// Interrupt handling for the campaign modes. signal.NotifyContext alone
+// has a trap in shard mode: after the first Ctrl-C the campaign drains
+// in-flight runs and writes its final checkpoint, which can take a
+// moment — and a second impatient Ctrl-C used to be swallowed, leaving
+// no way to force-quit short of SIGKILL (which skips the checkpoint
+// anyway). watchSignals makes the contract explicit: the first
+// SIGINT/SIGTERM cancels the context for the graceful
+// checkpoint-and-exit path; a second one force-exits immediately with
+// code 130 (128+SIGINT, the shell convention for death by interrupt).
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// forcedExitCode is the exit status of a second-signal force quit:
+// 128+SIGINT, so supervisors (the coordinator included) classify it as
+// an interrupted worker, not a simulation failure.
+const forcedExitCode = 130
+
+// watchSignals returns a context cancelled by the first SIGINT/SIGTERM;
+// a second signal force-exits the process with forcedExitCode. The
+// returned stop releases the signal handler.
+func watchSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := signalContext(parent, ch, os.Exit)
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}
+
+// signalContext is watchSignals with the signal source and exit function
+// injected, so tests can drive both signals and observe the forced exit
+// without killing the test process.
+func signalContext(parent context.Context, ch <-chan os.Signal, exit func(int)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+		fmt.Fprintln(os.Stderr,
+			"jtpsim: interrupted; draining and writing final checkpoint (interrupt again to force-quit, exit 130)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "jtpsim: force quit")
+		exit(forcedExitCode)
+	}()
+	return ctx, cancel
+}

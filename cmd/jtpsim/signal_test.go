@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextDoubleInterrupt pins the two-stage interrupt
+// contract: the first signal cancels the context (graceful
+// checkpoint-and-exit), the second forces an immediate exit with code
+// 130.
+func TestSignalContextDoubleInterrupt(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, cancel := signalContext(context.Background(), ch, func(code int) {
+		exited <- code
+		select {} // a real os.Exit never returns
+	})
+	defer cancel()
+
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled before any signal")
+	default:
+	}
+
+	ch <- syscall.SIGINT
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal force-exited (%d)", code)
+	default:
+	}
+
+	ch <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		if code != forcedExitCode {
+			t.Fatalf("forced exit code = %d, want %d", code, forcedExitCode)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestSignalContextParentCancel: a normal completion (parent cancel, no
+// signals) must release the watcher without any forced exit.
+func TestSignalContextParentCancel(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	parent, parentCancel := context.WithCancel(context.Background())
+	ctx, cancel := signalContext(parent, ch, func(code int) { exited <- code })
+	defer cancel()
+
+	parentCancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("parent cancel did not propagate")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("spurious forced exit (%d)", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+// Worker-side heartbeat protocol for `jtpsim coord`: with -status FILE a
+// campaign worker appends rate-limited coordinator.StatusFrame lines
+// (fold frontier, total, failures, runs/sec) so the supervising
+// coordinator can tell a live shard from a hung one without parsing logs
+// or guessing from checkpoint mtimes alone.
+//
+// The same file hosts the fault-injection knob: when the
+// JTPSIM_CHAOS_EXIT_AT environment variable is set ("SEQ" for every
+// shard, "SHARD:SEQ" for one), the worker os.Exit(3)s abruptly — no
+// final checkpoint, no shard file — as soon as its fold frontier reaches
+// SEQ. A stamp file next to the status file makes the suicide one-shot
+// per shard, so a restarted worker recovers instead of crash-looping:
+// exactly the fault the supervision machinery must absorb.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/coordinator"
+)
+
+var (
+	statusFile      *os.File
+	statusLastWrite time.Time
+	chaosExitAt     = -1 // fold seq to die at; -1 = disabled
+)
+
+// statusFrameInterval rate-limits heartbeat appends; the final frame
+// (Done == Total) always writes.
+const statusFrameInterval = 250 * time.Millisecond
+
+// startStatusWriter opens the -status sink, arms the chaos knob, and
+// chains the heartbeat hook onto cliHooks.OnProgress ahead of
+// startTelemetry (which composes rather than replaces a present hook).
+func startStatusWriter() error {
+	if statusFlag == "" {
+		return nil
+	}
+	f, err := os.OpenFile(statusFlag, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	statusFile = f
+	if err := armChaosExit(); err != nil {
+		return err
+	}
+	prev := cliHooks.OnProgress
+	cliHooks.OnProgress = func(p campaign.Progress) {
+		if prev != nil {
+			prev(p)
+		}
+		onStatusProgress(p)
+	}
+	return nil
+}
+
+// armChaosExit parses JTPSIM_CHAOS_EXIT_AT ("SEQ" or "SHARD:SEQ") into
+// chaosExitAt for this worker's shard.
+func armChaosExit() error {
+	v := os.Getenv(coordinator.EnvChaosExitAt)
+	if v == "" {
+		return nil
+	}
+	target := v
+	if i := strings.IndexByte(v, ':'); i >= 0 {
+		shard, err := strconv.Atoi(v[:i])
+		if err != nil {
+			return fmt.Errorf("%s: bad shard in %q", coordinator.EnvChaosExitAt, v)
+		}
+		if shard != cliHooks.Shard.Index {
+			return nil // aimed at a different shard
+		}
+		target = v[i+1:]
+	}
+	seq, err := strconv.Atoi(target)
+	if err != nil || seq < 0 {
+		return fmt.Errorf("%s: bad fold seq in %q", coordinator.EnvChaosExitAt, v)
+	}
+	chaosExitAt = seq
+	return nil
+}
+
+// onStatusProgress appends one heartbeat frame per interval (and always
+// the final one), then fires the armed chaos suicide.
+func onStatusProgress(p campaign.Progress) {
+	now := time.Now()
+	if p.Done == p.Total || now.Sub(statusLastWrite) >= statusFrameInterval {
+		statusLastWrite = now
+		if err := coordinator.AppendFrame(statusFile, coordinator.StatusFrame{
+			Seq:        p.Done,
+			Total:      p.Total,
+			Failures:   p.Failures,
+			RunsPerSec: p.RunsPerSec,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "jtpsim: status: %v\n", err)
+		}
+	}
+	if chaosExitAt >= 0 && p.Done >= chaosExitAt {
+		chaosSuicide(p.Done)
+	}
+}
+
+// chaosSuicide dies abruptly at the armed fold seq, once per shard: the
+// O_EXCL stamp file next to the status file records that this shard's
+// injected crash already happened, so the relaunched worker survives.
+func chaosSuicide(seq int) {
+	stamp := statusFlag + ".chaos-fired"
+	f, err := os.OpenFile(stamp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return // stamp exists: this shard already crashed once
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "jtpsim: chaos: exiting at fold seq %d (%s)\n", seq, coordinator.EnvChaosExitAt)
+	os.Exit(coordinator.ChaosExitCode)
+}

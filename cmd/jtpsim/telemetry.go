@@ -111,7 +111,17 @@ func startTelemetry() error {
 	// stream itself.
 	cliHooks.Telemetry = telemetryPath != "" || debugAddr != ""
 	if telemetryPath != "" || progressFlag || debugAddr != "" {
-		cliHooks.OnProgress = onCampaignProgress
+		// Compose with any hook already chained (the -status heartbeat
+		// writer); telemetry first, so a chaos suicide in the status hook
+		// still sees this run's telemetry line flushed.
+		if prev := cliHooks.OnProgress; prev != nil {
+			cliHooks.OnProgress = func(p campaign.Progress) {
+				onCampaignProgress(p)
+				prev(p)
+			}
+		} else {
+			cliHooks.OnProgress = onCampaignProgress
+		}
 	}
 	experiments.SetCampaignHooks(cliHooks)
 	return nil

@@ -5,10 +5,22 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"os"
 )
+
+// ErrCorruptCheckpoint marks a checkpoint file that exists but cannot be
+// trusted: truncated or torn content (invalid JSON), an empty file, or
+// structurally impossible state (frontier outside the shard, cell
+// indices outside the matrix). Execute treats a corrupt checkpoint as a
+// cold start with a warning — re-running the shard from scratch is
+// always correct, resuming from garbage never is. A version mismatch or
+// fingerprint mismatch is NOT corruption (the file is intact, it just
+// belongs to another build or campaign) and stays a hard error.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 // Checkpoint is the durable resume state of one (possibly sharded)
 // campaign execution: the aggregator's fold frontier plus the exact
@@ -40,7 +52,11 @@ type Checkpoint struct {
 }
 
 // LoadCheckpoint reads and version-checks a checkpoint file. A missing
-// file returns (nil, nil): Execute treats that as a fresh start.
+// file returns (nil, nil): Execute treats that as a fresh start. A file
+// that exists but does not parse — truncated by a torn write or a full
+// disk, or otherwise mangled — returns an error wrapping
+// ErrCorruptCheckpoint so callers can fall back to a cold start instead
+// of failing (or worse, resuming wrong).
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -49,15 +65,46 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("campaign: checkpoint %s: empty file: %w", path, ErrCorruptCheckpoint)
+	}
 	var cp Checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("campaign: checkpoint %s: %v: %w", path, err, ErrCorruptCheckpoint)
 	}
 	if cp.Version != ShardFileVersion {
 		return nil, fmt.Errorf("campaign: checkpoint %s: version %d, this build reads %d",
 			path, cp.Version, ShardFileVersion)
 	}
 	return &cp, nil
+}
+
+// validate cross-checks the checkpoint's structure against the campaign
+// it is about to resume: the frontier must lie inside the shard's run
+// window, the recorded matrix geometry must match, and every cell's
+// state must land on a real cell with the right axis arity. Violations
+// wrap ErrCorruptCheckpoint — they can only come from file damage that
+// happened to survive the JSON and fingerprint checks, and resuming
+// from them would index out of bounds or silently mis-fold.
+func (cp *Checkpoint) validate(numCells, numAxes, runsPerCell, specsLen int) error {
+	if cp.NextSeq < 0 || cp.NextSeq > specsLen {
+		return fmt.Errorf("frontier %d outside [0,%d]: %w", cp.NextSeq, specsLen, ErrCorruptCheckpoint)
+	}
+	if cp.State.NumCells != numCells || cp.State.RunsPerCell != runsPerCell {
+		return fmt.Errorf("state geometry %d×%d, campaign is %d×%d: %w",
+			cp.State.NumCells, cp.State.RunsPerCell, numCells, runsPerCell, ErrCorruptCheckpoint)
+	}
+	for i := range cp.State.Cells {
+		sc := &cp.State.Cells[i]
+		if sc.Index < 0 || sc.Index >= numCells {
+			return fmt.Errorf("cell index %d outside [0,%d): %w", sc.Index, numCells, ErrCorruptCheckpoint)
+		}
+		if len(sc.Values) != numAxes {
+			return fmt.Errorf("cell %d has %d values for %d axes: %w",
+				sc.Index, len(sc.Values), numAxes, ErrCorruptCheckpoint)
+		}
+	}
+	return nil
 }
 
 // writeCheckpoint atomically persists the current fold frontier.
@@ -93,40 +140,78 @@ func (cp *Checkpoint) restore(rep *Report) int {
 	return cp.NextSeq
 }
 
-// campaignFingerprint hashes everything that must match for a
-// checkpoint to be resumable: matrix name, axes (names and canonical
-// values), runs per cell, shard coordinates, and this shard's full
-// expanded run list (which captures BaseSeed and any custom SeedFn).
-func campaignFingerprint(m *Matrix, sh Shard, specs []RunSpec) string {
-	h := sha256.New()
-	var buf [8]byte
-	wInt := func(v int64) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	wStr := func(s string) {
-		wInt(int64(len(s)))
-		io.WriteString(h, s)
-	}
-	wStr(m.Name)
-	wInt(int64(len(m.Axes)))
+// fingerprintHasher wraps a sha256 with length-prefixed primitive
+// writers shared by the two campaign fingerprints.
+type fingerprintHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newFingerprintHasher() *fingerprintHasher {
+	return &fingerprintHasher{h: sha256.New()}
+}
+
+func (f *fingerprintHasher) sum() []byte { return f.h.Sum(nil) }
+
+func (f *fingerprintHasher) wInt(v int64) {
+	binary.LittleEndian.PutUint64(f.buf[:], uint64(v))
+	f.h.Write(f.buf[:])
+}
+
+func (f *fingerprintHasher) wStr(s string) {
+	f.wInt(int64(len(s)))
+	io.WriteString(f.h, s)
+}
+
+// writeMatrixIdentity hashes the matrix shape: name, axes (names and
+// canonical values), and runs per cell.
+func (f *fingerprintHasher) writeMatrixIdentity(m *Matrix) {
+	f.wStr(m.Name)
+	f.wInt(int64(len(m.Axes)))
 	for _, ax := range m.Axes {
-		wStr(ax.Name)
-		wInt(int64(len(ax.Values)))
+		f.wStr(ax.Name)
+		f.wInt(int64(len(ax.Values)))
 		for _, v := range ax.Values {
-			wStr(FormatValue(v))
+			f.wStr(FormatValue(v))
 		}
 	}
-	wInt(int64(m.runsPerCell()))
-	sh = sh.norm()
-	wInt(int64(sh.Index))
-	wInt(int64(sh.Of))
-	wInt(int64(len(specs)))
+	f.wInt(int64(m.runsPerCell()))
+}
+
+// writeSpecs hashes an expanded run list, capturing BaseSeed and any
+// custom SeedFn through the derived seeds.
+func (f *fingerprintHasher) writeSpecs(specs []RunSpec) {
+	f.wInt(int64(len(specs)))
 	for i := range specs {
-		wInt(int64(specs[i].Index))
-		wInt(int64(specs[i].CellIndex))
-		wInt(int64(specs[i].Run))
-		wInt(specs[i].Seed)
+		f.wInt(int64(specs[i].Index))
+		f.wInt(int64(specs[i].CellIndex))
+		f.wInt(int64(specs[i].Run))
+		f.wInt(specs[i].Seed)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+}
+
+// campaignFingerprint hashes everything that must match for a
+// checkpoint to be resumable: matrix identity, shard coordinates, and
+// this shard's full expanded run list.
+func campaignFingerprint(m *Matrix, sh Shard, specs []RunSpec) string {
+	f := newFingerprintHasher()
+	f.writeMatrixIdentity(m)
+	sh = sh.norm()
+	f.wInt(int64(sh.Index))
+	f.wInt(int64(sh.Of))
+	f.writeSpecs(specs)
+	return hex.EncodeToString(f.sum())
+}
+
+// matrixFingerprint hashes the shard-independent campaign identity:
+// matrix identity plus the FULL expanded run list (every shard of the
+// same campaign derives the same value). Execute stamps it into the
+// Report, shard files carry it, and MergeReports refuses to fold shard
+// files whose fingerprints disagree — the guard against merging shards
+// of same-named campaigns that differ in seeds or axis values.
+func matrixFingerprint(m *Matrix, all []RunSpec) string {
+	f := newFingerprintHasher()
+	f.writeMatrixIdentity(m)
+	f.writeSpecs(all)
+	return hex.EncodeToString(f.sum())
 }

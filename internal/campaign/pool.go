@@ -65,6 +65,17 @@ type Options struct {
 	// runs. Interrupted executions skip it — the checkpoint carries the
 	// partial state for resume instead.
 	ShardOut string
+	// Warn, when non-nil, receives non-fatal diagnostics (today: a
+	// corrupt checkpoint being discarded for a cold start). Nil drops
+	// them; the condition still handles itself safely either way.
+	Warn func(format string, args ...any)
+}
+
+// warnf routes a diagnostic to Warn when set.
+func (o Options) warnf(format string, args ...any) {
+	if o.Warn != nil {
+		o.Warn(format, args...)
+	}
 }
 
 // Progress is one tick of the campaign progress stream: the run that
@@ -172,24 +183,37 @@ func Execute(ctx context.Context, m Matrix, opt Options, fn RunFunc) (*Report, e
 	specs := opt.Shard.filterSpecs(all, m.NumCells(), m.runsPerCell())
 	rep := newReport(&m)
 	rep.Shard = opt.Shard.norm()
+	rep.Fingerprint = matrixFingerprint(&m, all)
 
 	// Resume: restore the fold frontier and aggregate state from an
-	// existing checkpoint for this exact campaign and shard.
+	// existing checkpoint for this exact campaign and shard. A corrupt
+	// checkpoint (torn write, disk full, truncation) degrades to a cold
+	// start with a warning — never a panic, never a wrong resume. A
+	// fingerprint mismatch stays a hard error: the file is intact, it
+	// just belongs to a different campaign, and cold-starting over it
+	// would silently clobber someone else's progress.
 	startSeq := 0
 	var fingerprint string
 	if opt.Checkpoint != "" {
 		fingerprint = campaignFingerprint(&m, opt.Shard, specs)
 		cp, err := LoadCheckpoint(opt.Checkpoint)
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				return nil, err
+			}
+			opt.warnf("campaign: %v; starting this shard cold", err)
+			cp = nil
 		}
 		if cp != nil {
 			if cp.Fingerprint != fingerprint {
 				return nil, fmt.Errorf("campaign: checkpoint %s was written by a different campaign, seed schedule, or shard; refusing to resume", opt.Checkpoint)
 			}
-			if cp.NextSeq < 0 || cp.NextSeq > len(specs) {
-				return nil, fmt.Errorf("campaign: checkpoint %s frontier %d outside [0,%d]", opt.Checkpoint, cp.NextSeq, len(specs))
+			if err := cp.validate(m.NumCells(), len(m.Axes), m.runsPerCell(), len(specs)); err != nil {
+				opt.warnf("campaign: checkpoint %s: %v; starting this shard cold", opt.Checkpoint, err)
+				cp = nil
 			}
+		}
+		if cp != nil {
 			startSeq = cp.restore(rep)
 		}
 	}

@@ -133,6 +133,13 @@ type Report struct {
 	// both feed the shard result file.
 	Shard       Shard
 	RunsPerCell int
+	// Fingerprint is the shard-independent campaign identity hash (see
+	// matrixFingerprint): the same matrix, seeds, and run count derive
+	// the same value in every shard. Execute stamps it; shard files
+	// carry it so MergeReports can refuse to fold shards of different
+	// campaigns that merely share a name and shape. Not part of any
+	// emission format (tables, CSV and JSON are unchanged by it).
+	Fingerprint string
 }
 
 // newReport allocates the report skeleton for a matrix.

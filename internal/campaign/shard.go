@@ -9,7 +9,6 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/javelen/jtp/internal/obs"
 	"github.com/javelen/jtp/internal/stats"
 )
 
@@ -120,6 +119,11 @@ type ShardFile struct {
 	// across shards.
 	Campaign string   `json:"campaign"`
 	Axes     []string `json:"axes"`
+	// Fingerprint is the shard-independent campaign identity hash (see
+	// Report.Fingerprint). Merge refuses shard sets whose non-empty
+	// fingerprints disagree; empty (files from older builds) skips the
+	// check.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Shard is this file's coordinates; merge requires one file per
 	// index of a single Of.
 	Shard Shard `json:"shard"`
@@ -201,40 +205,6 @@ func (sc *ShardCell) restoreInto(c *CellResult) {
 	}
 }
 
-// mergeInto folds the shard cell's state into an already-populated
-// CellResult (the overlapping-cells merge path; cell-granular sharding
-// never takes it, but merge handles it for robustness — results are
-// then statistically identical rather than bit-exact, per
-// stats.Running.Merge).
-func (sc *ShardCell) mergeInto(c *CellResult) {
-	c.Runs += sc.Runs
-	c.Failures += sc.Failures
-	if c.FirstError == "" {
-		c.FirstError = sc.FirstError
-	}
-	for _, k := range sortedKeys(sc.Observables) {
-		o := stats.Restore(sc.Observables[k])
-		if r, ok := c.obs[k]; ok {
-			r.Merge(o)
-		} else {
-			c.obs[k] = &o
-		}
-	}
-	for _, k := range sortedKeys(sc.Telemetry) {
-		v := sc.Telemetry[k]
-		if c.Telemetry == nil {
-			c.Telemetry = map[string]float64{}
-		}
-		if obs.IsMax(k) {
-			if old, ok := c.Telemetry[k]; !ok || v > old {
-				c.Telemetry[k] = v
-			}
-		} else {
-			c.Telemetry[k] += v
-		}
-	}
-}
-
 // BuildShardFile exports a report's shard-owned cells as a ShardFile.
 // The report must carry its shard coordinates (Execute stamps them).
 func BuildShardFile(rep *Report) *ShardFile {
@@ -244,6 +214,7 @@ func BuildShardFile(rep *Report) *ShardFile {
 		Version:     ShardFileVersion,
 		Campaign:    rep.Name,
 		Axes:        rep.Axes,
+		Fingerprint: rep.Fingerprint,
 		Shard:       sh,
 		NumCells:    len(rep.Cells),
 		RunsPerCell: rep.RunsPerCell,
@@ -285,6 +256,24 @@ func ReadShardFile(path string) (*ShardFile, error) {
 	return &f, nil
 }
 
+// MergeGaps accounts for the shards absent from a partial merge: which
+// indices are missing and exactly how many cells and runs they own
+// (computable from the cell-range arithmetic alone, so the accounting
+// is exact even though the missing files were never seen).
+type MergeGaps struct {
+	// Of is the shard count of the set being merged.
+	Of int
+	// Missing lists the absent shard indices, ascending.
+	Missing []int
+	// MissingCells and MissingRuns total the matrix cells and runs the
+	// missing shards own.
+	MissingCells int
+	MissingRuns  int
+}
+
+// Complete reports whether the merge covered every shard.
+func (g *MergeGaps) Complete() bool { return len(g.Missing) == 0 }
+
 // MergeReports folds a complete set of shard files (one per index of
 // the same Of, any argument order) back into a single Report.
 //
@@ -296,47 +285,82 @@ func ReadShardFile(path string) (*ShardFile, error) {
 // through FormatValue on both paths. Shards interrupted mid-campaign
 // merge too (their zero-run cells stay zero-run, Interrupted sums), so
 // partial sweeps still produce a coherent partial report.
+//
+// Validation is strict: a duplicate shard index, two files claiming the
+// same cell (overlapping cell ranges), a campaign/axis/shape mismatch,
+// or disagreeing matrix fingerprints each return a descriptive error —
+// these only arise from mixing files of different campaigns or from
+// corruption, and folding them would produce silently wrong aggregates.
 func MergeReports(files ...*ShardFile) (*Report, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("campaign: merge: no shard files")
 	}
-	first := files[0]
-	of := first.Shard.norm().Of
+	of := files[0].Shard.norm().Of
 	if len(files) != of {
 		return nil, fmt.Errorf("campaign: merge: got %d files for %d shards", len(files), of)
 	}
+	rep, gaps, err := MergeAvailable(files...)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range gaps.Missing {
+		return nil, fmt.Errorf("campaign: merge: missing shard %d/%d", i, of)
+	}
+	return rep, nil
+}
+
+// MergeAvailable folds an incomplete shard set — every file present must
+// still validate exactly as in MergeReports, but absent shards are
+// tolerated and accounted in the returned MergeGaps instead of erroring.
+// This is the graceful-degradation path: a coordinator whose shards
+// exhausted their retry budgets still merges what completed.
+//
+// The partial report's Cells hold only the covered cells (in ascending
+// cell-index order); a complete set yields the same report MergeReports
+// would. Partial reports are terminal — they render (Table/CSV/JSON)
+// but must not be re-exported as shard files.
+func MergeAvailable(files ...*ShardFile) (*Report, *MergeGaps, error) {
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("campaign: merge: no shard files")
+	}
+	first := files[0]
+	of := first.Shard.norm().Of
+	fingerprint := ""
 	seen := make([]bool, of)
 	for _, f := range files {
 		if f.Version != ShardFileVersion {
-			return nil, fmt.Errorf("campaign: merge: shard file version %d, this build reads %d",
+			return nil, nil, fmt.Errorf("campaign: merge: shard file version %d, this build reads %d",
 				f.Version, ShardFileVersion)
 		}
 		if f.Campaign != first.Campaign {
-			return nil, fmt.Errorf("campaign: merge: campaign %q vs %q", f.Campaign, first.Campaign)
+			return nil, nil, fmt.Errorf("campaign: merge: campaign %q vs %q", f.Campaign, first.Campaign)
 		}
 		if strings.Join(f.Axes, "\x00") != strings.Join(first.Axes, "\x00") {
-			return nil, fmt.Errorf("campaign: merge: axis mismatch (%v vs %v)", f.Axes, first.Axes)
+			return nil, nil, fmt.Errorf("campaign: merge: axis mismatch (%v vs %v)", f.Axes, first.Axes)
 		}
 		if f.NumCells != first.NumCells || f.RunsPerCell != first.RunsPerCell {
-			return nil, fmt.Errorf("campaign: merge: matrix shape mismatch (%d×%d vs %d×%d cells×runs)",
+			return nil, nil, fmt.Errorf("campaign: merge: matrix shape mismatch (%d×%d vs %d×%d cells×runs)",
 				f.NumCells, f.RunsPerCell, first.NumCells, first.RunsPerCell)
+		}
+		if f.Fingerprint != "" {
+			if fingerprint == "" {
+				fingerprint = f.Fingerprint
+			} else if f.Fingerprint != fingerprint {
+				return nil, nil, fmt.Errorf("campaign: merge: shard %s has matrix fingerprint %.12s…, other shards have %.12s… (same-named campaigns with different seeds or axis values?)",
+					f.Shard.norm(), f.Fingerprint, fingerprint)
+			}
 		}
 		sh := f.Shard.norm()
 		if sh.Of != of {
-			return nil, fmt.Errorf("campaign: merge: shard %s does not belong to a %d-way split", sh, of)
+			return nil, nil, fmt.Errorf("campaign: merge: shard %s does not belong to a %d-way split", sh, of)
 		}
 		if seen[sh.Index] {
-			return nil, fmt.Errorf("campaign: merge: duplicate shard %s", sh)
+			return nil, nil, fmt.Errorf("campaign: merge: duplicate shard %s", sh)
 		}
 		seen[sh.Index] = true
 	}
-	for i, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("campaign: merge: missing shard %d/%d", i, of)
-		}
-	}
-	// Merge in ascending shard index order so any overlapping-cell
-	// FirstError resolution is deterministic.
+
+	// Merge in ascending shard index order for deterministic traversal.
 	sorted := append([]*ShardFile{}, files...)
 	sort.Slice(sorted, func(i, j int) bool {
 		return sorted[i].Shard.norm().Index < sorted[j].Shard.norm().Index
@@ -345,9 +369,11 @@ func MergeReports(files ...*ShardFile) (*Report, error) {
 	rep := &Report{
 		Name:        first.Campaign,
 		Axes:        first.Axes,
-		Cells:       make([]*CellResult, first.NumCells),
 		RunsPerCell: first.RunsPerCell,
+		Fingerprint: fingerprint,
 	}
+	cells := make([]*CellResult, first.NumCells)
+	owner := make([]*ShardFile, first.NumCells)
 	for _, f := range sorted {
 		rep.Runs += f.Runs
 		rep.Failures += f.Failures
@@ -355,31 +381,52 @@ func MergeReports(files ...*ShardFile) (*Report, error) {
 		for i := range f.Cells {
 			sc := &f.Cells[i]
 			if sc.Index < 0 || sc.Index >= first.NumCells {
-				return nil, fmt.Errorf("campaign: merge: shard %s cell index %d outside [0,%d)",
+				return nil, nil, fmt.Errorf("campaign: merge: shard %s cell index %d outside [0,%d)",
 					f.Shard.norm(), sc.Index, first.NumCells)
 			}
 			if len(sc.Values) != len(first.Axes) {
-				return nil, fmt.Errorf("campaign: merge: shard %s cell %d has %d values for %d axes",
+				return nil, nil, fmt.Errorf("campaign: merge: shard %s cell %d has %d values for %d axes",
 					f.Shard.norm(), sc.Index, len(sc.Values), len(first.Axes))
 			}
-			if rep.Cells[sc.Index] == nil {
-				c := &CellResult{
-					Cell: cellFromStrings(first.Axes, sc.Values),
-					obs:  map[string]*stats.Running{},
-				}
-				sc.restoreInto(c)
-				rep.Cells[sc.Index] = c
-			} else {
-				sc.mergeInto(rep.Cells[sc.Index])
+			if prev := owner[sc.Index]; prev != nil {
+				return nil, nil, fmt.Errorf("campaign: merge: shards %s and %s both claim cell %d (overlapping cell ranges; mixed or corrupt shard set)",
+					prev.Shard.norm(), f.Shard.norm(), sc.Index)
 			}
+			owner[sc.Index] = f
+			c := &CellResult{
+				Cell: cellFromStrings(first.Axes, sc.Values),
+				obs:  map[string]*stats.Running{},
+			}
+			sc.restoreInto(c)
+			cells[sc.Index] = c
 		}
 	}
-	for i, c := range rep.Cells {
+
+	gaps := &MergeGaps{Of: of}
+	for i, ok := range seen {
+		if !ok {
+			lo, hi := (Shard{Index: i, Of: of}).CellRange(first.NumCells)
+			gaps.Missing = append(gaps.Missing, i)
+			gaps.MissingCells += hi - lo
+			gaps.MissingRuns += (hi - lo) * first.RunsPerCell
+		}
+	}
+	// A present shard that failed to cover one of its own cells is
+	// corruption, not a gap: cell-granular shard files always carry
+	// every owned cell, even zero-run ones.
+	for i, c := range cells {
 		if c == nil {
-			return nil, fmt.Errorf("campaign: merge: no shard covered cell %d (corrupt shard set)", i)
+			// Inverse of CellRange: the owning shard of cell i is the
+			// largest idx with idx*numCells/of <= i.
+			idx := ((i+1)*of - 1) / first.NumCells
+			if sh := (Shard{Index: idx, Of: of}); seen[idx] && sh.selects(i, first.NumCells) {
+				return nil, nil, fmt.Errorf("campaign: merge: shard %s did not cover its cell %d (corrupt shard set)", sh, i)
+			}
+			continue
 		}
+		rep.Cells = append(rep.Cells, c)
 	}
-	return rep, nil
+	return rep, gaps, nil
 }
 
 // cellFromStrings rebuilds a Cell from canonical formatted values.

@@ -1,0 +1,813 @@
+// Package coordinator is the fault-tolerant shard coordinator behind
+// `jtpsim coord`: it expands a campaign into N shards, drives each as a
+// child jtpsim worker process (`-shard i/N -shard-out … -checkpoint …
+// -status …`) on a bounded process pool, and survives the faults a
+// multi-hour sweep will actually hit — worker crashes, hangs, OOM
+// kills, and the death of the coordinator itself.
+//
+// The robustness machinery:
+//
+//   - Liveness: workers append heartbeat frames (fold frontier, rate)
+//     to a per-shard status file; the coordinator declares a shard dead
+//     on process exit ≠ 0 OR when neither the frontier nor the
+//     checkpoint mtime advances for StallTimeout — catching stuck
+//     workers, not just crashed ones.
+//   - Restart: dead shards relaunch with exponential backoff + jitter
+//     under a per-shard retry budget, resuming from their
+//     fingerprint-guarded checkpoint so only the uncheckpointed tail
+//     re-executes.
+//   - Graceful degradation: a shard that exhausts its budget is marked
+//     failed; the rest of the campaign completes, and the merge step
+//     folds what exists with explicit missing-shard accounting
+//     (campaign.MergeAvailable).
+//   - Crash-safe coordinator state: the shard table journals atomically
+//     on every transition, so a SIGKILLed coordinator resumes — done
+//     shards stay done, running shards rewind to pending and resume
+//     from their checkpoints.
+//   - Auto-merge: when every shard completes, the shard files fold via
+//     campaign.MergeReports under its byte-identity contract — the
+//     merged report equals the unsharded run's, faults and all.
+//
+// Fault injection for tests and CI rides the same paths: ChaosKillRate
+// SIGKILLs random running workers from the coordinator side, and the
+// EnvChaosExitAt environment knob makes workers kill themselves at a
+// deterministic fold sequence.
+package coordinator
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/obs"
+)
+
+// Config tunes a coordinator run.
+type Config struct {
+	// WorkerBin is the worker executable (normally the running jtpsim
+	// binary itself); WorkerArgs is the campaign-mode prefix, e.g.
+	// ["batch", "-matrix", "m.json", "-par", "2"]. The coordinator
+	// appends -shard/-shard-out/-checkpoint/-status per launch.
+	WorkerBin  string
+	WorkerArgs []string
+	// Shards is the number of campaign shards (N of -shard i/N).
+	Shards int
+	// Workers bounds concurrently running worker processes; <= 0 means
+	// min(Shards, GOMAXPROCS).
+	Workers int
+	// OutDir holds every coordination artifact: shard result files,
+	// checkpoints, status files, worker logs, and the journal.
+	OutDir string
+	// RetryBudget is the number of restarts each shard may consume
+	// beyond its first launch (0 = one attempt, no retries); < 0 means
+	// the default 3.
+	RetryBudget int
+	// BackoffBase/BackoffMax shape the exponential restart backoff:
+	// attempt k waits base·2^(k-1) (+ up to 50% jitter), capped at max.
+	// Defaults: 500ms / 15s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// StallTimeout declares a running shard dead when neither its
+	// status-frame frontier nor its checkpoint mtime advances for this
+	// long (a hung worker, not just a crashed one); <= 0 means 2m.
+	StallTimeout time.Duration
+	// Poll is the supervision tick (liveness checks, chaos, backoff
+	// expiry); <= 0 means 200ms.
+	Poll time.Duration
+	// ChaosKillRate injects faults: the per-second probability, per
+	// running worker, of being SIGKILLed by the coordinator. 0 (the
+	// default) disables chaos. ChaosSeed makes the kill schedule and
+	// backoff jitter reproducible (0 means 1).
+	ChaosKillRate float64
+	ChaosSeed     int64
+	// Env appends to the workers' environment (os.Environ is inherited).
+	Env []string
+	// Log, when non-nil, receives the coordinator's event log (one line
+	// per launch/death/backoff/merge).
+	Log io.Writer
+	// Obs, when non-nil, receives the coordinator counters:
+	// coord_shard_restarts, coord_shard_dead_detections,
+	// coord_backoff_ms_total, coord_heartbeat_age_ms_hwm,
+	// coord_chaos_kills, coord_stall_kills.
+	Obs *obs.Registry
+}
+
+func (c *Config) workers() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Shards {
+		w = c.Shards
+	}
+	return w
+}
+
+func (c *Config) retryBudget() int {
+	if c.RetryBudget < 0 {
+		return 3
+	}
+	return c.RetryBudget
+}
+
+func (c *Config) backoffBase() time.Duration {
+	if c.BackoffBase <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.BackoffBase
+}
+
+func (c *Config) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 15 * time.Second
+	}
+	return c.BackoffMax
+}
+
+func (c *Config) stallTimeout() time.Duration {
+	if c.StallTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return c.StallTimeout
+}
+
+func (c *Config) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.Poll
+}
+
+// shardState is a shard's supervision state.
+type shardState int
+
+const (
+	statePending shardState = iota
+	stateRunning
+	stateDone
+	stateFailed
+)
+
+func (s shardState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// shardRun is one shard's live supervision record.
+type shardRun struct {
+	index        int
+	state        shardState
+	attempts     int // launches so far
+	lastError    string
+	proc         *os.Process
+	killReason   string // set before an intentional kill (chaos/stall/shutdown)
+	anchor       time.Time
+	backoffUntil time.Time
+	lastSeq      int
+	lastTotal    int
+	lastRate     float64
+	lastCkMod    time.Time
+}
+
+// ShardStatus is one shard's externally visible state (Snapshot, final
+// Result table).
+type ShardStatus struct {
+	Index          int     `json:"index"`
+	State          string  `json:"state"`
+	Attempts       int     `json:"attempts"`
+	Seq            int     `json:"seq"`
+	Total          int     `json:"total"`
+	RunsPerSec     float64 `json:"runs_per_sec"`
+	HeartbeatAgeMs int64   `json:"heartbeat_age_ms,omitempty"`
+	LastError      string  `json:"lastError,omitempty"`
+}
+
+// Snapshot is a point-in-time view of the coordinator, served live via
+// expvar by `jtpsim coord -debug-addr`.
+type Snapshot struct {
+	Shards   []ShardStatus     `json:"shards"`
+	Pending  int               `json:"pending"`
+	Running  int               `json:"running"`
+	Done     int               `json:"done"`
+	Failed   int               `json:"failed"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Result is a coordinator run's outcome.
+type Result struct {
+	// Report is the merged campaign report: complete (byte-identical to
+	// the unsharded run) when Failed and Interrupted are empty, partial
+	// otherwise, nil when no shard completed at all.
+	Report *campaign.Report
+	// Gaps accounts for the shards missing from a partial merge (nil
+	// when the merge was complete or nothing merged).
+	Gaps *campaign.MergeGaps
+	// Done, Failed and Interrupted classify every shard: completed,
+	// retry budget exhausted, and never finished because the
+	// coordinator itself was cancelled (the interrupted-vs-failed
+	// distinction of the campaign layer, lifted to whole shards).
+	Done, Failed, Interrupted []int
+	// Table is the final per-shard supervision state.
+	Table []ShardStatus
+	// Counters snapshots the coordinator's obs registry.
+	Counters map[string]uint64
+}
+
+// Degraded reports whether any shard failed permanently.
+func (r *Result) Degraded() bool { return len(r.Failed) > 0 }
+
+// exitEvent is a worker process exit, delivered by its monitor
+// goroutine to the supervisor loop.
+type exitEvent struct {
+	index int
+	err   error // cmd.Wait result
+}
+
+// Coordinator supervises one sharded campaign. Create with New, drive
+// with Run; Snapshot may be called concurrently from other goroutines.
+type Coordinator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards []*shardRun
+
+	events chan exitEvent
+	rng    *rand.Rand
+
+	ctrRestarts *obs.Counter
+	ctrDead     *obs.Counter
+	ctrBackoff  *obs.Counter
+	ctrChaos    *obs.Counter
+	ctrStall    *obs.Counter
+	gaugeHBAge  *obs.Gauge
+}
+
+// New validates the configuration and prepares (but does not start) a
+// coordinator. OutDir is created if missing.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.WorkerBin == "" {
+		return nil, fmt.Errorf("coordinator: empty WorkerBin")
+	}
+	if len(cfg.WorkerArgs) == 0 {
+		return nil, fmt.Errorf("coordinator: empty WorkerArgs")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("coordinator: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("coordinator: empty OutDir")
+	}
+	if cfg.ChaosKillRate < 0 {
+		return nil, fmt.Errorf("coordinator: negative chaos kill rate %g", cfg.ChaosKillRate)
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	seed := cfg.ChaosSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		events: make(chan exitEvent, cfg.Shards),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	if cfg.Obs != nil {
+		c.ctrRestarts = cfg.Obs.Counter("coord_shard_restarts")
+		c.ctrDead = cfg.Obs.Counter("coord_shard_dead_detections")
+		c.ctrBackoff = cfg.Obs.Counter("coord_backoff_ms_total")
+		c.ctrChaos = cfg.Obs.Counter("coord_chaos_kills")
+		c.ctrStall = cfg.Obs.Counter("coord_stall_kills")
+		c.gaugeHBAge = cfg.Obs.Gauge("coord_heartbeat_age_ms")
+	}
+	return c, nil
+}
+
+// Artifact paths inside OutDir.
+
+func (c *Coordinator) journalPath() string { return filepath.Join(c.cfg.OutDir, "coord.journal.json") }
+func (c *Coordinator) shardOutPath(i int) string {
+	return filepath.Join(c.cfg.OutDir, shardFileName(".json", i))
+}
+func (c *Coordinator) checkpointPath(i int) string {
+	return filepath.Join(c.cfg.OutDir, shardFileName(".ck.json", i))
+}
+func (c *Coordinator) statusPath(i int) string {
+	return filepath.Join(c.cfg.OutDir, shardFileName(".status.jsonl", i))
+}
+func (c *Coordinator) logPath(i int) string {
+	return filepath.Join(c.cfg.OutDir, shardFileName(".log", i))
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "coord: "+format+"\n", args...)
+	}
+}
+
+// Run drives every shard to done or failed, then merges. It returns a
+// Result even on error when any supervision happened: on ctx
+// cancellation the result classifies unfinished shards as interrupted
+// and the journal allows a later invocation to resume.
+func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
+	if err := c.restoreShardTable(); err != nil {
+		return nil, err
+	}
+	if err := c.persistJournal(); err != nil {
+		return nil, err
+	}
+
+	ticker := time.NewTicker(c.cfg.poll())
+	defer ticker.Stop()
+	var supErr error  // first infrastructure error (journal write), fatal
+	cancelled := false // ctx cancelled before the campaign finished
+
+loop:
+	for supErr == nil && !c.allTerminal() {
+		supErr = c.launchEligible()
+		if supErr != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			cancelled = true
+			break loop
+		case ev := <-c.events:
+			supErr = c.handleExit(ev)
+		case <-ticker.C:
+			c.superviseTick()
+		}
+	}
+
+	if cancelled || supErr != nil {
+		c.shutdownWorkers()
+	}
+	res, mergeErr := c.finalize()
+	switch {
+	case supErr != nil:
+		return res, supErr
+	case cancelled:
+		return res, ctx.Err()
+	default:
+		return res, mergeErr
+	}
+}
+
+// restoreShardTable builds the in-memory shard table, resuming from an
+// existing journal when the out-dir holds one for this campaign.
+func (c *Coordinator) restoreShardTable() error {
+	identity := journalIdentity(c.cfg.WorkerArgs, c.cfg.Shards)
+	j, err := loadJournal(c.journalPath(), identity, c.cfg.Shards)
+	if err != nil {
+		if !isCorrupt(err) {
+			return err
+		}
+		c.logf("%v; starting with a fresh shard table (per-shard checkpoints still resume)", err)
+		j = nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards = make([]*shardRun, c.cfg.Shards)
+	for i := range c.shards {
+		s := &shardRun{index: i, state: statePending, anchor: time.Now()}
+		c.shards[i] = s
+		if j == nil {
+			continue
+		}
+		e := &j.Shards[i]
+		switch e.State {
+		case "done":
+			// Trust but verify: the merged report depends on this file.
+			if _, ferr := campaign.ReadShardFile(c.shardOutPath(i)); ferr == nil {
+				s.state = stateDone
+				s.attempts = e.Attempts
+			} else {
+				c.logf("journal says shard %d is done but its result file is unusable (%v); re-running", i, ferr)
+			}
+		case "failed":
+			// A new coordinator invocation grants failed shards a fresh
+			// retry budget: rerunning `jtpsim coord` after a partial
+			// result means "try again".
+			c.logf("shard %d failed in a previous run (%s); retrying with a fresh budget", i, e.LastError)
+		case "running":
+			// The previous coordinator died with workers in flight; the
+			// relaunch resumes from the shard's checkpoint.
+			s.attempts = e.Attempts
+			if cp, cerr := campaign.LoadCheckpoint(c.checkpointPath(i)); cerr == nil && cp != nil {
+				c.logf("shard %d was running when the previous coordinator died; will resume from fold frontier %d", i, cp.NextSeq)
+			}
+		}
+	}
+	return nil
+}
+
+// isCorrupt reports whether err wraps a tolerated-corruption sentinel.
+func isCorrupt(err error) bool {
+	return errors.Is(err, ErrCorruptJournal)
+}
+
+// launchEligible starts pending shards whose backoff expired while
+// worker slots are free, journaling each transition.
+func (c *Coordinator) launchEligible() error {
+	c.mu.Lock()
+	now := time.Now()
+	running := 0
+	for _, s := range c.shards {
+		if s.state == stateRunning {
+			running++
+		}
+	}
+	var toLaunch []*shardRun
+	for _, s := range c.shards {
+		if running+len(toLaunch) >= c.cfg.workers() {
+			break
+		}
+		if s.state == statePending && !now.Before(s.backoffUntil) {
+			toLaunch = append(toLaunch, s)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, s := range toLaunch {
+		if err := c.launch(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// launch starts one worker process for a shard.
+func (c *Coordinator) launch(s *shardRun) error {
+	argv := append(append([]string{}, c.cfg.WorkerArgs...),
+		"-shard", fmt.Sprintf("%d/%d", s.index, c.cfg.Shards),
+		"-shard-out", c.shardOutPath(s.index),
+		"-checkpoint", c.checkpointPath(s.index),
+		"-status", c.statusPath(s.index),
+	)
+	logf, err := os.OpenFile(c.logPath(s.index), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("coordinator: shard %d log: %w", s.index, err)
+	}
+	cmd := exec.Command(c.cfg.WorkerBin, argv...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	cmd.Env = append(os.Environ(), c.cfg.Env...)
+
+	c.mu.Lock()
+	s.attempts++
+	attempt := s.attempts
+	if attempt > 1 && c.ctrRestarts != nil {
+		c.ctrRestarts.Inc()
+	}
+	err = cmd.Start()
+	if err == nil {
+		s.state = stateRunning
+		s.proc = cmd.Process
+		s.killReason = ""
+		s.anchor = time.Now()
+	}
+	c.mu.Unlock()
+
+	if err != nil {
+		logf.Close()
+		// Exec failure (binary gone, fd exhaustion): treated like an
+		// instant worker death so the retry budget applies.
+		c.logf("shard %d attempt %d failed to start: %v", s.index, attempt, err)
+		return c.markDead(s, fmt.Sprintf("failed to start: %v", err))
+	}
+	c.logf("shard %d/%d launched (attempt %d/%d, pid %d)",
+		s.index, c.cfg.Shards, attempt, c.cfg.retryBudget()+1, cmd.Process.Pid)
+	idx := s.index
+	go func() {
+		werr := cmd.Wait()
+		logf.Close()
+		c.events <- exitEvent{index: idx, err: werr}
+	}()
+	return c.persistJournal()
+}
+
+// handleExit classifies one worker exit: clean completion with a valid
+// shard file is done; anything else is a death that consumes retry
+// budget.
+func (c *Coordinator) handleExit(ev exitEvent) error {
+	c.mu.Lock()
+	s := c.shards[ev.index]
+	killReason := s.killReason
+	s.proc = nil
+	c.mu.Unlock()
+
+	if ev.err == nil {
+		if _, ferr := campaign.ReadShardFile(c.shardOutPath(ev.index)); ferr != nil {
+			return c.markDead(s, fmt.Sprintf("exited 0 without a valid shard file: %v", ferr))
+		}
+		c.mu.Lock()
+		s.state = stateDone
+		s.lastError = ""
+		attempts := s.attempts
+		c.mu.Unlock()
+		c.logf("shard %d done (attempt %d)", ev.index, attempts)
+		return c.persistJournal()
+	}
+	reason := fmt.Sprintf("worker died: %v", ev.err)
+	if killReason != "" {
+		reason = killReason
+	}
+	return c.markDead(s, reason)
+}
+
+// markDead books a shard death: dead-detection counter, retry budget,
+// exponential backoff with jitter (or permanent failure), journal.
+func (c *Coordinator) markDead(s *shardRun, reason string) error {
+	c.mu.Lock()
+	s.lastError = reason
+	s.proc = nil
+	if c.ctrDead != nil {
+		c.ctrDead.Inc()
+	}
+	budget := c.cfg.retryBudget()
+	if s.attempts >= budget+1 {
+		s.state = stateFailed
+		c.mu.Unlock()
+		c.logf("shard %d FAILED permanently after %d attempts (%s)", s.index, s.attempts, reason)
+		return c.persistJournal()
+	}
+	// Exponential backoff with up-to-50% jitter, capped.
+	d := c.cfg.backoffBase() << (s.attempts - 1)
+	if d > c.cfg.backoffMax() || d <= 0 {
+		d = c.cfg.backoffMax()
+	}
+	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	s.state = statePending
+	s.backoffUntil = time.Now().Add(d)
+	if c.ctrBackoff != nil {
+		c.ctrBackoff.Add(uint64(d.Milliseconds()))
+	}
+	c.mu.Unlock()
+	c.logf("shard %d died (%s); restart %d/%d in %s", s.index, reason, s.attempts, budget, d.Round(time.Millisecond))
+	return c.persistJournal()
+}
+
+// superviseTick runs the periodic checks on every running shard:
+// heartbeat/checkpoint progress, stall detection, and chaos injection.
+func (c *Coordinator) superviseTick() {
+	now := time.Now()
+	chaosP := c.cfg.ChaosKillRate * c.cfg.poll().Seconds()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		if s.state != stateRunning || s.proc == nil {
+			continue
+		}
+		// Progress: a new status frame frontier or a fresher checkpoint
+		// both reset the liveness anchor.
+		if fr, ok := ReadLastFrame(c.statusPath(s.index)); ok {
+			if fr.Seq > s.lastSeq {
+				s.lastSeq = fr.Seq
+				s.anchor = now
+			}
+			s.lastTotal = fr.Total
+			s.lastRate = fr.RunsPerSec
+		}
+		if st, err := os.Stat(c.checkpointPath(s.index)); err == nil {
+			if st.ModTime().After(s.lastCkMod) {
+				s.lastCkMod = st.ModTime()
+				s.anchor = now
+			}
+		}
+		age := now.Sub(s.anchor)
+		if c.gaugeHBAge != nil {
+			c.gaugeHBAge.Update(uint64(age.Milliseconds()))
+		}
+		if age > c.cfg.stallTimeout() {
+			// Stuck, not crashed: no frontier movement, no checkpoint
+			// growth. SIGKILL and let the exit path restart it.
+			s.killReason = fmt.Sprintf("stalled: no progress for %s (frontier %d)", age.Round(time.Second), s.lastSeq)
+			if c.ctrStall != nil {
+				c.ctrStall.Inc()
+			}
+			c.logf("shard %d %s; killing pid %d", s.index, s.killReason, s.proc.Pid)
+			s.proc.Kill()
+			continue
+		}
+		if chaosP > 0 && c.rng.Float64() < chaosP {
+			s.killReason = "chaos: injected SIGKILL"
+			if c.ctrChaos != nil {
+				c.ctrChaos.Inc()
+			}
+			c.logf("shard %d chaos kill (pid %d, frontier %d)", s.index, s.proc.Pid, s.lastSeq)
+			s.proc.Kill()
+		}
+	}
+}
+
+// shutdownWorkers terminates every running worker: SIGTERM first (the
+// worker writes a final checkpoint and exits cleanly), SIGKILL after a
+// grace period, consuming exit events so no monitor goroutine leaks.
+func (c *Coordinator) shutdownWorkers() {
+	c.mu.Lock()
+	running := 0
+	for _, s := range c.shards {
+		if s.state == stateRunning && s.proc != nil {
+			s.killReason = "coordinator shutting down"
+			s.proc.Signal(os.Interrupt)
+			running++
+		}
+	}
+	c.mu.Unlock()
+	if running == 0 {
+		return
+	}
+	c.logf("shutting down: interrupted %d running workers", running)
+
+	grace := time.After(5 * time.Second)
+	for running > 0 {
+		select {
+		case ev := <-c.events:
+			c.mu.Lock()
+			s := c.shards[ev.index]
+			s.proc = nil
+			// Rewind to pending so a resumed coordinator relaunches it;
+			// its checkpoint preserves the progress.
+			if s.state == stateRunning {
+				s.state = statePending
+			}
+			c.mu.Unlock()
+			running--
+		case <-grace:
+			c.mu.Lock()
+			for _, s := range c.shards {
+				if s.state == stateRunning && s.proc != nil {
+					c.logf("shard %d ignored SIGINT; killing pid %d", s.index, s.proc.Pid)
+					s.proc.Kill()
+				}
+			}
+			c.mu.Unlock()
+			grace = time.After(5 * time.Second)
+		}
+	}
+	c.persistJournal()
+}
+
+// allTerminal reports whether every shard is done or failed.
+func (c *Coordinator) allTerminal() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		if s.state != stateDone && s.state != stateFailed {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize classifies shards, merges what completed, and assembles the
+// Result. Non-terminal shards are classified as interrupted: reaching
+// finalize with them unfinished means the coordinator was cancelled.
+func (c *Coordinator) finalize() (*Result, error) {
+	res := &Result{}
+	c.mu.Lock()
+	for _, s := range c.shards {
+		switch s.state {
+		case stateDone:
+			res.Done = append(res.Done, s.index)
+		case stateFailed:
+			res.Failed = append(res.Failed, s.index)
+		default:
+			res.Interrupted = append(res.Interrupted, s.index)
+		}
+	}
+	res.Table = c.statusTableLocked()
+	if c.cfg.Obs != nil {
+		res.Counters = c.cfg.Obs.Snapshot()
+	}
+	c.mu.Unlock()
+
+	if len(res.Done) == 0 {
+		// Nothing to merge; account every shard as missing.
+		res.Gaps = &campaign.MergeGaps{Of: c.cfg.Shards}
+		res.Gaps.Missing = append(append([]int{}, res.Failed...), res.Interrupted...)
+		sort.Ints(res.Gaps.Missing)
+		return res, nil
+	}
+
+	files := make([]*campaign.ShardFile, 0, len(res.Done))
+	for _, i := range res.Done {
+		f, err := campaign.ReadShardFile(c.shardOutPath(i))
+		if err != nil {
+			return res, fmt.Errorf("coordinator: merging: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(res.Failed) == 0 && len(res.Interrupted) == 0 {
+		rep, err := campaign.MergeReports(files...)
+		if err != nil {
+			return res, fmt.Errorf("coordinator: merging: %w", err)
+		}
+		res.Report = rep
+		c.logf("merged %d shards: %d runs, %d failures", len(files), rep.Runs, rep.Failures)
+		return res, nil
+	}
+	rep, gaps, err := campaign.MergeAvailable(files...)
+	if err != nil {
+		return res, fmt.Errorf("coordinator: partial merge: %w", err)
+	}
+	res.Report = rep
+	res.Gaps = gaps
+	c.logf("partial merge: %d/%d shards, %d runs folded, %d cells / %d runs missing",
+		len(files), c.cfg.Shards, rep.Runs, gaps.MissingCells, gaps.MissingRuns)
+	return res, nil
+}
+
+// Snapshot returns the current supervision state; safe to call from any
+// goroutine (the -debug-addr expvar handler does).
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{Shards: c.statusTableLocked()}
+	for _, s := range c.shards {
+		switch s.state {
+		case statePending:
+			snap.Pending++
+		case stateRunning:
+			snap.Running++
+		case stateDone:
+			snap.Done++
+		case stateFailed:
+			snap.Failed++
+		}
+	}
+	if c.cfg.Obs != nil {
+		snap.Counters = c.cfg.Obs.Snapshot()
+	}
+	return snap
+}
+
+// statusTableLocked renders the shard table; callers hold c.mu.
+func (c *Coordinator) statusTableLocked() []ShardStatus {
+	now := time.Now()
+	out := make([]ShardStatus, len(c.shards))
+	for i, s := range c.shards {
+		st := ShardStatus{
+			Index:      s.index,
+			State:      s.state.String(),
+			Attempts:   s.attempts,
+			Seq:        s.lastSeq,
+			Total:      s.lastTotal,
+			RunsPerSec: s.lastRate,
+			LastError:  s.lastError,
+		}
+		if s.state == stateRunning {
+			st.HeartbeatAgeMs = now.Sub(s.anchor).Milliseconds()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// persistJournal writes the shard table atomically.
+func (c *Coordinator) persistJournal() error {
+	c.mu.Lock()
+	j := Journal{
+		Version:  JournalVersion,
+		Identity: journalIdentity(c.cfg.WorkerArgs, c.cfg.Shards),
+		Shards:   make([]JournalShard, len(c.shards)),
+	}
+	for i, s := range c.shards {
+		state := s.state.String()
+		if s.state == statePending && s.attempts > 0 {
+			state = "pending" // backoff persists as pending
+		}
+		j.Shards[i] = JournalShard{Index: i, State: state, Attempts: s.attempts, LastError: s.lastError}
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(&j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("coordinator: journal: %w", err)
+	}
+	if err := writeFileAtomic(c.journalPath(), data); err != nil {
+		return fmt.Errorf("coordinator: journal: %w", err)
+	}
+	return nil
+}

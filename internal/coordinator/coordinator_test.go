@@ -1,0 +1,363 @@
+package coordinator
+
+// Integration tests for the supervised worker pool, using the standard
+// helper-process pattern: the coordinator under test launches this test
+// binary (os.Args[0]) re-entrantly, and TestHelperWorker — a real tiny
+// campaign honoring the -shard/-shard-out/-checkpoint/-status contract —
+// plays the worker. Fault injection rides environment variables:
+//
+//	COORD_HELPER_CRASH_AT=SEQ    crash (exit 3) at fold seq, once per shard
+//	COORD_HELPER_FAIL_SHARD=I    shard I crashes on sight, every attempt
+//	COORD_HELPER_HANG_SHARD=I    shard I hangs after one frame, once
+//
+// Everything is checked against the ground truth an in-process unsharded
+// campaign.Execute produces: whatever the coordinator survives, the
+// merged report must be byte-identical to that.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/javelen/jtp/internal/campaign"
+	"github.com/javelen/jtp/internal/obs"
+)
+
+// helperMatrix is the campaign both the helper workers and the
+// in-process reference execute: 8 cells × 4 runs, seed-derived samples.
+func helperMatrix() campaign.Matrix {
+	return campaign.Matrix{
+		Name: "coordtest",
+		Axes: []campaign.Axis{
+			{Name: "proto", Values: campaign.Strings("jtp", "atp")},
+			{Name: "nodes", Values: campaign.Ints(2, 4, 6, 8)},
+		},
+		Runs:     4,
+		BaseSeed: 77,
+	}
+}
+
+// helperRun derives observables from the spec seed only, with a small
+// sleep so supervision (ticks, kills, cancellation) can interleave.
+func helperRun(_ context.Context, spec campaign.RunSpec) (campaign.Sample, error) {
+	r := rand.New(rand.NewSource(spec.Seed))
+	time.Sleep(time.Duration(2+r.Intn(3)) * time.Millisecond)
+	return campaign.Sample{
+		"energy":  r.Float64() * 1e-6,
+		"goodput": 1e3 + r.Float64()*1e4,
+	}, nil
+}
+
+// referenceCSV is the unsharded ground truth.
+func referenceCSV(t *testing.T) string {
+	t.Helper()
+	rep, err := campaign.Execute(context.Background(), helperMatrix(), campaign.Options{Workers: 2}, helperRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.CSV()
+}
+
+// TestHelperWorker is not a test: it is the worker process body. The
+// coordinator tests exec this binary with -test.run=TestHelperWorker --
+// <shard flags>, and COORD_HELPER=1 gates the body so a normal `go test`
+// run skips it.
+func TestHelperWorker(t *testing.T) {
+	if os.Getenv("COORD_HELPER") != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	os.Exit(helperWorkerMain(flag.Args()))
+}
+
+func helperWorkerMain(args []string) int {
+	fs := flag.NewFlagSet("helper", flag.ExitOnError)
+	shardStr := fs.String("shard", "0/1", "")
+	shardOut := fs.String("shard-out", "", "")
+	checkpoint := fs.String("checkpoint", "", "")
+	status := fs.String("status", "", "")
+	fs.Parse(args)
+
+	sh, err := campaign.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	stf, err := os.OpenFile(*status, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if v := os.Getenv("COORD_HELPER_FAIL_SHARD"); v != "" {
+		if i, _ := strconv.Atoi(v); i == sh.Index {
+			return ChaosExitCode // permanent: crashes every attempt
+		}
+	}
+	crashAt := -1
+	if v := os.Getenv("COORD_HELPER_CRASH_AT"); v != "" {
+		crashAt, _ = strconv.Atoi(v)
+	}
+	hangShard := -1
+	if v := os.Getenv("COORD_HELPER_HANG_SHARD"); v != "" {
+		hangShard, _ = strconv.Atoi(v)
+	}
+
+	opt := campaign.Options{
+		Workers:         1,
+		Shard:           sh,
+		ShardOut:        *shardOut,
+		Checkpoint:      *checkpoint,
+		CheckpointEvery: 1, // tight frontier: a crash loses at most one fold
+		OnProgress: func(p campaign.Progress) {
+			AppendFrame(stf, StatusFrame{Seq: p.Done, Total: p.Total, Failures: p.Failures})
+			if crashAt >= 0 && p.Done >= crashAt && stampOnce(*shardOut+".crashed") {
+				os.Exit(ChaosExitCode)
+			}
+			if hangShard == sh.Index && stampOnce(*shardOut+".hung") {
+				time.Sleep(30 * time.Second) // until the stall detector kills us
+			}
+		},
+	}
+	if _, err := campaign.Execute(context.Background(), helperMatrix(), opt, helperRun); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// stampOnce attempts to create the stamp file exclusively: true exactly
+// once per path, so injected faults fire on one attempt only.
+func stampOnce(path string) bool {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// newTestCoordinator builds a fast-supervision coordinator over helper
+// workers; extra env vars select the injected faults.
+func newTestCoordinator(t *testing.T, dir string, shards, workers int, env ...string) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		WorkerBin:    os.Args[0],
+		WorkerArgs:   []string{"-test.run=TestHelperWorker", "--"},
+		Shards:       shards,
+		Workers:      workers,
+		OutDir:       dir,
+		RetryBudget:  3,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		StallTimeout: 5 * time.Second,
+		Poll:         20 * time.Millisecond,
+		ChaosSeed:    42,
+		Env:          append([]string{"COORD_HELPER=1"}, env...),
+		Obs:          obs.New(),
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatorAllDone(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 4, 2)
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 4 || res.Degraded() || len(res.Interrupted) != 0 {
+		t.Fatalf("done=%v failed=%v interrupted=%v", res.Done, res.Failed, res.Interrupted)
+	}
+	if res.Gaps != nil {
+		t.Fatalf("complete run reported gaps: %+v", res.Gaps)
+	}
+	if got, want := res.Report.CSV(), referenceCSV(t); got != want {
+		t.Errorf("merged CSV differs from unsharded run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := c.Snapshot()
+	if snap.Done != 4 || snap.Running != 0 {
+		t.Errorf("snapshot %+v, want 4 done", snap)
+	}
+}
+
+// TestCoordinatorCrashRecovery crashes every shard once mid-campaign;
+// the restarts must resume from their checkpoints and the merged report
+// must still be byte-identical to the unsharded run.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 4, 4, "COORD_HELPER_CRASH_AT=3")
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 4 {
+		t.Fatalf("done=%v failed=%v", res.Done, res.Failed)
+	}
+	if got, want := res.Report.CSV(), referenceCSV(t); got != want {
+		t.Errorf("merged CSV differs from unsharded run after crash recovery")
+	}
+	if res.Counters["coord_shard_restarts"] < 4 {
+		t.Errorf("restarts = %d, want >= 4 (every shard crashed once)", res.Counters["coord_shard_restarts"])
+	}
+	if res.Counters["coord_shard_dead_detections"] < 4 {
+		t.Errorf("dead detections = %d, want >= 4", res.Counters["coord_shard_dead_detections"])
+	}
+	if res.Counters["coord_backoff_ms_total"] == 0 {
+		t.Errorf("no backoff booked despite restarts")
+	}
+}
+
+// TestCoordinatorRetryExhaustion makes one shard fail on every attempt:
+// the rest must complete, the merge must be partial with exact
+// missing-work accounting, and the result must say degraded.
+func TestCoordinatorRetryExhaustion(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 4, 2, "COORD_HELPER_FAIL_SHARD=1")
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded() || len(res.Failed) != 1 || res.Failed[0] != 1 {
+		t.Fatalf("failed=%v, want [1]", res.Failed)
+	}
+	if len(res.Done) != 3 {
+		t.Fatalf("done=%v, want 3 shards", res.Done)
+	}
+	if res.Report == nil || res.Gaps == nil {
+		t.Fatal("partial merge missing report or gaps")
+	}
+	if len(res.Gaps.Missing) != 1 || res.Gaps.Missing[0] != 1 {
+		t.Fatalf("gaps.Missing=%v, want [1]", res.Gaps.Missing)
+	}
+	// Shard 1 of 4 over 8 cells owns cells [2,4): 2 cells × 4 runs.
+	if res.Gaps.MissingCells != 2 || res.Gaps.MissingRuns != 8 {
+		t.Fatalf("gaps = %d cells / %d runs, want 2/8", res.Gaps.MissingCells, res.Gaps.MissingRuns)
+	}
+	// The shard consumed its full budget: 1 launch + 3 retries.
+	for _, st := range res.Table {
+		if st.Index == 1 && st.Attempts != 4 {
+			t.Errorf("failed shard attempts = %d, want 4", st.Attempts)
+		}
+	}
+	// Folded cells must match the reference row-for-row where covered.
+	if res.Report.Runs != 3*8 {
+		t.Errorf("partial report folded %d runs, want 24", res.Report.Runs)
+	}
+}
+
+// TestCoordinatorStallKill hangs one shard's first attempt: the stall
+// detector must SIGKILL it and the restart must complete the campaign.
+func TestCoordinatorStallKill(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 2, 2, "COORD_HELPER_HANG_SHARD=1")
+	// Long enough to absorb worker startup (slow under -race), short
+	// enough to catch the injected 30s hang quickly.
+	c.cfg.StallTimeout = 2 * time.Second
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 2 {
+		t.Fatalf("done=%v failed=%v", res.Done, res.Failed)
+	}
+	if res.Counters["coord_stall_kills"] == 0 {
+		t.Error("stall detector never fired")
+	}
+	if got, want := res.Report.CSV(), referenceCSV(t); got != want {
+		t.Errorf("merged CSV differs from unsharded run after stall recovery")
+	}
+}
+
+// TestCoordinatorResumeAfterCancel cancels a run mid-flight, then drives
+// a second coordinator over the same out-dir to completion: the journal
+// must classify the unfinished shards, and the final merge must be
+// byte-identical to the unsharded run.
+func TestCoordinatorResumeAfterCancel(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 4, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	res, err := c.Run(ctx)
+	if err == nil {
+		t.Skip("campaign finished before the cancel landed; nothing to resume")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Interrupted) == 0 {
+		t.Fatalf("no interrupted shards after cancel: done=%v", res.Done)
+	}
+
+	c2 := newTestCoordinator(t, dir, 4, 2)
+	res2, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Done) != 4 {
+		t.Fatalf("resume: done=%v failed=%v", res2.Done, res2.Failed)
+	}
+	if got, want := res2.Report.CSV(), referenceCSV(t); got != want {
+		t.Errorf("merged CSV differs from unsharded run after cancel+resume")
+	}
+}
+
+// TestCoordinatorCorruptJournal garbles the journal between two runs:
+// the second coordinator must warn, rebuild a fresh shard table, and
+// still converge to the byte-identical merged report.
+func TestCoordinatorCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 2, 2)
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "coord.journal.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	c2 := newTestCoordinator(t, dir, 2, 2)
+	c2.cfg.Log = &log
+	res, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Done) != 2 {
+		t.Fatalf("done=%v failed=%v", res.Done, res.Failed)
+	}
+	if !strings.Contains(log.String(), "fresh shard table") {
+		t.Errorf("no corrupt-journal warning in log:\n%s", log.String())
+	}
+	if got, want := res.Report.CSV(), referenceCSV(t); got != want {
+		t.Errorf("merged CSV differs after corrupt-journal recovery")
+	}
+}
+
+// TestCoordinatorJournalIdentityMismatch refuses to reuse an out-dir
+// across campaigns: a journal written for different worker args is a
+// hard error, not a silent fresh start.
+func TestCoordinatorJournalIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCoordinator(t, dir, 2, 2)
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestCoordinator(t, dir, 2, 2)
+	c2.cfg.WorkerArgs = []string{"-test.run=TestHelperWorker", "--", "-different"}
+	if _, err := c2.Run(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("err = %v, want identity-mismatch refusal", err)
+	}
+}

@@ -1,0 +1,118 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestJournal(t *testing.T, path string, j Journal) {
+	t.Helper()
+	data, err := json.Marshal(&j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.json")
+	id := journalIdentity([]string{"batch", "-matrix", "m.json"}, 3)
+	writeTestJournal(t, path, Journal{
+		Version:  JournalVersion,
+		Identity: id,
+		Shards: []JournalShard{
+			{Index: 0, State: "done", Attempts: 1},
+			{Index: 1, State: "running", Attempts: 2},
+			{Index: 2, State: "failed", Attempts: 4, LastError: "exit status 3"},
+		},
+	})
+	j, err := loadJournal(path, id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Shards[1].State != "running" || j.Shards[2].LastError != "exit status 3" {
+		t.Fatalf("round trip lost state: %+v", j.Shards)
+	}
+}
+
+func TestJournalMissingIsNil(t *testing.T) {
+	j, err := loadJournal(filepath.Join(t.TempDir(), "absent.json"), "x", 2)
+	if j != nil || err != nil {
+		t.Fatalf("missing journal: %v, %v; want nil, nil", j, err)
+	}
+}
+
+// TestJournalCorruption pins the corrupt-vs-mismatch split: damage that
+// a torn write can produce degrades (ErrCorruptJournal, fresh table),
+// while an intact journal for the wrong campaign is a hard refusal.
+func TestJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	id := journalIdentity([]string{"a"}, 2)
+	okShards := []JournalShard{{Index: 0, State: "done"}, {Index: 1, State: "pending"}}
+
+	corrupt := map[string]func(path string){
+		"empty":   func(p string) { os.WriteFile(p, nil, 0o644) },
+		"garbage": func(p string) { os.WriteFile(p, []byte("{torn wri"), 0o644) },
+		"shard count": func(p string) {
+			writeTestJournal(t, p, Journal{Version: JournalVersion, Identity: id,
+				Shards: okShards[:1]})
+		},
+		"index out of order": func(p string) {
+			writeTestJournal(t, p, Journal{Version: JournalVersion, Identity: id,
+				Shards: []JournalShard{{Index: 1, State: "done"}, {Index: 0, State: "done"}}})
+		},
+		"unknown state": func(p string) {
+			writeTestJournal(t, p, Journal{Version: JournalVersion, Identity: id,
+				Shards: []JournalShard{{Index: 0, State: "done"}, {Index: 1, State: "zombie"}}})
+		},
+	}
+	for name, write := range corrupt {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "-")+".json")
+		write(path)
+		_, err := loadJournal(path, id, 2)
+		if !errors.Is(err, ErrCorruptJournal) {
+			t.Errorf("%s: err = %v, want ErrCorruptJournal", name, err)
+		}
+	}
+
+	hard := map[string]func(path string){
+		"identity mismatch": func(p string) {
+			writeTestJournal(t, p, Journal{Version: JournalVersion, Identity: "someone-else", Shards: okShards})
+		},
+		"version mismatch": func(p string) {
+			writeTestJournal(t, p, Journal{Version: JournalVersion + 1, Identity: id, Shards: okShards})
+		},
+	}
+	for name, write := range hard {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "-")+".json")
+		write(path)
+		_, err := loadJournal(path, id, 2)
+		if err == nil || errors.Is(err, ErrCorruptJournal) {
+			t.Errorf("%s: err = %v, want a hard (non-corrupt) error", name, err)
+		}
+	}
+}
+
+// TestJournalIdentityDistinguishes ensures the identity hash separates
+// campaigns that naive concatenation would alias.
+func TestJournalIdentityDistinguishes(t *testing.T) {
+	base := journalIdentity([]string{"ab", "c"}, 2)
+	for name, other := range map[string]string{
+		"different args":   journalIdentity([]string{"a", "bc"}, 2),
+		"different shards": journalIdentity([]string{"ab", "c"}, 3),
+		"joined args":      journalIdentity([]string{"abc"}, 2),
+	} {
+		if other == base {
+			t.Errorf("%s: identity collided", name)
+		}
+	}
+	if again := journalIdentity([]string{"ab", "c"}, 2); again != base {
+		t.Error("identity not deterministic")
+	}
+}

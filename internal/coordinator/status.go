@@ -1,0 +1,106 @@
+package coordinator
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// The heartbeat/liveness protocol between a jtpsim worker process and
+// the coordinator: the worker appends one StatusFrame per campaign fold
+// (rate-limited) to its per-shard status file, and the coordinator reads
+// the newest complete frame to decide whether the shard is making
+// progress. Frames are JSON lines appended with a single write, so a
+// reader only ever sees whole frames plus at most one torn tail — which
+// ReadLastFrame skips.
+
+// EnvChaosExitAt is a fault-injection knob for testing the supervision
+// machinery: when set to a fold sequence number, a worker emitting
+// status frames exits abruptly (ChaosExitCode, no final checkpoint, no
+// shard file) as soon as its fold frontier reaches that sequence —
+// simulating a crash at a deterministic point mid-campaign.
+const EnvChaosExitAt = "JTPSIM_CHAOS_EXIT_AT"
+
+// ChaosExitCode is the exit code of an EnvChaosExitAt suicide, chosen
+// distinct from clean exits (0), campaign failures (1), and usage
+// errors (2) so coordinator logs attribute the death correctly.
+const ChaosExitCode = 3
+
+// StatusFrame is one heartbeat: the worker's fold frontier and rate at
+// a wall-clock instant.
+type StatusFrame struct {
+	// TimeMs is the frame's wall-clock timestamp in Unix milliseconds.
+	TimeMs int64 `json:"t_ms"`
+	// Seq is the fold frontier: runs folded so far, including any
+	// restored from a checkpoint. It is monotone within one worker
+	// attempt and across restarts of the same shard (resume re-folds
+	// from the checkpoint frontier).
+	Seq int `json:"seq"`
+	// Total is the shard's total run count.
+	Total int `json:"total"`
+	// Failures counts folded runs that errored.
+	Failures int `json:"failures"`
+	// RunsPerSec is the worker's current fold rate.
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// AppendFrame writes one frame as a single JSON line, stamping TimeMs
+// when the caller left it zero. Small single writes to an O_APPEND file
+// do not interleave, so concurrent readers see whole frames.
+func AppendFrame(w io.Writer, f StatusFrame) error {
+	if f.TimeMs == 0 {
+		f.TimeMs = nowMs()
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadLastFrame returns the newest complete frame of a status file and
+// true, or a zero frame and false when the file is missing, empty, or
+// holds no parseable frame yet. Only the tail of the file is read, so
+// polling stays cheap as status files grow.
+func ReadLastFrame(path string) (StatusFrame, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return StatusFrame{}, false
+	}
+	defer f.Close()
+	const tail = 4096
+	st, err := f.Stat()
+	if err != nil {
+		return StatusFrame{}, false
+	}
+	off := st.Size() - tail
+	if off < 0 {
+		off = 0
+	}
+	buf := make([]byte, st.Size()-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return StatusFrame{}, false
+	}
+	// Scan lines last-to-first; the final line may be torn (crash mid
+	// append) and the first line of the window may be the partial tail
+	// of a frame that started before the window — both fail to parse
+	// and are skipped.
+	lines := bytes.Split(buf, []byte("\n"))
+	for i := len(lines) - 1; i >= 0; i-- {
+		line := bytes.TrimSpace(lines[i])
+		if len(line) == 0 {
+			continue
+		}
+		var fr StatusFrame
+		if err := json.Unmarshal(line, &fr); err == nil {
+			return fr, true
+		}
+	}
+	return StatusFrame{}, false
+}
+
+// nowMs returns the current Unix time in milliseconds.
+func nowMs() int64 { return time.Now().UnixMilli() }

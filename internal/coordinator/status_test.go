@@ -1,0 +1,85 @@
+package coordinator
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStatusFrameRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 1; i <= 5; i++ {
+		if err := AppendFrame(f, StatusFrame{Seq: i, Total: 10, RunsPerSec: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, ok := ReadLastFrame(path)
+	if !ok || fr.Seq != 5 || fr.Total != 10 {
+		t.Fatalf("last frame = %+v, %v; want seq 5", fr, ok)
+	}
+	if fr.TimeMs == 0 {
+		t.Error("AppendFrame did not stamp TimeMs")
+	}
+}
+
+// TestReadLastFrameTornTail simulates a crash mid-append: the torn final
+// line must be skipped in favor of the last complete frame.
+func TestReadLastFrameTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AppendFrame(f, StatusFrame{Seq: 7, Total: 9})
+	fmt.Fprint(f, `{"t_ms":123,"seq":8,"tot`) // torn write, no newline
+	f.Close()
+	fr, ok := ReadLastFrame(path)
+	if !ok || fr.Seq != 7 {
+		t.Fatalf("frame = %+v, %v; want the complete seq-7 frame", fr, ok)
+	}
+}
+
+func TestReadLastFrameDegenerate(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok := ReadLastFrame(filepath.Join(dir, "missing.jsonl")); ok {
+		t.Error("missing file produced a frame")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+	if _, ok := ReadLastFrame(empty); ok {
+		t.Error("empty file produced a frame")
+	}
+	junk := filepath.Join(dir, "junk.jsonl")
+	os.WriteFile(junk, []byte("not json\nstill not\n"), 0o644)
+	if _, ok := ReadLastFrame(junk); ok {
+		t.Error("junk file produced a frame")
+	}
+}
+
+// TestReadLastFrameLongFile checks the tail window: with far more than
+// 4KB of frames, the newest one is still found (and the partial frame at
+// the window's head edge is skipped, not misparsed).
+func TestReadLastFrameLongFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		if err := AppendFrame(f, StatusFrame{TimeMs: int64(i), Seq: i, Total: n, RunsPerSec: 123.456}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	fr, ok := ReadLastFrame(path)
+	if !ok || fr.Seq != n {
+		t.Fatalf("frame = %+v, %v; want seq %d", fr, ok, n)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"sync"
+	"time"
 
 	"github.com/javelen/jtp/internal/campaign"
 	"github.com/javelen/jtp/internal/metrics"
@@ -37,6 +38,13 @@ type CampaignHooks struct {
 	Shard      campaign.Shard
 	Checkpoint string
 	ShardOut   string
+	// CheckpointInterval mirrors campaign.Options.CheckpointInterval
+	// (zero keeps the campaign default). The coordinator shortens it so
+	// chaos-killed workers still make forward progress between faults.
+	CheckpointInterval time.Duration
+	// Warn mirrors campaign.Options.Warn: non-fatal campaign
+	// diagnostics, e.g. a corrupt checkpoint being discarded.
+	Warn func(format string, args ...any)
 	// OnInterrupted, when non-nil, observes a cancelled figure campaign
 	// (its partial report and the cancellation error) before mustExecute
 	// panics. The CLI uses it to report the saved checkpoint and exit;
@@ -49,11 +57,13 @@ type CampaignHooks struct {
 // CLI reaches figure and batch campaigns alike.
 func (h CampaignHooks) options(par int) campaign.Options {
 	return campaign.Options{
-		Workers:    par,
-		OnProgress: h.OnProgress,
-		Shard:      h.Shard,
-		Checkpoint: h.Checkpoint,
-		ShardOut:   h.ShardOut,
+		Workers:            par,
+		OnProgress:         h.OnProgress,
+		Shard:              h.Shard,
+		Checkpoint:         h.Checkpoint,
+		ShardOut:           h.ShardOut,
+		CheckpointInterval: h.CheckpointInterval,
+		Warn:               h.Warn,
 	}
 }
 
